@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark both *times* the operation it names (pytest-benchmark) and
+*asserts* the paper's shape on the produced data, so ``pytest benchmarks/
+--benchmark-only`` is simultaneously the performance harness and the
+reproduction gate.  Results are printed with ``-s`` in the paper's table
+layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pde.problems import gray_scott_jacobian
+
+
+@pytest.fixture(scope="session")
+def reference_operator():
+    """The Gray-Scott Crank-Nicolson operator on a 64x64 grid (8192 rows).
+
+    Large enough for stable fast-path timings, small enough that the
+    instruction-level engine kernels stay interactive.
+    """
+    return gray_scott_jacobian(64)
+
+
+@pytest.fixture(scope="session")
+def reference_x(reference_operator):
+    rng = np.random.default_rng(2018)
+    return rng.standard_normal(reference_operator.shape[1])

@@ -1,0 +1,83 @@
+"""Figure 10: multinode wall time on Theta, CSR vs SELL, three configs."""
+
+import pytest
+
+from repro.bench.experiments import fig10
+from repro.machine.perf_model import MemoryMode
+
+
+def _pick(points, mode, fmt, nodes):
+    (pt,) = [
+        p for p in points if p.mode is mode and p.fmt == fmt and p.nodes == nodes
+    ]
+    return pt
+
+
+def test_fig10_multinode(benchmark):
+    points = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    print("\n" + fig10.render())
+
+    flat, cache, dram = (
+        MemoryMode.FLAT_MCDRAM,
+        MemoryMode.CACHE,
+        MemoryMode.FLAT_DRAM,
+    )
+
+    # "sliced ELLPACK gives an approximately twofold speedup over CSR for
+    # the SpMV kernel when running in cache mode and flat mode".
+    for mode in (flat, cache):
+        for nodes in (64, 512):
+            csr = _pick(points, mode, "CSR", nodes)
+            sell = _pick(points, mode, "SELL", nodes)
+            ratio = csr.matmult_seconds / sell.matmult_seconds
+            assert 1.6 <= ratio <= 2.4, (mode, nodes, ratio)
+
+    # "when the tests use only DRAM, there is just marginal improvement".
+    for nodes in (64, 512):
+        csr = _pick(points, dram, "CSR", nodes)
+        sell = _pick(points, dram, "SELL", nodes)
+        assert csr.matmult_seconds / sell.matmult_seconds < 1.35
+
+    # "The savings in SpMV translate directly into significant drops in
+    # the total wall time": the absolute saving matches the kernel saving.
+    csr = _pick(points, flat, "CSR", 64)
+    sell = _pick(points, flat, "SELL", 64)
+    kernel_saving = csr.matmult_seconds - sell.matmult_seconds
+    total_saving = csr.total_seconds - sell.total_seconds
+    assert total_saving == pytest.approx(kernel_saving, rel=0.15)
+
+    # "the portion for other parts of the code remain almost the same".
+    assert sell.other_seconds == pytest.approx(csr.other_seconds, rel=0.05)
+
+    # Strong scaling 64 -> 512 nodes is near-ideal for both formats.
+    for fmt in ("CSR", "SELL"):
+        t64 = _pick(points, flat, fmt, 64).total_seconds
+        t512 = _pick(points, flat, fmt, 512).total_seconds
+        assert 6.0 <= t64 / t512 <= 8.5, fmt
+
+    # DRAM-only runs are by far the slowest configuration.
+    assert (
+        _pick(points, dram, "CSR", 64).total_seconds
+        > 2 * _pick(points, flat, "CSR", 64).total_seconds
+    )
+
+
+def test_weak_scaling_companion(benchmark):
+    """Not a paper figure: weak scaling of the SELL solve stays above 90%
+    efficiency over three grid/node doublings (communication hidden,
+    multigrid iteration counts held flat)."""
+    from repro.bench.experiments.fig10 import run_weak_scaling
+
+    rows = benchmark.pedantic(run_weak_scaling, rounds=1, iterations=1)
+    print("\nweak scaling (SELL, flat mode):")
+    for r in rows:
+        print(
+            f"  {int(r['nodes']):5d} nodes, {int(r['grid'])}^2 grid: "
+            f"{r['seconds_per_step']:.2f} s/step "
+            f"(eff {100 * r['efficiency']:.0f}%)"
+        )
+    assert rows[0]["efficiency"] == pytest.approx(1.0)
+    assert all(r["efficiency"] > 0.90 for r in rows)
+    # Efficiency decays monotonically (allreduce log-term + network).
+    effs = [r["efficiency"] for r in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))

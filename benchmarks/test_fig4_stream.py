@@ -1,0 +1,39 @@
+"""Figure 4: STREAM bandwidth on KNL vs MPI process count.
+
+Times the real STREAM triad on the host (the measured layer) and asserts
+the paper's shape on the modeled KNL curves (the reproduced layer).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig4
+from repro.memory.stream import triad
+
+
+def test_fig4_stream_triad_kernel(benchmark):
+    """Time the actual triad kernel the model's curves represent."""
+    n = 2_000_000
+    rng = np.random.default_rng(0)
+    a, b, c = rng.random(n), rng.random(n), rng.random(n)
+    benchmark(lambda: triad(a, b, c, repeats=1))
+
+
+def test_fig4_series_shape(benchmark):
+    series = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    print("\n" + fig4.render())
+    flat = dict(series["Flat:AVX512"])
+    flat_novec = dict(series["Flat:novec"])
+    cache = dict(series["Cache:AVX512"])
+    cache_novec = dict(series["Cache:novec"])
+
+    # "MCDRAM memory bandwidth in flat mode scales to almost 500 GB/s".
+    assert 470 <= flat[64] <= 510
+    # Flat mode needs ~58 procs to saturate: still climbing at 40.
+    assert flat[40] / flat[64] < 0.95
+    # Cache mode saturates by 40 processes.
+    assert cache[40] / cache[64] > 0.95
+    # Vectorization: dramatic in flat mode, slight in cache mode.
+    assert flat[64] / flat_novec[64] > 1.35
+    assert 1.0 < cache[64] / cache_novec[64] < 1.15
+    # Cache mode ends below flat mode.
+    assert cache[64] < flat[64]

@@ -1,0 +1,41 @@
+"""Figure 7: out-of-box baseline CSR across grids, modes, rank counts."""
+
+from repro.bench.experiments import fig7
+from repro.machine.perf_model import MemoryMode
+
+
+def _grouped(points):
+    out = {}
+    for p in points:
+        out[(p.mode, p.grid, p.nprocs)] = p.gflops
+    return out
+
+
+def test_fig7_baseline_csr(benchmark):
+    points = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    print("\n" + fig7.render())
+    g = _grouped(points)
+
+    flat, dram, cache = (
+        MemoryMode.FLAT_MCDRAM,
+        MemoryMode.FLAT_DRAM,
+        MemoryMode.CACHE,
+    )
+
+    # "performance is insensitive to the grid size".
+    for mode in (flat, dram, cache):
+        for nprocs in (16, 32, 64):
+            vals = [g[(mode, grid, nprocs)] for grid in (1024, 2048, 4096)]
+            assert max(vals) / min(vals) < 1.05, (mode, nprocs)
+
+    # "When using 16 or 32 processes, there is almost no difference in
+    # flop rates between using the MCDRAM or DRAM."
+    assert g[(flat, 2048, 16)] / g[(dram, 2048, 16)] < 1.25
+
+    # "The gap becomes noticeable only when all the cores have been
+    # filled": DRAM saturates, MCDRAM does not.
+    assert g[(flat, 2048, 64)] / g[(dram, 2048, 64)] > 1.5
+
+    # "cache mode yields slightly lower performance than does flat mode".
+    assert g[(cache, 2048, 64)] < g[(flat, 2048, 64)]
+    assert g[(cache, 2048, 64)] > 0.9 * g[(flat, 2048, 64)]

@@ -1,0 +1,88 @@
+"""Figure 8: the nine kernel variants on one KNL node, 4..64 ranks.
+
+Also times the production fast paths (CSR and SELL NumPy matvecs) and two
+instruction-level engine kernels on the reference operator, so the
+benchmark suite carries real measured numbers alongside the modeled ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig8
+from repro.core.dispatch import CSR_AVX512, SELL_AVX512
+from repro.core.sell import SellMat
+
+
+# ---------------------------------------------------------------------------
+# Measured: production fast paths.
+# ---------------------------------------------------------------------------
+
+def test_fastpath_csr_multiply(benchmark, reference_operator, reference_x):
+    y = np.zeros(reference_operator.shape[0])
+    benchmark(reference_operator.multiply, reference_x, y)
+    assert np.isfinite(y).all()
+
+
+def test_fastpath_sell_multiply(benchmark, reference_operator, reference_x):
+    sell = SellMat.from_csr(reference_operator)
+    y = np.zeros(sell.shape[0])
+    benchmark(sell.multiply, reference_x, y)
+    assert np.allclose(y, reference_operator.multiply(reference_x))
+
+
+def test_fastpath_sell_conversion(benchmark, reference_operator):
+    sell = benchmark.pedantic(
+        SellMat.from_csr, args=(reference_operator,), rounds=1, iterations=1
+    )
+    assert sell.padded_entries == 0
+
+
+# ---------------------------------------------------------------------------
+# Measured: instruction-level engine kernels (small operator).
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("variant", [SELL_AVX512, CSR_AVX512], ids=lambda v: v.name)
+def test_engine_kernel(benchmark, variant):
+    from repro.pde.problems import gray_scott_jacobian
+
+    csr = gray_scott_jacobian(16)
+    mat = variant.prepare(csr)
+    x = np.random.default_rng(0).standard_normal(csr.shape[1])
+    y, counters = benchmark.pedantic(
+        variant.run, args=(mat, x), rounds=1, iterations=1
+    )
+    assert np.allclose(y, csr.multiply(x))
+    assert counters.flops > 0
+
+
+# ---------------------------------------------------------------------------
+# Reproduced: the Figure 8 series.
+# ---------------------------------------------------------------------------
+
+def test_fig8_series_shape(benchmark):
+    series = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    print("\n" + fig8.render())
+    at64 = {name: dict(points)[64] for name, points in series.items()}
+
+    # SELL-AVX512 "on average twofold faster than the baseline CSR".
+    assert 1.7 <= at64["SELL using AVX512"] / at64["CSR baseline"] <= 2.4
+    # SELL AVX/AVX2 speedups of 1.8 / 1.7 over the baseline.
+    assert at64["SELL using AVX"] / at64["CSR baseline"] == pytest.approx(1.8, abs=0.3)
+    assert at64["SELL using AVX2"] / at64["CSR baseline"] == pytest.approx(1.7, abs=0.3)
+    # Hand CSR-AVX512 "increases by 54%" over the baseline.
+    assert at64["CSR using AVX512"] / at64["CSR baseline"] == pytest.approx(
+        1.54, abs=0.2
+    )
+    # MKL "performs slightly worse than the baseline CSR".
+    assert 0.78 <= at64["MKL CSR"] / at64["CSR baseline"] <= 0.95
+    # "CSR with permutation does not yield any improvement".
+    assert at64["CSRPerm"] / at64["CSR baseline"] == pytest.approx(1.0, abs=0.12)
+    # The AVX2-vs-AVX regression for CSR; near-parity for SELL.
+    assert at64["CSR using AVX2"] < at64["CSR using AVX"]
+    assert at64["SELL using AVX2"] == pytest.approx(at64["SELL using AVX"], rel=0.1)
+
+    # "good strong scalability up to 64 cores" for every format.
+    for name, points in series.items():
+        d = dict(points)
+        speedup = d[64] / d[4]
+        assert speedup > 8.0, (name, speedup)

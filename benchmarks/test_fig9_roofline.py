@@ -1,0 +1,36 @@
+"""Figure 9: roofline placement of every kernel variant."""
+
+import pytest
+
+from repro.bench.experiments import fig9
+from repro.machine.roofline import THETA_MCDRAM, THETA_PEAK_GFLOPS, attainable
+
+
+def test_fig9_roofline(benchmark):
+    points = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    print("\n" + fig9.render())
+    by_name = {p.label: p for p in points}
+
+    # "The arithmetic intensity of the SpMV kernel is around 0.132".
+    assert by_name["CSR baseline"].intensity == pytest.approx(0.132, abs=0.002)
+
+    # Nobody exceeds the attainable roofline.
+    for p in points:
+        roof = attainable(p.intensity)["MCDRAM"]
+        assert p.gflops <= roof * 1.001, p.label
+
+    # "the AVX-512 version of the sliced ELLPACK SpMV kernel has pushed
+    # the baseline performance close to the MCDRAM roofline" — and it is
+    # the closest of all variants.
+    fractions = {
+        p.label: p.fraction_of_ceiling(THETA_MCDRAM, THETA_PEAK_GFLOPS)
+        for p in points
+    }
+    best = max(fractions, key=fractions.get)
+    assert best == "SELL using AVX512"
+    assert fractions["SELL using AVX512"] > 0.7
+
+    # All points sit far left of the ridge: bandwidth-limited regime.
+    ridge = THETA_PEAK_GFLOPS / THETA_MCDRAM.bandwidth_gbs
+    for p in points:
+        assert p.intensity < ridge / 10

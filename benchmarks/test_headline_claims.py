@@ -1,0 +1,14 @@
+"""Every headline quantitative claim of the paper, checked in one gate."""
+
+from repro.bench.experiments import headline
+
+
+def test_headline_claims(benchmark):
+    claims = benchmark.pedantic(headline.run, rounds=1, iterations=1)
+    print("\n" + headline.render())
+    failed = [c for c in claims if not c.holds]
+    assert not failed, "claims outside their bands: " + ", ".join(
+        f"{c.claim} = {c.model_value:.3f} not in [{c.lo}, {c.hi}]" for c in failed
+    )
+    # The checklist covers all twelve claims.
+    assert len(claims) == 12

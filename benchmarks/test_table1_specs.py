@@ -1,0 +1,20 @@
+"""Table 1: regenerate the processor-overview table."""
+
+from repro.bench.experiments import table1
+
+
+def test_table1_processor_overview(benchmark):
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print("\n" + table1.render())
+
+    by_name = {r["processor"].split()[0]: r for r in rows}
+    # The exact Table 1 figures.
+    assert by_name["KNL"]["cores"] == 64
+    assert by_name["KNL"]["max_ddr4_gbs"] == 115.2
+    assert by_name["KNL"]["hbm_gbs"] > 400
+    assert by_name["Broadwell"]["cores"] == 22
+    assert by_name["Broadwell"]["l3_cache_mb"] == 55.0
+    assert by_name["Haswell"]["cores"] == 18
+    assert by_name["Haswell"]["max_ddr4_gbs"] == 68.0
+    assert by_name["Skylake"]["cores"] == 28
+    assert by_name["Skylake"]["max_ddr4_gbs"] == 119.2

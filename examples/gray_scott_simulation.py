@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""The paper's application: Gray-Scott reaction-diffusion with the full stack.
+
+Reproduces the Section 7 experiment end to end at laptop scale: Crank-
+Nicolson timestepping (dt = 1), Newton with a rebuilt Jacobian every
+iteration, GMRES with a 3-level geometric-multigrid preconditioner, Jacobi
+smoothing on every level — and the operator converted to SELL exactly the
+way ``-dm_mat_type sell`` does it in PETSc.  At the end it verifies that
+the SELL trajectory is identical to a CSR rerun and prints the solver
+statistics plus an ASCII rendering of the developing pattern.
+
+Run:  python examples/gray_scott_simulation.py [grid] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Grid2D, GrayScottProblem, SellMat
+from repro.ksp import GMRES, MGPC, ThetaMethod
+
+
+def ascii_field(field: np.ndarray, width: int = 48) -> str:
+    """Render a 2D field as ASCII shades."""
+    shades = " .:-=+*#%@"
+    ny, nx = field.shape
+    step = max(1, nx // width)
+    sampled = field[::step, ::step]
+    lo, hi = sampled.min(), sampled.max()
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    for row in sampled:
+        idx = ((row - lo) / span * (len(shades) - 1)).astype(int)
+        rows.append("".join(shades[i] for i in idx))
+    return "\n".join(rows)
+
+
+def run(grid_size: int, steps: int, use_sell: bool) -> tuple[np.ndarray, dict]:
+    grid = Grid2D(grid_size, grid_size, dof=2)
+    problem = GrayScottProblem(grid)
+    mg_pcs = []
+
+    def ksp_factory():
+        pc = MGPC(grids=grid.hierarchy(3))
+        mg_pcs.append(pc)
+        return GMRES(pc=pc, rtol=1e-8, restart=30)
+
+    wrapper = (lambda m: SellMat.from_csr(m.to_csr(), 8)) if use_sell else None
+    ts = ThetaMethod(
+        rhs=problem.rhs,
+        jacobian=problem.jacobian,
+        ksp_factory=ksp_factory,
+        operator_wrapper=wrapper,
+        theta=0.5,
+        dt=1.0,
+    )
+    result = ts.integrate(problem.initial_state(), steps, keep_states=False)
+    level_matvecs = [0, 0, 0]
+    for pc in mg_pcs:
+        for lvl, c in enumerate(pc.matvec_counts()):
+            level_matvecs[lvl] += c
+    stats = {
+        "newton": result.total_newton_iterations,
+        "linear": result.total_linear_iterations,
+        "level_matvecs": level_matvecs,
+    }
+    return result.final_state, stats
+
+
+def main() -> None:
+    grid_size = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print(f"Gray-Scott on a {grid_size}x{grid_size} periodic grid, "
+          f"{steps} Crank-Nicolson steps (dt=1), GMRES + 3-level MG + Jacobi\n")
+
+    sell_state, sell_stats = run(grid_size, steps, use_sell=True)
+    csr_state, _ = run(grid_size, steps, use_sell=False)
+
+    drift = float(np.abs(sell_state - csr_state).max())
+    print(f"SELL-vs-CSR trajectory drift: {drift:.2e} "
+          f"(the format changes performance, never results)")
+    print(f"Newton iterations : {sell_stats['newton']}")
+    print(f"Krylov iterations : {sell_stats['linear']}")
+    print(f"MatMults per level: {sell_stats['level_matvecs']} (fine -> coarse)\n")
+
+    problem = GrayScottProblem(Grid2D(grid_size, grid_size, dof=2))
+    _, v = problem.split(sell_state)
+    print("inhibitor concentration v after the run:")
+    print(ascii_field(v))
+
+
+if __name__ == "__main__":
+    main()

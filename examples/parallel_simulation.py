@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The paper's parallel simulation, with no global state anywhere.
+
+Runs the Gray-Scott Crank-Nicolson solve the way the paper's multinode
+experiments do: the grid strip-decomposed across ranks, residuals built
+from halo exchanges, each rank assembling only its own Jacobian rows
+directly into the distributed matrix's diagonal/off-diagonal blocks,
+Newton iterating collectively over parallel GMRES — once with MPIAIJ and
+once with MPISELL diagonal blocks, verifying the trajectories agree and
+reporting the communication volume the run generated.
+
+Run:  python examples/parallel_simulation.py [ranks] [grid] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.comm import World, run_spmd
+from repro.ksp.parallel import ParallelGMRES, ParallelJacobiPC
+from repro.pde import DistributedGrayScott, Grid2D, ParallelThetaMethod
+
+RANKS = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+GRID = int(sys.argv[2]) if len(sys.argv) > 2 else 24
+STEPS = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+
+
+def simulate(matrix_format: str) -> tuple[np.ndarray, dict, World]:
+    grid = Grid2D(GRID, GRID, dof=2)
+    world = World(RANKS)
+
+    def prog(comm):
+        problem = DistributedGrayScott(comm, grid, matrix_format=matrix_format)
+        start, end = problem.decomp.my_rows
+        ts = ParallelThetaMethod(
+            problem,
+            lambda: ParallelGMRES(pc=ParallelJacobiPC(), rtol=1e-8),
+            dt=1.0,
+        )
+        final, stats = ts.integrate(problem.initial_state(), STEPS)
+        return {
+            "rows": (start, end),
+            "final": final.to_global(),
+            "stats": stats,
+        }
+
+    results = run_spmd(RANKS, prog, world=world)
+    return results[0]["final"], results[0]["stats"], world, results
+
+
+def main() -> None:
+    print(f"Gray-Scott {GRID}x{GRID}, {STEPS} Crank-Nicolson steps, "
+          f"{RANKS} simulated ranks (strip decomposition)\n")
+
+    final_aij, stats, world_aij, results = simulate("aij")
+    for r in results:
+        lo, hi = r["rows"]
+        print(f"  rank owns grid rows [{lo:3d}, {hi:3d})")
+    print(f"\nMPIAIJ run : {stats['newton']} Newton, {stats['linear']} Krylov "
+          f"iterations; {world_aij.stats.messages} messages, "
+          f"{world_aij.stats.bytes:,} bytes exchanged")
+
+    final_sell, stats_sell, world_sell, _ = simulate("sell")
+    print(f"MPISELL run: {stats_sell['newton']} Newton, "
+          f"{stats_sell['linear']} Krylov iterations; "
+          f"{world_sell.stats.messages} messages, "
+          f"{world_sell.stats.bytes:,} bytes exchanged")
+
+    drift = float(np.abs(final_aij - final_sell).max())
+    print(f"\ntrajectory drift MPISELL vs MPIAIJ: {drift:.2e}")
+    assert drift < 1e-9
+    print("the format changes the kernels, never the simulation")
+
+
+if __name__ == "__main__":
+    main()

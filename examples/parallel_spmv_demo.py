@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Parallel SpMV walkthrough: the 4-step overlapped algorithm, step by step.
+
+Runs the paper's Section 2.2 algorithm on the simulated MPI runtime with a
+Gray-Scott operator distributed over four ranks, printing what each rank
+owns, which ghost values it requests, and verifying the distributed result
+against the sequential product.  Then converts the distributed matrix to
+MPISELL and shows that the communication pattern is unchanged — the
+padding rule of Section 5.5 at work.
+
+Run:  python examples/parallel_spmv_demo.py [ranks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MPIAij, MPISell, MPIVec, gray_scott_jacobian
+from repro.comm import World, run_spmd
+
+RANKS = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+
+
+def main() -> None:
+    csr = gray_scott_jacobian(16)  # 512 unknowns, 10 nnz/row
+    n = csr.shape[0]
+    x = np.random.default_rng(42).standard_normal(n)
+    expected = csr.multiply(x)
+
+    world = World(RANKS)
+
+    def prog(comm):
+        # Distribute by row blocks (PETSc's default layout).
+        aij = MPIAij.from_global_csr(comm, csr)
+        start, end = aij.layout.range_of(comm.rank)
+        lines = [
+            f"rank {comm.rank}: rows [{start}, {end}), "
+            f"diag nnz {aij.diag.nnz}, off-diag nnz {aij.offdiag.nnz}, "
+            f"ghosts {aij.garray.size} "
+            f"(from ranks {sorted(set(aij.scatter.recv_peers))})"
+        ]
+
+        # The overlapped product: begin -> diag -> end -> off-diag.
+        xv = MPIVec.from_global(comm, aij.layout, x)
+        y = aij.multiply(xv)
+
+        # Same layout, SELL diagonal block: identical ghost set.
+        sell = MPISell.from_mpiaij(aij)
+        y_sell = sell.multiply(xv)
+        assert np.array_equal(aij.garray, sell.garray)
+
+        ok = np.allclose(y.to_global(), expected) and np.allclose(
+            y_sell.to_global(), expected
+        )
+        return "\n".join(lines), ok
+
+    results = run_spmd(RANKS, prog, world=world)
+    for lines, _ in results:
+        print(lines)
+    assert all(ok for _, ok in results)
+
+    print(f"\ndistributed SpMV == sequential SpMV on {RANKS} ranks: OK")
+    print(f"messages exchanged: {world.stats.messages}, "
+          f"bytes on the wire: {world.stats.bytes}")
+    print("MPISELL reused the exact MPIAIJ ghost pattern "
+          "(padding never widens communication)")
+
+
+if __name__ == "__main__":
+    main()

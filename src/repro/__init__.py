@@ -1,0 +1,72 @@
+"""repro — reproduction of "Vectorized Parallel Sparse Matrix-Vector
+Multiplication in PETSc Using AVX-512" (Zhang, Mills, Rupp, Smith, ICPP'18).
+
+A mini-PETSc with the paper's contribution at its center: the sliced
+ELLPACK (SELL) matrix format and hand-vectorized SpMV kernels, executing on
+a simulated SIMD machine (AVX / AVX2 / AVX-512) with calibrated KNL and
+Xeon performance models, a simulated MPI runtime, and the full
+TS -> SNES -> KSP -> PC solver stack running the paper's Gray-Scott
+experiment.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the per-figure reproduction record.
+
+Quick start::
+
+    from repro import gray_scott_jacobian, SellMat, measure, predict
+    from repro.machine import KNL_7230, make_model
+
+    csr = gray_scott_jacobian(64)               # the paper's operator
+    meas = measure("SELL using AVX512", csr)    # run Algorithm 2
+    perf = predict(meas, make_model(KNL_7230), nprocs=64, scale=1024.0)
+    print(perf.gflops)
+"""
+
+from .core import (
+    FIGURE8_VARIANTS,
+    FIGURE11_VARIANTS,
+    KernelVariant,
+    SellMat,
+    SpmvMeasurement,
+    csr_traffic,
+    get_variant,
+    measure,
+    predict,
+    sell_traffic,
+    spmv,
+)
+from .mat import AijMat, BaijMat, EllpackMat, MPIAij, MPISell, MatAssembler
+from .pde import Grid2D, GrayScottProblem, gray_scott_jacobian
+from .simd import AVX, AVX2, AVX512, SCALAR, SimdEngine
+from .vec import MPIVec, SeqVec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AVX",
+    "AVX2",
+    "AVX512",
+    "AijMat",
+    "BaijMat",
+    "EllpackMat",
+    "FIGURE11_VARIANTS",
+    "FIGURE8_VARIANTS",
+    "GrayScottProblem",
+    "Grid2D",
+    "KernelVariant",
+    "MPIAij",
+    "MPISell",
+    "MPIVec",
+    "MatAssembler",
+    "SCALAR",
+    "SellMat",
+    "SeqVec",
+    "SimdEngine",
+    "SpmvMeasurement",
+    "__version__",
+    "csr_traffic",
+    "get_variant",
+    "gray_scott_jacobian",
+    "measure",
+    "predict",
+    "sell_traffic",
+    "spmv",
+]

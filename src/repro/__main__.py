@@ -1,0 +1,90 @@
+"""Command-line entry: ``python -m repro <command>``.
+
+Commands:
+
+==============  =========================================================
+``all``         print the entire reproduced evaluation (default)
+``table1``      Table 1 — processor overview
+``fig4``        Figure 4 — STREAM bandwidth on KNL
+``fig7``        Figure 7 — out-of-box baseline CSR
+``fig8``        Figure 8 — nine kernel variants on one KNL node
+``fig9``        Figure 9 — roofline analysis
+``fig10``       Figure 10 — multinode wall time
+``fig11``       Figure 11 — Xeon/KNL comparison
+``ablations``   the Section 5 design-decision studies
+``headline``    the headline-claim checklist
+``calibrate``   re-run the KNL cost-table fit
+``info``        version, module inventory, and test entry points
+==============  =========================================================
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _info() -> str:
+    import repro
+
+    lines = [
+        f"repro {repro.__version__} — reproduction of Zhang/Mills/Rupp/Smith,",
+        "\"Vectorized Parallel Sparse Matrix-Vector Multiplication in PETSc",
+        "Using AVX-512\" (ICPP 2018)",
+        "",
+        "subsystems: simd, memory, machine, comm, vec, mat, core, ksp, pde,",
+        "            bench, profiling",
+        "",
+        "run the evaluation : python -m repro all",
+        "assert the shapes  : pytest benchmarks/ --benchmark-only",
+        "run the test suite : pytest tests/",
+        "refit the model    : python -m repro calibrate",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch a CLI command; returns the process exit code."""
+    args = sys.argv[1:] if argv is None else argv
+    command = args[0] if args else "all"
+
+    if command in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    if command == "info":
+        print(_info())
+        return 0
+    if command == "calibrate":
+        from .machine.calibrate import main as calibrate_main
+
+        calibrate_main()
+        return 0
+    if command == "all":
+        from .bench.run_all import main as run_all_main
+
+        run_all_main()
+        return 0
+
+    from .bench import experiments
+
+    modules = {
+        "table1": experiments.table1,
+        "fig4": experiments.fig4,
+        "fig7": experiments.fig7,
+        "fig8": experiments.fig8,
+        "fig9": experiments.fig9,
+        "fig10": experiments.fig10,
+        "fig11": experiments.fig11,
+        "ablations": experiments.ablations,
+        "headline": experiments.headline,
+    }
+    if command not in modules:
+        print(f"unknown command {command!r}; choose from: "
+              f"{', '.join(['all', *modules, 'calibrate', 'info'])}",
+              file=sys.stderr)
+        return 2
+    print(modules[command].render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

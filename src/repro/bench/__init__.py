@@ -1,0 +1,10 @@
+"""Benchmark harness: experiment modules and reporting.
+
+``repro.bench.experiments`` holds one harness per paper figure/table;
+``repro.bench.report`` formats their output.  ``python -m
+repro.bench.run_all`` prints the whole evaluation section.
+"""
+
+from . import report
+
+__all__ = ["report"]

@@ -1,0 +1,402 @@
+"""Ablation studies for the SELL design decisions (paper Section 5).
+
+Three studies, one per explicitly argued design choice:
+
+* **bit array** (Section 5.3): padded SELL versus the ESB-style masked
+  kernel.  The paper implemented both and measured ~10% in favour of no
+  bit array; the harness reproduces the comparison on the Gray-Scott
+  operator and on an irregular matrix where the bit array saves more
+  arithmetic.
+* **sigma sorting** (Section 5.4): padding reduction versus input-vector
+  locality loss across sort windows sigma in {1, C, 4C, ...}.  On the
+  regular Gray-Scott matrix sorting buys nothing (every row has 10
+  nonzeros); on the adversarial power-law matrix it removes most padding
+  at a measurable locality/store cost — exactly the trade-off the paper
+  uses to justify *not* sorting inside the kernel.
+* **slice height** (Section 5.1): C in {1, 2, 4, 8, 16, 32}.  C = 1
+  degenerates to CSR storage (zero padding); C = 8 is one ZMM register;
+  larger C pads more for no vector-width benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.dispatch import ESB_AVX512, SELL_AVX512
+from ...core.sell import SellMat
+from ...core.spmv import measure, predict
+from ...machine.perf_model import KNL_OVERLAP, MemoryMode, PerfModel
+from ...mat.aij import AijMat
+from ...mat.sparsity import locality_span, padding_ratio
+from ...pde.problems import gray_scott_jacobian, irregular_rows
+from ..report import format_table
+from .common import REFERENCE_GRID, grid_scale
+
+def _knl_model() -> PerfModel:
+    from ...machine.specs import KNL_7230
+
+    return PerfModel(spec=KNL_7230, mode=MemoryMode.FLAT_MCDRAM, overlap=KNL_OVERLAP)
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One configuration of an ablation study."""
+
+    label: str
+    gflops: float
+    padding_fraction: float
+    extra: dict[str, float]
+
+
+# ---------------------------------------------------------------------------
+# Bit array (Section 5.3)
+# ---------------------------------------------------------------------------
+
+def run_bitarray(matrix: AijMat | None = None, nprocs: int = 64) -> list[AblationRow]:
+    """Padded SELL versus ESB masked kernel on one matrix."""
+    csr = matrix if matrix is not None else gray_scott_jacobian(REFERENCE_GRID)
+    model = _knl_model()
+    scale = grid_scale(2048) if matrix is None else 1.0
+    rows = []
+    for variant in (SELL_AVX512, ESB_AVX512):
+        meas = measure(variant, csr)
+        perf = predict(meas, model, nprocs=nprocs, scale=scale)
+        pad = meas.mat.padding_fraction  # type: ignore[attr-defined]
+        rows.append(
+            AblationRow(
+                label=variant.name,
+                gflops=perf.gflops,
+                padding_fraction=pad,
+                extra={"seconds": perf.seconds},
+            )
+        )
+    return rows
+
+
+def bitarray_speedup(matrix: AijMat | None = None) -> float:
+    """SELL-over-ESB speedup; the paper reports ~1.10."""
+    rows = run_bitarray(matrix)
+    return rows[0].gflops / rows[1].gflops
+
+
+# ---------------------------------------------------------------------------
+# Sigma sorting (Section 5.4)
+# ---------------------------------------------------------------------------
+
+def run_sigma(
+    matrix: AijMat | None = None,
+    sigmas: tuple[int, ...] = (1, 8, 32, 128),
+    slice_height: int = 8,
+    nprocs: int = 64,
+) -> list[AblationRow]:
+    """SELL-C-sigma sweep: padding, locality, and modeled throughput."""
+    csr = (
+        matrix
+        if matrix is not None
+        else irregular_rows(1024, min_len=2, max_len=48, seed=5)
+    )
+    model = _knl_model()
+    rows = []
+    for sigma in sigmas:
+        meas = measure(SELL_AVX512, csr, sigma=sigma, slice_height=slice_height)
+        perf = predict(meas, model, nprocs=nprocs)
+        sell: SellMat = meas.mat  # type: ignore[assignment]
+        span = locality_span(csr, sell.perm)
+        rows.append(
+            AblationRow(
+                label=f"sigma={sigma}",
+                gflops=perf.gflops,
+                padding_fraction=padding_ratio(csr, slice_height, sigma),
+                extra={"locality_span": span, "padded": float(sell.padded_entries)},
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Slice height (Section 5.1)
+# ---------------------------------------------------------------------------
+
+def run_slice_height(
+    matrix: AijMat | None = None,
+    heights: tuple[int, ...] = (8, 16, 32),
+    nprocs: int = 64,
+) -> list[AblationRow]:
+    """Slice-height sweep with the AVX-512 kernel.
+
+    The kernel requires C to be a multiple of the vector length, so the
+    performance sweep covers C >= 8; the storage-only consequence of
+    smaller C (down to the CSR-equivalent C=1) is reported via the
+    padding fraction, computed for every height including sub-vector ones.
+    """
+    csr = (
+        matrix
+        if matrix is not None
+        else irregular_rows(1024, min_len=2, max_len=48, seed=5)
+    )
+    model = _knl_model()
+    rows = []
+    for c in heights:
+        meas = measure(SELL_AVX512, csr, slice_height=c)
+        perf = predict(meas, model, nprocs=nprocs)
+        rows.append(
+            AblationRow(
+                label=f"C={c}",
+                gflops=perf.gflops,
+                padding_fraction=padding_ratio(csr, c),
+                extra={},
+            )
+        )
+    return rows
+
+
+def storage_padding_by_height(
+    matrix: AijMat | None = None,
+    heights: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> dict[int, float]:
+    """Padding fraction per slice height (C=1 must be exactly zero)."""
+    csr = (
+        matrix
+        if matrix is not None
+        else irregular_rows(1024, min_len=2, max_len=48, seed=5)
+    )
+    return {c: padding_ratio(csr, c) for c in heights}
+
+
+# ---------------------------------------------------------------------------
+# Future work (paper Section 8): triangular solves for SELL.
+# ---------------------------------------------------------------------------
+
+def run_triangular(matrix: AijMat | None = None) -> dict[str, float]:
+    """Quantify why the paper deferred SELL triangular kernels.
+
+    Factors the operator with ILU(0), packs the lower factor into the
+    level-scheduled SELL representation, and reports the parallelism
+    profile: dependency-chain length (levels), mean rows per level, and
+    slice-lane occupancy — against the SpMV reference where every one of
+    the m/C slices is fully parallel and fully occupied.
+    """
+    from ...core.triangular import SellTriangular, ilu0
+
+    csr = matrix if matrix is not None else gray_scott_jacobian(REFERENCE_GRID)
+    lower, _ = ilu0(csr)
+    tri = SellTriangular(lower, lower=True)
+    m = csr.shape[0]
+    return {
+        "rows": float(m),
+        "levels": float(tri.nlevels),
+        "mean_level_width": tri.mean_level_width,
+        "slice_occupancy": tri.slice_occupancy,
+        # Rows that can execute simultaneously, relative to SpMV's m.
+        "parallel_fraction_vs_spmv": tri.mean_level_width / m,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Register blocking (paper Section 3.2): BAIJ on wide registers.
+# ---------------------------------------------------------------------------
+
+def run_register_blocking(nprocs: int = 64) -> dict[str, dict[str, float]]:
+    """Quantify Section 3.2: natural 2x2 blocks waste wide registers.
+
+    Runs the BAIJ and SELL AVX-512 kernels on the Gray-Scott operator
+    (whose 2x2 blocks are BAIJ's best case) and reports modeled
+    throughput plus SIMD efficiency (useful flops per vector
+    instruction) — the quantity the masked tails and horizontal
+    reductions of the blocked kernel erode.
+    """
+    from ...core.dispatch import BAIJ_AVX512
+    from ...core.kernels_baij import simd_efficiency
+    from ...core.spmv import measure as measure_spmv
+    from ...core.spmv import predict as predict_spmv
+
+    csr = gray_scott_jacobian(REFERENCE_GRID)
+    model = _knl_model()
+    out: dict[str, dict[str, float]] = {}
+    for variant in (SELL_AVX512, BAIJ_AVX512):
+        meas = measure_spmv(variant, csr)
+        perf = predict_spmv(meas, model, nprocs=nprocs, scale=grid_scale(2048))
+        out[variant.name] = {
+            "gflops": perf.gflops,
+            "simd_efficiency": simd_efficiency(meas.counters),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Communication overlap (paper Section 2.2): the 4-step parallel SpMV.
+# ---------------------------------------------------------------------------
+
+def run_overlap(
+    node_counts: tuple[int, ...] = (64, 128, 256, 512),
+    grid: int = 16384,
+) -> list[dict[str, float]]:
+    """Quantify the overlapped parallel SpMV against a naive ordering.
+
+    The paper's 4-step algorithm posts the ghost exchange, computes the
+    diagonal block, *then* waits — hiding communication under the
+    dominant local product.  The naive alternative exchanges first and
+    computes afterwards, paying the full halo latency on the critical
+    path.  The benefit grows with node count (strong scaling shrinks the
+    local compute that hides the halo).
+    """
+    from ...machine.network import Cluster, NetworkModel, halo_bytes_2d
+    from ...machine.perf_model import KNL_OVERLAP, MemoryMode, PerfModel
+    from ...machine.specs import KNL_7230
+    from ...core.spmv import predict as predict_spmv
+    from .common import reference_measurement, working_set_bytes
+
+    meas = reference_measurement("SELL using AVX512")
+    model = PerfModel(spec=KNL_7230, mode=MemoryMode.FLAT_MCDRAM,
+                      overlap=KNL_OVERLAP)
+    network = NetworkModel()
+    rows_global = meas.mat.shape[0] * grid_scale(grid)
+    out = []
+    for nodes in node_counts:
+        cluster = Cluster(nodes, 64, network)
+        per_node_scale = grid_scale(grid) / nodes
+        perf = predict_spmv(
+            meas,
+            model,
+            nprocs=64,
+            scale=per_node_scale,
+            working_set=round(working_set_bytes(grid) / nodes),
+        )
+        local_rows = max(int(rows_global / cluster.total_ranks), 1)
+        halo = cluster.network.halo_exchange_time(2, halo_bytes_2d(local_rows))
+        # The off-diagonal block is a thin boundary strip: its share of
+        # the product scales like the halo fraction of the local rows.
+        offdiag_fraction = min(
+            2.0 * halo_bytes_2d(local_rows) / (8.0 * local_rows), 0.5
+        )
+        diag_time = perf.seconds * (1.0 - offdiag_fraction)
+        offdiag_time = perf.seconds * offdiag_fraction
+        overlapped = max(halo, diag_time) + offdiag_time
+        naive = halo + perf.seconds
+        out.append(
+            {
+                "nodes": float(nodes),
+                "halo_us": halo * 1e6,
+                "spmv_us": perf.seconds * 1e6,
+                "overlapped_us": overlapped * 1e6,
+                "naive_us": naive * 1e6,
+                "speedup": naive / overlapped,
+            }
+        )
+    return out
+
+
+def render() -> str:
+    """All three ablations as tables."""
+    blocks = []
+    bit_rows = run_bitarray()
+    blocks.append(
+        format_table(
+            ("kernel", "Gflop/s", "padding"),
+            [(r.label, round(r.gflops, 1), f"{100 * r.padding_fraction:.1f}%") for r in bit_rows],
+            title=(
+                "Ablation (Sec 5.3): bit array — speedup of no-bit-array "
+                f"SELL: {bitarray_speedup():.2f}x (paper: ~1.10x)"
+            ),
+        )
+    )
+    sig_rows = run_sigma()
+    blocks.append(
+        format_table(
+            ("window", "Gflop/s", "padding", "locality span"),
+            [
+                (
+                    r.label,
+                    round(r.gflops, 1),
+                    f"{100 * r.padding_fraction:.1f}%",
+                    round(r.extra["locality_span"], 1),
+                )
+                for r in sig_rows
+            ],
+            title="Ablation (Sec 5.4): SELL-C-sigma sorting on an irregular matrix",
+        )
+    )
+    pad = storage_padding_by_height()
+    blocks.append(
+        format_table(
+            ("C", "padding"),
+            [(c, f"{100 * frac:.1f}%") for c, frac in pad.items()],
+            title="Ablation (Sec 5.1): slice height vs storage padding "
+            "(C=1 degenerates to CSR)",
+        )
+    )
+    blocking = run_register_blocking()
+    blocks.append(
+        format_table(
+            ("kernel", "Gflop/s", "flops/vector-insn"),
+            [
+                (
+                    name,
+                    round(vals["gflops"], 1),
+                    round(vals["simd_efficiency"], 2),
+                )
+                for name, vals in blocking.items()
+            ],
+            title=(
+                "Ablation (Sec 3.2): register blocking (BAIJ 2x2) vs SELL "
+                "on AVX-512"
+            ),
+        )
+    )
+    overlap_rows = run_overlap() + run_overlap(
+        node_counts=(256, 1024), grid=2048
+    )
+    blocks.append(
+        format_table(
+            ("grid", "nodes", "halo [us]", "SpMV [us]", "naive [us]", "overlapped [us]", "benefit"),
+            [
+                (
+                    "16384^2" if r["spmv_us"] > 400 else "2048^2",
+                    int(r["nodes"]),
+                    round(r["halo_us"], 1),
+                    round(r["spmv_us"], 1),
+                    round(r["naive_us"], 1),
+                    round(r["overlapped_us"], 1),
+                    f"{r['speedup']:.2f}x",
+                )
+                for r in overlap_rows
+            ],
+            title=(
+                "Ablation (Sec 2.2): overlapped 4-step parallel SpMV vs "
+                "exchange-then-compute (SELL-AVX512).  At the paper's scale "
+                "the halo hides completely; the benefit appears in the "
+                "strong-scaling limit."
+            ),
+        )
+    )
+    tri = run_triangular()
+    blocks.append(
+        format_table(
+            ("quantity", "value"),
+            [
+                ("rows", int(tri["rows"])),
+                ("dependency levels", int(tri["levels"])),
+                ("mean rows per level", round(tri["mean_level_width"], 1)),
+                ("slice-lane occupancy", f"{100 * tri['slice_occupancy']:.0f}%"),
+                (
+                    "parallel rows vs SpMV",
+                    f"{100 * tri['parallel_fraction_vs_spmv']:.2f}%",
+                ),
+            ],
+            title=(
+                "Future work (Sec 8): level-scheduled SELL triangular solve "
+                "on the Gray-Scott ILU(0) L factor"
+            ),
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()
+
+

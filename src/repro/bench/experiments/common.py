@@ -1,0 +1,84 @@
+"""Shared plumbing for the figure harnesses.
+
+All single-node figures derive from the same primitive: run each kernel
+variant's instruction-level kernel once on a **reference** Gray-Scott
+operator (32x32 grid, identical per-row structure to the paper's
+2048x2048), then scale the measured instruction stream and the analytic
+traffic linearly to the paper's grid (Section 7.1 observes exactly this
+size-independence).  The measurement cache makes the whole figure suite
+take seconds instead of re-running engine kernels per data point.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...core.dispatch import KernelVariant, get_variant
+from ...core.spmv import SpmvMeasurement, measure
+from ...machine.perf_model import KernelPerformance, PerfModel
+from ...pde.problems import gray_scott_jacobian
+
+#: Edge length of the reference grid the engine kernels actually execute.
+REFERENCE_GRID = 32
+
+#: Single-node experiment grid (Figures 8, 9, 11): 2048^2, ~8.4M unknowns.
+SINGLE_NODE_GRID = 2048
+
+#: Multinode experiment grid (Figure 10).
+MULTINODE_GRID = 16384
+
+
+@lru_cache(maxsize=None)
+def reference_matrix():
+    """The reference Gray-Scott Crank-Nicolson operator (cached)."""
+    return gray_scott_jacobian(REFERENCE_GRID)
+
+
+@lru_cache(maxsize=None)
+def reference_measurement(variant_name: str) -> SpmvMeasurement:
+    """One engine execution of a variant on the reference operator."""
+    return measure(get_variant(variant_name), reference_matrix())
+
+
+def grid_scale(grid: int) -> float:
+    """Linear scale factor from the reference operator to a grid^2 problem."""
+    if grid < 1:
+        raise ValueError("grid must be positive")
+    return (grid / REFERENCE_GRID) ** 2
+
+
+def working_set_bytes(grid: int, variant: KernelVariant | str | None = None) -> int:
+    """Resident bytes of the simulation at one grid size.
+
+    Matrix storage plus the handful of solver vectors — the quantity the
+    MCDRAM capacity checks and the cache-mode blend consume.
+    """
+    name = (
+        variant.name
+        if isinstance(variant, KernelVariant)
+        else (variant or "CSR baseline")
+    )
+    meas = reference_measurement(name)
+    scale = grid_scale(grid)
+    m, n = meas.mat.shape
+    vectors = 8 * (m + n) * 6  # solution, rhs, residual, Krylov workspace
+    return round((meas.mat.memory_bytes() + vectors) * scale)
+
+
+def predict_variant(
+    variant_name: str,
+    model: PerfModel,
+    nprocs: int,
+    grid: int = SINGLE_NODE_GRID,
+) -> KernelPerformance:
+    """Predicted SpMV performance of one variant at one configuration."""
+    from ...core.spmv import predict
+
+    meas = reference_measurement(variant_name)
+    return predict(
+        meas,
+        model,
+        nprocs=nprocs,
+        scale=grid_scale(grid),
+        working_set=working_set_bytes(grid, variant_name),
+    )

@@ -1,0 +1,77 @@
+"""Figure 11: SpMV performance across Haswell, Broadwell, Skylake, KNL.
+
+All physical cores per machine, one rank per core, 2048^2 Gray-Scott
+operator.  AVX-512 series exist only on Skylake and KNL (the older Xeons
+lack the instruction set, and :class:`~repro.simd.isa.Isa` enforcement
+would reject the kernels anyway).
+
+Shape requirements (Section 7.4): only marginal SELL-over-CSR gains on
+the standard Xeons but large gains on KNL; MKL 10-20% below compiler CSR
+everywhere; Skylake roughly doubles Broadwell on the strength of its six
+memory channels; the best CSR-AVX/AVX2 performance is found on Skylake
+while CSR-AVX512 peaks on KNL.
+"""
+
+from __future__ import annotations
+
+from ...core.dispatch import FIGURE11_VARIANTS
+from ...machine.perf_model import make_model
+from ...machine.specs import BROADWELL, HASWELL, KNL_7230, SKYLAKE, ProcessorSpec
+from ..report import format_table
+from .common import SINGLE_NODE_GRID, predict_variant
+
+MACHINES: tuple[ProcessorSpec, ...] = (HASWELL, BROADWELL, SKYLAKE, KNL_7230)
+
+
+def supported(spec: ProcessorSpec, isa_name: str) -> bool:
+    """Whether a machine can run a kernel built for ``isa_name``."""
+    return isa_name in spec.isa_names
+
+
+def run(
+    grid: int = SINGLE_NODE_GRID,
+) -> dict[str, dict[str, float | None]]:
+    """variant -> machine -> Gflop/s (None where the ISA is unsupported)."""
+    out: dict[str, dict[str, float | None]] = {}
+    for variant in FIGURE11_VARIANTS:
+        row: dict[str, float | None] = {}
+        for spec in MACHINES:
+            if not supported(spec, variant.isa.name):
+                row[spec.name] = None
+                continue
+            model = make_model(spec)
+            perf = predict_variant(variant.name, model, spec.cores, grid)
+            row[spec.name] = perf.gflops
+        out[variant.name] = row
+    return out
+
+
+def render() -> str:
+    """Figure 11 as a table (variant rows, machine columns)."""
+    data = run()
+    rows = []
+    for name, per_machine in data.items():
+        rows.append(
+            (
+                name,
+                *[
+                    round(per_machine[spec.name], 1)
+                    if per_machine[spec.name] is not None
+                    else None
+                    for spec in MACHINES
+                ],
+            )
+        )
+    return format_table(
+        ("kernel", *[spec.name for spec in MACHINES]),
+        rows,
+        title="Figure 11: SpMV performance on different Xeon processors (Gflop/s)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

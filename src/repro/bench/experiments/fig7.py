@@ -1,0 +1,83 @@
+"""Figure 7: out-of-box baseline CSR SpMV across grid sizes and modes.
+
+Three grid resolutions (1024^2, 2048^2, 4096^2) x three memory
+configurations (flat-MCDRAM, flat-DRAM, cache) x {16, 32, 64} MPI ranks,
+all running the default AIJ/CSR path (the "CSR baseline" variant).
+
+Shape requirements from Section 7.1: performance is insensitive to grid
+size (the per-row structure is fixed by the stencil); MCDRAM and DRAM are
+indistinguishable at 16-32 ranks and separate only when the chip fills
+(DRAM saturates first); cache mode runs slightly below flat mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...machine.perf_model import MemoryMode, PerfModel
+from ...machine.specs import KNL_7230
+from ..report import format_table
+from .common import predict_variant
+
+GRIDS = (1024, 2048, 4096)
+PROCESS_COUNTS = (16, 32, 64)
+MODES = (MemoryMode.FLAT_MCDRAM, MemoryMode.FLAT_DRAM, MemoryMode.CACHE)
+VARIANT = "CSR baseline"
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    """One bar of Figure 7."""
+
+    mode: MemoryMode
+    grid: int
+    nprocs: int
+    gflops: float
+
+
+def run() -> list[Fig7Point]:
+    """All 27 Figure 7 data points."""
+    from ...machine.perf_model import KNL_OVERLAP
+
+    points = []
+    for mode in MODES:
+        model = PerfModel(spec=KNL_7230, mode=mode, overlap=KNL_OVERLAP)
+        for grid in GRIDS:
+            for nprocs in PROCESS_COUNTS:
+                perf = predict_variant(VARIANT, model, nprocs, grid)
+                points.append(Fig7Point(mode, grid, nprocs, perf.gflops))
+    return points
+
+
+def render() -> str:
+    """Figure 7 as one table per memory configuration."""
+    points = run()
+    blocks = []
+    for mode in MODES:
+        rows = []
+        for grid in GRIDS:
+            row: list[object] = [f"{grid}x{grid}"]
+            for nprocs in PROCESS_COUNTS:
+                (pt,) = [
+                    p
+                    for p in points
+                    if p.mode is mode and p.grid == grid and p.nprocs == nprocs
+                ]
+                row.append(round(pt.gflops, 1))
+            rows.append(row)
+        blocks.append(
+            format_table(
+                ("grid", *[f"{p} procs" for p in PROCESS_COUNTS]),
+                rows,
+                title=f"Figure 7 [{mode.value}] baseline CSR SpMV (Gflop/s)",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,61 @@
+"""Figure 8: nine kernel variants on a single KNL node, 4..64 ranks.
+
+The paper's central single-node comparison on the 2048^2 Gray-Scott
+operator (~8.4M unknowns), flat-MCDRAM mode, one rank per core.
+
+Shape requirements (Sections 7.2): SELL-AVX512 on top, ~2x the CSR
+baseline; hand-vectorized CSR-AVX512 ~1.5x the baseline; MKL 10-20% below
+the baseline; CSRPerm at baseline parity; all series scale strongly to 64
+cores.
+"""
+
+from __future__ import annotations
+
+from ...core.dispatch import FIGURE8_VARIANTS
+from ...machine.perf_model import KNL_OVERLAP, MemoryMode, PerfModel
+from ...machine.specs import KNL_7230
+from ..report import format_series
+from .common import SINGLE_NODE_GRID, predict_variant
+
+PROCESS_COUNTS = (4, 8, 16, 32, 64)
+
+
+def run(grid: int = SINGLE_NODE_GRID) -> dict[str, list[tuple[int, float]]]:
+    """Gflop/s per (variant, rank count): the nine Figure 8 series."""
+    model = PerfModel(
+        spec=KNL_7230, mode=MemoryMode.FLAT_MCDRAM, overlap=KNL_OVERLAP
+    )
+    series: dict[str, list[tuple[int, float]]] = {}
+    for variant in FIGURE8_VARIANTS:
+        points = []
+        for nprocs in PROCESS_COUNTS:
+            perf = predict_variant(variant.name, model, nprocs, grid)
+            points.append((nprocs, perf.gflops))
+        series[variant.name] = points
+    return series
+
+
+def best_at_full_node(grid: int = SINGLE_NODE_GRID) -> dict[str, float]:
+    """Each variant's 64-rank performance (feeds the Figure 9 roofline)."""
+    return {name: points[-1][1] for name, points in run(grid).items()}
+
+
+def render() -> str:
+    """Figure 8 as a table (rank-count rows, variant columns)."""
+    return format_series(
+        run(),
+        x_label="procs",
+        y_label="Gflop/s",
+        title=(
+            "Figure 8: SpMV performance, 2048x2048 grid (~8.4M DOF), "
+            "single KNL node"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

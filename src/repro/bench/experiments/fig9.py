@@ -1,0 +1,84 @@
+"""Figure 9: roofline analysis of the SpMV kernels on Theta's KNL.
+
+Plots each variant's best (64-rank) performance against the ERT-measured
+ceilings (1018.4 Gflop/s peak; L1 4593.3, L2 1823.0, MCDRAM 419.7 GB/s).
+The arithmetic intensity comes from the Section 6 traffic model — 0.132
+flop/byte for the CSR variants on the Gray-Scott operator, as the paper
+quotes — so all CSR points share one x-coordinate and the SELL points sit
+slightly right of them.
+
+Shape requirement: the SELL-AVX512 point approaches the MCDRAM roofline;
+every point stays below it.
+"""
+
+from __future__ import annotations
+
+from ...core.dispatch import FIGURE8_VARIANTS
+from ...machine.roofline import (
+    THETA_CEILINGS,
+    THETA_MCDRAM,
+    THETA_PEAK_GFLOPS,
+    RooflinePoint,
+    attainable,
+)
+from ..report import format_table
+from .common import SINGLE_NODE_GRID, reference_measurement
+from .fig8 import best_at_full_node
+
+
+def run(grid: int = SINGLE_NODE_GRID) -> list[RooflinePoint]:
+    """One roofline point per Figure 8 variant."""
+    best = best_at_full_node(grid)
+    points = []
+    for variant in FIGURE8_VARIANTS:
+        meas = reference_measurement(variant.name)
+        points.append(
+            RooflinePoint(
+                label=variant.name,
+                intensity=meas.traffic.arithmetic_intensity,
+                gflops=best[variant.name],
+            )
+        )
+    return points
+
+
+def render() -> str:
+    """Figure 9 as a table of points plus the ceilings."""
+    rows = []
+    for pt in run():
+        ceiling = attainable(pt.intensity)["MCDRAM"]
+        rows.append(
+            (
+                pt.label,
+                round(pt.intensity, 3),
+                round(pt.gflops, 1),
+                round(ceiling, 1),
+                f"{100 * pt.fraction_of_ceiling():.0f}%",
+            )
+        )
+    header = (
+        f"Figure 9: roofline on Theta (peak {THETA_PEAK_GFLOPS} Gflop/s; "
+        + ", ".join(f"{c.name} {c.bandwidth_gbs} GB/s" for c in THETA_CEILINGS)
+        + ")"
+    )
+    return format_table(
+        ("kernel", "AI (flop/B)", "Gflop/s", "MCDRAM roof", "of roof"),
+        rows,
+        title=header,
+    )
+
+
+def mcdram_headroom() -> dict[str, float]:
+    """Fraction of the MCDRAM ceiling each variant achieves."""
+    return {
+        pt.label: pt.fraction_of_ceiling(THETA_MCDRAM, THETA_PEAK_GFLOPS)
+        for pt in run()
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

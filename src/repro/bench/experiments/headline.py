@@ -1,0 +1,168 @@
+"""The paper's headline quantitative claims, checked in one place.
+
+Each claim from the abstract/conclusion/Section 7, with the model's value
+next to the paper's.  The benchmark suite asserts the bands; this module
+is also the EXPERIMENTS.md generator's data source.
+
+Claims covered:
+
+1. SELL-AVX512 is ~2x the CSR baseline on KNL (abstract, Section 7.2).
+2. Hand-written CSR-AVX512 is 54% faster than the compiler baseline.
+3. MKL is 10-20% slower than the PETSc default CSR.
+4. CSRPerm yields no improvement over the baseline.
+5. CSR-AVX2 regresses against CSR-AVX on KNL; SELL-AVX ~ SELL-AVX2.
+6. SELL-AVX/AVX2 speedups over baseline are ~1.8x/~1.7x.
+7. On standard Xeons, SELL-over-CSR gains are marginal (<~15%).
+8. Skylake is roughly 2x Broadwell (memory channels).
+9. The SpMV arithmetic intensity is ~0.132 flop/byte.
+10. No bit array beats the bit-array (ESB) variant by ~10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.traffic import gray_scott_intensity
+from ..report import format_table
+from .ablations import bitarray_speedup
+from .fig8 import best_at_full_node
+from .fig11 import run as fig11_run
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative claim: paper value and model value."""
+
+    claim: str
+    paper: str
+    model_value: float
+    lo: float
+    hi: float
+
+    @property
+    def holds(self) -> bool:
+        """True when the model lands inside the accepted band."""
+        return self.lo <= self.model_value <= self.hi
+
+
+def run() -> list[Claim]:
+    """Evaluate every headline claim."""
+    knl = best_at_full_node()
+    xeons = fig11_run()
+    baseline = knl["CSR baseline"]
+    claims = [
+        Claim(
+            "SELL-AVX512 vs CSR baseline on KNL",
+            "~2.0x (abstract)",
+            knl["SELL using AVX512"] / baseline,
+            1.7,
+            2.4,
+        ),
+        Claim(
+            "hand CSR-AVX512 vs compiler baseline",
+            "+54% (Sec 7.2)",
+            knl["CSR using AVX512"] / baseline,
+            1.3,
+            1.75,
+        ),
+        Claim(
+            "MKL vs CSR baseline",
+            "10-20% slower",
+            knl["MKL CSR"] / baseline,
+            0.78,
+            0.92,
+        ),
+        Claim(
+            "CSRPerm vs CSR baseline",
+            "no improvement",
+            knl["CSRPerm"] / baseline,
+            0.85,
+            1.1,
+        ),
+        Claim(
+            "CSR-AVX2 vs CSR-AVX on KNL",
+            "regression (<1)",
+            knl["CSR using AVX2"] / knl["CSR using AVX"],
+            0.6,
+            0.999,
+        ),
+        Claim(
+            "SELL-AVX2 vs SELL-AVX on KNL",
+            "comparable (1.7x vs 1.8x over baseline)",
+            knl["SELL using AVX2"] / knl["SELL using AVX"],
+            0.85,
+            1.05,
+        ),
+        Claim(
+            "SELL-AVX vs baseline",
+            "~1.8x",
+            knl["SELL using AVX"] / baseline,
+            1.5,
+            2.1,
+        ),
+        Claim(
+            "SELL-AVX2 vs baseline",
+            "~1.7x",
+            knl["SELL using AVX2"] / baseline,
+            1.4,
+            2.0,
+        ),
+        Claim(
+            "SELL vs CSR gain on Skylake (AVX-512)",
+            "marginal",
+            xeons["SELL using AVX512"]["Skylake"]
+            / xeons["CSR using AVX512"]["Skylake"],
+            1.0,
+            1.25,
+        ),
+        Claim(
+            "Skylake vs Broadwell (CSR AVX2)",
+            "~2x",
+            xeons["CSR using AVX2"]["Skylake"] / xeons["CSR using AVX2"]["Broadwell"],
+            1.4,
+            2.3,
+        ),
+        Claim(
+            "arithmetic intensity (CSR, Gray-Scott)",
+            "0.132 flop/byte",
+            gray_scott_intensity("CSR"),
+            0.128,
+            0.136,
+        ),
+        Claim(
+            "no-bit-array vs bit-array (ESB) SELL",
+            "~10% faster (Sec 5.3)",
+            bitarray_speedup(),
+            1.02,
+            1.25,
+        ),
+    ]
+    return claims
+
+
+def render() -> str:
+    """The claim checklist as a table."""
+    rows = []
+    for c in run():
+        rows.append(
+            (
+                c.claim,
+                c.paper,
+                round(c.model_value, 3),
+                f"[{c.lo}, {c.hi}]",
+                "PASS" if c.holds else "FAIL",
+            )
+        )
+    return format_table(
+        ("claim", "paper", "model", "band", "status"),
+        rows,
+        title="Headline claims, paper vs model",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,45 @@
+"""Table 1: overview of the Intel processors used for evaluation."""
+
+from __future__ import annotations
+
+from ...machine.specs import table1_rows
+from ..report import format_table
+
+HEADERS = (
+    "Processor",
+    "Cores",
+    "Base (Turbo) GHz",
+    "L3 Cache",
+    "Max DDR4 GB/s",
+    "HBM GB/s",
+)
+
+
+def run() -> list[dict[str, object]]:
+    """The Table 1 rows, as dictionaries."""
+    return table1_rows()
+
+
+def render() -> str:
+    """Table 1 formatted as the paper prints it."""
+    rows = []
+    for r in run():
+        rows.append(
+            (
+                r["processor"],
+                r["cores"],
+                f"{r['base_freq_ghz']}({r['turbo_freq_ghz']})",
+                f"{r['l3_cache_mb']} MB" if r["l3_cache_mb"] else "-",
+                r["max_ddr4_gbs"],
+                f">{r['hbm_gbs']:.0f}" if r["hbm_gbs"] else "-",
+            )
+        )
+    return format_table(HEADERS, rows, title="Table 1: processors evaluated")
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,73 @@
+"""Plain-text reporting for the figure harnesses.
+
+Every experiment prints the same rows/series the paper plots, in aligned
+ASCII so ``pytest benchmarks/ -s`` and the example scripts read like the
+paper's tables.  Nothing here depends on the rest of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[Any, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render named (x, y) series as one table with an x column per row.
+
+    All series must share the same x values (the harnesses always sweep a
+    common axis), which is validated.
+    """
+    names = list(series)
+    if not names:
+        return title or ""
+    xs = [x for x, _ in series[names[0]]]
+    for name in names[1:]:
+        if [x for x, _ in series[name]] != xs:
+            raise ValueError(f"series {name!r} has a different x axis")
+    headers = [x_label] + names
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i][1] for name in names])
+    out = format_table(headers, rows, title=title)
+    if y_label and y_label != "y":
+        out += f"\n(values: {y_label})"
+    return out
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3g}"
+    if cell is None:
+        return "-"
+    return str(cell)

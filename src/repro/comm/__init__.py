@@ -1,0 +1,30 @@
+"""Simulated message passing: the repository's MPI substitute.
+
+Ranks are threads inside one interpreter; a :class:`World` carries
+mailboxes and synchronization, :class:`Comm` is the per-rank mpi4py-style
+façade, :func:`run_spmd` plays the role of ``mpiexec``, and
+:class:`VecScatter` implements PETSc's ghost-value exchange used by the
+overlapped parallel SpMV (paper Section 2.2).
+"""
+
+from .communicator import ANY_TAG, Comm, CommunicatorError, TrafficStats, World
+from .partition import RowLayout
+from .request import CompletedRequest, DeferredRequest, Request, wait_all
+from .scatter import VecScatter
+from .spmd import SpmdError, run_spmd
+
+__all__ = [
+    "ANY_TAG",
+    "Comm",
+    "CommunicatorError",
+    "CompletedRequest",
+    "DeferredRequest",
+    "Request",
+    "RowLayout",
+    "SpmdError",
+    "TrafficStats",
+    "VecScatter",
+    "World",
+    "run_spmd",
+    "wait_all",
+]

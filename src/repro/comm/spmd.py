@@ -1,0 +1,90 @@
+"""SPMD driver: run one function on every rank of a simulated world.
+
+``run_spmd(size, fn, ...)`` is the replacement for ``mpiexec -n size``:
+it spawns one thread per rank, hands each a :class:`~repro.comm.Comm`,
+joins them, and returns the per-rank return values in rank order.  A
+failure on any rank poisons the world (so peers blocked in receives or
+collectives exit promptly) and is re-raised to the caller with the
+originating rank attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .communicator import Comm, World
+
+
+class SpmdError(RuntimeError):
+    """A rank raised during an SPMD region."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    world: World | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``size`` ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    fn:
+        The per-rank program; receives its :class:`Comm` first.
+    world:
+        Pass an existing :class:`World` to observe its traffic statistics
+        after the region; one is created otherwise.
+
+    Returns
+    -------
+    list
+        ``fn``'s return values, indexed by rank.
+
+    Raises
+    ------
+    SpmdError
+        Wrapping the first rank failure (lowest rank wins ties).
+    """
+    if world is None:
+        world = World(size)
+    elif world.size != size:
+        raise ValueError("existing world size does not match requested size")
+
+    results: list[Any] = [None] * size
+    errors: dict[int, BaseException] = {}
+
+    def runner(rank: int) -> None:
+        comm = Comm(world, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+            world.abort(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
+        for rank in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        # Prefer the originating failure: once one rank dies, its peers
+        # fail with secondary CommunicatorErrors from the poisoned world.
+        from .communicator import CommunicatorError
+
+        primary = [r for r, e in errors.items() if not isinstance(e, CommunicatorError)]
+        rank = min(primary) if primary else min(errors)
+        raise SpmdError(rank, errors[rank]) from errors[rank]
+    return results

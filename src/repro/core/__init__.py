@@ -1,0 +1,126 @@
+"""The paper's contribution: SELL format, vectorized kernels, traffic model.
+
+Everything the paper adds to PETSc lives here: the sliced-ELLPACK matrix
+(:class:`~repro.core.sell.SellMat`), the hand-vectorized SpMV kernels for
+CSR (Algorithm 1) and SELL (Algorithm 2) across AVX/AVX2/AVX-512, the
+Section 6 memory-traffic model, the kernel-variant registry matching the
+figure legends, and the measure/predict API the benchmarks drive.
+"""
+
+from .analytic import (
+    counters_match,
+    predict_csr_counters,
+    predict_sell_counters,
+)
+from .autotune import TuneCandidate, TuneResult, tune_sell
+from .esb import EsbMat
+from .kernels_baij import simd_efficiency, spmv_baij
+from .dispatch import (
+    ALL_VARIANTS,
+    BAIJ_AVX512,
+    CSR_AVX,
+    CSR_AVX2,
+    CSR_AVX512,
+    CSR_BASELINE,
+    CSR_NOVEC,
+    CSR_PERM,
+    ESB_AVX512,
+    FIGURE11_VARIANTS,
+    FIGURE8_VARIANTS,
+    MKL_CSR,
+    SELL_AVX,
+    SELL_AVX2,
+    SELL_AVX512,
+    SELL_NOVEC,
+    KernelVariant,
+    get_variant,
+)
+from .kernels_csr import (
+    spmv_csr_compiler,
+    spmv_csr_perm,
+    spmv_csr_scalar,
+    spmv_csr_vectorized,
+)
+from .kernels_mkl import MKL_EFFICIENCY, spmv_csr_mkl
+from .kernels_sell import spmv_sell, spmv_sell_esb
+from .sell import SellMat
+from .spmv import SpmvMeasurement, measure, predict, spmv
+from .transpose import (
+    csr_multiply_transpose,
+    sell_multiply_transpose,
+    spmv_csr_transpose,
+    spmv_sell_transpose,
+)
+from .triangular import (
+    SellILU0PC,
+    SellTriangular,
+    ilu0,
+    level_schedule,
+    solve_sell_triangular,
+)
+from .traffic import (
+    TrafficEstimate,
+    csr_traffic,
+    gray_scott_intensity,
+    largest_grid_with_32bit_indices,
+    sell_traffic,
+    traffic_for,
+)
+
+__all__ = [
+    "ALL_VARIANTS",
+    "BAIJ_AVX512",
+    "EsbMat",
+    "CSR_AVX",
+    "CSR_AVX2",
+    "CSR_AVX512",
+    "CSR_BASELINE",
+    "CSR_NOVEC",
+    "CSR_PERM",
+    "ESB_AVX512",
+    "FIGURE11_VARIANTS",
+    "FIGURE8_VARIANTS",
+    "KernelVariant",
+    "MKL_CSR",
+    "MKL_EFFICIENCY",
+    "SELL_AVX",
+    "SELL_AVX2",
+    "SELL_AVX512",
+    "SELL_NOVEC",
+    "SellILU0PC",
+    "SellMat",
+    "SellTriangular",
+    "SpmvMeasurement",
+    "TuneCandidate",
+    "TuneResult",
+    "TrafficEstimate",
+    "counters_match",
+    "csr_multiply_transpose",
+    "csr_traffic",
+    "get_variant",
+    "gray_scott_intensity",
+    "ilu0",
+    "largest_grid_with_32bit_indices",
+    "level_schedule",
+    "measure",
+    "predict_csr_counters",
+    "predict_sell_counters",
+    "predict",
+    "sell_multiply_transpose",
+    "sell_traffic",
+    "solve_sell_triangular",
+    "simd_efficiency",
+    "spmv",
+    "spmv_baij",
+    "spmv_csr_compiler",
+    "spmv_csr_transpose",
+    "spmv_csr_mkl",
+    "spmv_csr_perm",
+    "spmv_csr_scalar",
+    "spmv_csr_vectorized",
+    "spmv_sell",
+    "spmv_sell_esb",
+    "spmv_sell_transpose",
+    "traffic_for",
+    "tune_sell",
+]

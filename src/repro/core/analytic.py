@@ -1,0 +1,176 @@
+"""Closed-form instruction-count predictions for the SpMV kernels.
+
+The engine *measures* a kernel's instruction mix by executing it; this
+module *predicts* the same counts from the sparsity structure alone —
+pure arithmetic over the row-length distribution, no kernel execution.
+Uses:
+
+* cross-validation: tests assert the predictions match the engine's
+  measured counters exactly, which pins down both the kernels (no stray
+  instructions) and the model (no missing terms);
+* scalability: predictions cost O(distinct row lengths), so paper-scale
+  matrices can be priced without ever running a kernel — the analytic
+  backbone behind the counter-scaling argument of Section 7.1.
+
+Predictions cover the two formats the paper centers on: the maskless SELL
+kernel (Algorithm 2) and the hand-vectorized CSR kernel (Algorithm 1 with
+fully masked tails, the calibrated configuration).
+"""
+
+from __future__ import annotations
+
+from ..mat.aij import AijMat
+from ..simd.counters import KernelCounters
+from ..simd.isa import Isa
+from .sell import SellMat
+
+
+def predict_sell_counters(sell: SellMat, isa: Isa) -> KernelCounters:
+    """Exact counters of :func:`repro.core.kernels_sell.spmv_sell`.
+
+    Derivation, per slice ``s`` of width ``W_s`` with ``C`` rows and
+    ``S = C / lanes`` accumulator strips:
+
+    * inner iterations: ``W_s * S`` — each does one aligned value load,
+      one index load, one gather (hardware or emulated), one FMA (or
+      mul+add on AVX);
+    * per strip: one accumulator zero and one store (aligned vector store
+      except in the trailing partial slice, where AVX-512 masks it and
+      narrower ISAs scalarize);
+    * one prefetch per slice whose end is not the end of the value array
+      (i.e. all but the last non-degenerate slice).
+    """
+    if not isa.is_vector:
+        raise ValueError("the scalar kernel has its own trivial model")
+    c = sell.slice_height
+    lanes = isa.lanes(8)
+    if c % lanes:
+        raise ValueError("slice height must be a multiple of the lane count")
+    strips = c // lanes
+    m, n = sell.shape
+    out = KernelCounters()
+
+    total_slots = int(sell.sliceptr[-1])
+    inner = total_slots // lanes  # = sum_s W_s * strips
+    out.body_iterations = inner
+    out.vector_load = 2 * inner            # values + indices
+    out.bytes_loaded = inner * lanes * (8 + 4)
+    if isa.has_gather:
+        out.vector_gather = inner
+        out.gather_lanes = inner * lanes
+    else:
+        out.emulated_gather_lanes = inner * lanes
+        out.vector_insert = inner * (lanes // 2 + lanes // 4)
+    out.bytes_loaded += inner * lanes * 8   # gathered x values
+    if isa.has_fma:
+        out.vector_fmadd = inner
+        out.flops = 2 * inner * lanes
+    else:
+        out.vector_mul = inner
+        out.vector_add = inner
+        out.flops = 2 * inner * lanes
+
+    nslices = sell.nslices
+    out.vector_set = nslices * strips       # setzero per strip
+    # The kernel prefetches past each slice only while data remains —
+    # zero-width trailing slices (all-empty rows) issue none.
+    out.prefetch = sum(
+        1 for sidx in range(nslices) if int(sell.sliceptr[sidx + 1]) < total_slots
+    )
+
+    # Stores: full strips store one aligned vector; the trailing partial
+    # slice's strips mask (AVX-512) or scalarize.
+    trailing = m % c
+    full_strip_stores = nslices * strips
+    masked_strip_stores = 0
+    scalar_stores = 0
+    if trailing and nslices:
+        # Strips overlapping the tail: lanes beyond m are inactive.
+        tail_strips = strips - trailing // lanes
+        partial = 1 if trailing % lanes else 0
+        dead_strips = tail_strips - partial
+        full_strip_stores -= tail_strips
+        if isa.has_masks:
+            masked_strip_stores = partial
+            active = trailing % lanes
+            out.mask_setup += partial
+            out.masked_ops += partial
+            out.bytes_stored += partial * active * 8
+        else:
+            scalar_stores = trailing % lanes
+            out.scalar_store += scalar_stores
+            out.bytes_stored += scalar_stores * 8
+        del dead_strips
+    if sell.perm is not None:
+        # Sorted matrices scatter every row with scalar stores instead.
+        out.vector_store = 0
+        out.scalar_store = m
+        out.bytes_stored = m * 8
+        out.vector_load_aligned = inner  # value loads still aligned
+        out.padded_flops = 2 * sell.padded_entries
+        return out
+    out.vector_store = full_strip_stores + masked_strip_stores
+    out.bytes_stored += full_strip_stores * lanes * 8
+    out.vector_load_aligned = inner
+    out.padded_flops = 2 * sell.padded_entries
+    return out
+
+
+def predict_csr_counters(csr: AijMat, isa: Isa) -> KernelCounters:
+    """Exact counters of the hand CSR kernel (Algorithm 1, masked tails).
+
+    Per row of length ``L`` with ``lanes``-wide registers:
+    ``floor(L / lanes)`` body iterations (two loads, one gather, one FMA
+    each), one accumulator zero and one horizontal reduce, then — when a
+    tail remains — on AVX-512 a mask set-up, two masked loads, a masked
+    gather, a masked FMA onto a freshly zeroed register, and a second
+    reduce; finally one scalar store.  (Narrower ISAs scalarize the tail;
+    only the masked configuration is modeled here.)
+    """
+    if not (isa.is_vector and isa.has_masks):
+        raise ValueError("modeled for the masked (AVX-512) configuration")
+    lanes = isa.lanes(8)
+    lengths = csr.row_lengths()
+    m = lengths.shape[0]
+    body = lengths // lanes
+    rem = lengths - body * lanes
+    n_body = int(body.sum())
+    tails = int((rem > 0).sum())
+    total_rem = int(rem.sum())
+
+    out = KernelCounters()
+    out.body_iterations = n_body
+    out.vector_load = 2 * n_body + 2 * tails          # masked loads count too
+    out.vector_gather = n_body + tails
+    out.gather_lanes = n_body * lanes + total_rem
+    out.vector_fmadd = n_body + tails
+    out.vector_set = m + tails  # acc zero + a fresh zero per tail FMA
+    out.vector_reduce = m + tails
+    out.mask_setup = tails
+    out.masked_ops = 4 * tails  # two loads, gather, fmadd
+    out.scalar_store = m
+    out.flops = (
+        2 * n_body * lanes          # body FMAs
+        + 2 * total_rem             # masked FMAs (active lanes)
+        + (m + tails) * (lanes - 1)  # horizontal reductions
+    )
+    out.bytes_loaded = (
+        n_body * lanes * (8 + 4 + 8)  # values + indices + gathered x
+        + tails * 0
+        + total_rem * (8 + 4 + 8)     # masked: active lanes only
+    )
+    out.bytes_stored = m * 8
+    return out
+
+
+def counters_match(
+    predicted: KernelCounters, measured: KernelCounters
+) -> list[str]:
+    """Field names where prediction and measurement disagree (empty = exact)."""
+    from dataclasses import fields
+
+    return [
+        f.name
+        for f in fields(KernelCounters)
+        if getattr(predicted, f.name) != getattr(measured, f.name)
+    ]

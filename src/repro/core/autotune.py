@@ -1,0 +1,91 @@
+"""SELL parameter autotuning: choose C and sigma from the model.
+
+The paper fixes C = 8 and sigma = 1 for its regular PDE matrices
+(Sections 5.1 and 5.4) but frames both as tunable trade-offs.  This module
+closes the loop for arbitrary matrices: sweep the candidate space, run the
+instruction-level kernel on each configuration, price it on a machine
+model, and return the winner with the full sweep attached — exactly the
+kind of inspector step MKL's inspector-executor performs, but transparent.
+
+For the paper's own operator the tuner confirms the paper's choice (a test
+pins that); on irregular matrices it discovers when sigma-sorting pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.perf_model import PerfModel
+from ..mat.aij import AijMat
+from .dispatch import SELL_AVX512
+from .spmv import measure, predict
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One (C, sigma) configuration with its modeled outcome."""
+
+    slice_height: int
+    sigma: int
+    gflops: float
+    padding_fraction: float
+
+    @property
+    def label(self) -> str:
+        """Human-readable configuration name."""
+        return f"C={self.slice_height}, sigma={self.sigma}"
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """The autotuner's verdict plus the full sweep for inspection."""
+
+    best: TuneCandidate
+    sweep: tuple[TuneCandidate, ...]
+
+    @property
+    def paper_default(self) -> TuneCandidate | None:
+        """The paper's C=8, sigma=1 point, when it was in the sweep."""
+        for cand in self.sweep:
+            if cand.slice_height == 8 and cand.sigma == 1:
+                return cand
+        return None
+
+
+def tune_sell(
+    csr: AijMat,
+    model: PerfModel,
+    nprocs: int,
+    slice_heights: tuple[int, ...] = (8, 16),
+    sigmas: tuple[int, ...] = (1, 4, 16, 64),
+    scale: float = 1.0,
+) -> TuneResult:
+    """Sweep (C, sigma) and return the best modeled configuration.
+
+    ``sigmas`` entries are interpreted as multiples of the slice height
+    (sigma must divide into whole slices); sigma = 1 means no sorting.
+    Candidates whose window would exceed the matrix are skipped.
+    """
+    if not slice_heights:
+        raise ValueError("need at least one slice height")
+    m = csr.shape[0]
+    candidates: list[TuneCandidate] = []
+    for c in slice_heights:
+        for sigma_factor in sigmas:
+            sigma = 1 if sigma_factor == 1 else c * sigma_factor
+            if sigma > max(m, 1) and sigma != 1:
+                continue
+            meas = measure(SELL_AVX512, csr, slice_height=c, sigma=sigma)
+            perf = predict(meas, model, nprocs=nprocs, scale=scale)
+            candidates.append(
+                TuneCandidate(
+                    slice_height=c,
+                    sigma=sigma,
+                    gflops=perf.gflops,
+                    padding_fraction=meas.mat.padding_fraction,  # type: ignore[attr-defined]
+                )
+            )
+    if not candidates:
+        raise ValueError("no admissible configurations for this matrix")
+    best = max(candidates, key=lambda cand: cand.gflops)
+    return TuneResult(best=best, sweep=tuple(candidates))

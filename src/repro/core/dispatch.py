@@ -1,0 +1,147 @@
+"""Kernel variant registry: the legend entries of Figures 8, 9, and 11.
+
+A :class:`KernelVariant` bundles everything one series of the paper's
+plots needs: the matrix format conversion, the instruction-level kernel,
+the ISA it targets, and any library-efficiency factor (MKL).  The figure
+harnesses iterate these lists instead of hand-wiring format/ISA/kernel
+triples, so every figure names its series exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..mat.aij import AijMat
+from ..mat.aij_perm import AijPermMat
+from ..mat.base import Mat
+from .esb import EsbMat
+from ..simd.counters import KernelCounters
+from ..simd.engine import SimdEngine
+from ..simd.isa import AVX, AVX2, AVX512, SCALAR, Isa
+from .kernels_csr import (
+    spmv_csr_compiler,
+    spmv_csr_perm,
+    spmv_csr_scalar,
+    spmv_csr_vectorized,
+)
+from .kernels_baij import spmv_baij
+from .kernels_mkl import MKL_EFFICIENCY, spmv_csr_mkl
+from .kernels_sell import spmv_sell, spmv_sell_esb
+from .sell import SellMat
+from .traffic import TrafficEstimate, traffic_for
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """One plotted series: format + kernel + ISA + efficiency."""
+
+    name: str
+    fmt: str                      #: "CSR", "SELL", "CSRPerm", "MKL", "ESB"
+    isa: Isa
+    kernel: Callable[[SimdEngine, Mat, np.ndarray, np.ndarray], None]
+    efficiency: float = 1.0       #: time multiplier 1/efficiency at predict
+
+    def prepare(
+        self, csr: AijMat, slice_height: int = 8, sigma: int = 1
+    ) -> Mat:
+        """Convert the assembled CSR operator to this variant's format."""
+        if self.fmt in ("CSR", "MKL"):
+            return csr
+        if self.fmt == "CSRPerm":
+            return AijPermMat.from_csr(csr)
+        if self.fmt == "SELL":
+            return SellMat.from_csr(csr, slice_height=slice_height, sigma=sigma)
+        if self.fmt == "ESB":
+            return EsbMat.from_csr(csr, slice_height=slice_height, sigma=sigma)
+        if self.fmt == "BAIJ":
+            from ..mat.baij import BaijMat
+
+            return BaijMat.from_csr(csr, 2)
+        raise ValueError(f"unknown format {self.fmt!r}")
+
+    def run(
+        self, mat: Mat, x: np.ndarray, strict_alignment: bool = False
+    ) -> tuple[np.ndarray, KernelCounters]:
+        """Execute the instruction-level kernel; return (y, counters)."""
+        from ..memory.spaces import aligned_alloc
+
+        engine = SimdEngine(self.isa, strict_alignment=strict_alignment)
+        # The output vector must sit on a cache-line boundary like every
+        # PETSc Vec (Section 3.1); the SELL kernel stores to it aligned.
+        y = aligned_alloc(mat.shape[0], np.float64, 64)
+        self.kernel(engine, mat, x, y)
+        return y, engine.counters
+
+    def traffic(self, mat: Mat) -> TrafficEstimate:
+        """The Section 6 minimum-traffic estimate for this variant."""
+        return traffic_for(mat)
+
+
+# ---------------------------------------------------------------------------
+# The named series, exactly as the paper's legends spell them.
+# ---------------------------------------------------------------------------
+
+SELL_AVX512 = KernelVariant("SELL using AVX512", "SELL", AVX512, spmv_sell)
+SELL_AVX2 = KernelVariant("SELL using AVX2", "SELL", AVX2, spmv_sell)
+SELL_AVX = KernelVariant("SELL using AVX", "SELL", AVX, spmv_sell)
+SELL_NOVEC = KernelVariant("SELL using novec", "SELL", SCALAR, spmv_sell)
+CSR_AVX512 = KernelVariant("CSR using AVX512", "CSR", AVX512, spmv_csr_vectorized)
+CSR_AVX2 = KernelVariant("CSR using AVX2", "CSR", AVX2, spmv_csr_vectorized)
+CSR_AVX = KernelVariant("CSR using AVX", "CSR", AVX, spmv_csr_vectorized)
+CSR_NOVEC = KernelVariant("CSR using novec", "CSR", SCALAR, spmv_csr_scalar)
+CSR_PERM = KernelVariant("CSRPerm", "CSRPerm", AVX512, spmv_csr_perm)
+CSR_BASELINE = KernelVariant("CSR baseline", "CSR", AVX512, spmv_csr_compiler)
+MKL_CSR = KernelVariant(
+    "MKL CSR", "MKL", AVX512, spmv_csr_mkl, efficiency=MKL_EFFICIENCY
+)
+ESB_AVX512 = KernelVariant("ESB using AVX512", "ESB", AVX512, spmv_sell_esb)
+#: Register blocking on wide registers (Section 3.2's cautionary tale);
+#: not a paper figure series, but the ablation compares it against SELL.
+BAIJ_AVX512 = KernelVariant("BAIJ using AVX512", "BAIJ", AVX512, spmv_baij)
+
+#: Figure 8's nine series, in the paper's legend order.
+FIGURE8_VARIANTS: tuple[KernelVariant, ...] = (
+    SELL_AVX512,
+    SELL_AVX2,
+    SELL_AVX,
+    CSR_AVX512,
+    CSR_AVX2,
+    CSR_AVX,
+    CSR_PERM,
+    CSR_BASELINE,
+    MKL_CSR,
+)
+
+#: Figure 11's nine series, in the paper's legend order.
+FIGURE11_VARIANTS: tuple[KernelVariant, ...] = (
+    MKL_CSR,
+    CSR_NOVEC,
+    SELL_NOVEC,
+    CSR_AVX,
+    SELL_AVX,
+    CSR_AVX2,
+    SELL_AVX2,
+    CSR_AVX512,
+    SELL_AVX512,
+)
+
+ALL_VARIANTS: dict[str, KernelVariant] = {
+    v.name: v
+    for v in (
+        *FIGURE8_VARIANTS,
+        CSR_NOVEC,
+        SELL_NOVEC,
+        ESB_AVX512,
+        BAIJ_AVX512,
+    )
+}
+
+
+def get_variant(name: str) -> KernelVariant:
+    """Look up a series by its legend name."""
+    if name not in ALL_VARIANTS:
+        raise KeyError(f"unknown variant {name!r}; known: {sorted(ALL_VARIANTS)}")
+    return ALL_VARIANTS[name]

@@ -1,0 +1,187 @@
+"""Sliced-ELLPACK SpMV kernels (paper Algorithm 2 and the ESB ablation).
+
+:func:`spmv_sell` is Algorithm 2, generalized over vector width: a slice of
+``C`` rows is processed as ``C / lanes`` independent accumulator strips (one
+for AVX-512 with C=8, two for AVX/AVX2).  Each inner-loop iteration loads a
+*contiguous, aligned* column of matrix values and indices — the whole point
+of the format: memory order equals consumption order, so no remainder loop
+and no strided access ever occurs.  Padded lanes multiply zeros; the kernel
+records those as ``padded_flops`` so reported Gflop/s counts useful work
+only, as PETSc's flop logging does.
+
+The trailing partial slice is handled exactly as Section 5.5 describes:
+rows are padded to a full slice, and only the final *store* is masked (on
+AVX-512) or scalarized (elsewhere).
+
+:func:`spmv_sell_esb` is the bit-array variant of Liu et al.'s ESB format
+that Section 5.3 measures ~10% slower: same traversal, but each column
+loads a mask byte, materializes a mask register, and executes masked loads,
+gathers, and FMAs — saving the padded arithmetic at the price of mask
+overhead and unaligned value access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .esb import EsbMat
+from ..simd.engine import SimdEngine
+from ..simd.register import MaskRegister
+from .sell import SellMat
+
+
+def _store_rows(
+    engine: SimdEngine,
+    sell: SellMat,
+    y: np.ndarray,
+    first_storage_row: int,
+    acc,
+) -> None:
+    """Store one accumulator strip into y, honouring permutation and edge.
+
+    With no sorting the store is a contiguous (aligned) vector store; a
+    sorted matrix needs scalar scatter stores — one of the locality costs
+    of sorting the paper cites in Section 5.4.  The trailing partial slice
+    uses a masked store on AVX-512, scalar stores otherwise.
+    """
+    m = sell.shape[0]
+    lanes = engine.lanes
+    active = min(lanes, m - first_storage_row)
+    if sell.perm is not None:
+        for lane in range(active):
+            row = int(sell.perm[first_storage_row + lane])
+            engine.scalar_store(y, row, float(acc.data[lane]))
+        return
+    if active == lanes:
+        engine.store_aligned(y, first_storage_row, acc)
+    elif engine.isa.has_masks:
+        mask = engine.make_mask(active)
+        engine.masked_store(y, first_storage_row, acc, mask)
+    else:
+        for lane in range(active):
+            engine.scalar_store(y, first_storage_row + lane, float(acc.data[lane]))
+
+
+def _spmv_sell_scalar(
+    engine: SimdEngine, sell: SellMat, x: np.ndarray, y: np.ndarray
+) -> None:
+    """Scalar traversal of the SELL layout (the "SELL using novec" series)."""
+    m = sell.shape[0]
+    c = sell.slice_height
+    counters = engine.counters
+    for s in range(sell.nslices):
+        base = int(sell.sliceptr[s])
+        width = sell.slice_width(s)
+        for i in range(c):
+            k = s * c + i
+            if k >= m:
+                continue
+            row = sell.storage_row(k)
+            acc = 0.0
+            for j in range(width):
+                slot = base + j * c + i
+                v = engine.scalar_load(sell.val, slot)
+                col = int(engine.scalar_load(sell.colidx, slot))
+                xv = engine.scalar_load(x, col)
+                acc = engine.scalar_fma(v, xv, acc)
+            engine.scalar_store(y, row, acc)
+            counters.body_iterations += 1
+    counters.padded_flops += 2 * sell.padded_entries
+
+
+def spmv_sell(engine: SimdEngine, sell: SellMat, x: np.ndarray, y: np.ndarray) -> None:
+    """Algorithm 2: vectorized SpMV over the sliced-ELLPACK layout."""
+    if not engine.isa.is_vector:
+        _spmv_sell_scalar(engine, sell, x, y)
+        return
+    lanes = engine.lanes
+    c = sell.slice_height
+    if c % lanes:
+        raise ValueError(
+            f"slice height {c} must be a multiple of the vector length {lanes}"
+        )
+    val, colidx = sell.val, sell.colidx
+    counters = engine.counters
+    for s in range(sell.nslices):
+        base = int(sell.sliceptr[s])
+        end = int(sell.sliceptr[s + 1])
+        width = (end - base) // c
+        # Manual prefetch ahead of the slice (Section 5.5: it does not
+        # change performance much, but the kernel issues it).
+        if end < val.shape[0]:
+            engine.prefetch(val, end)
+        for strip in range(0, c, lanes):
+            acc = engine.setzero()
+            idx = base + strip
+            for _ in range(width):
+                vec_vals = engine.load_aligned(val, idx)
+                vec_idx = engine.load_index(colidx, idx)
+                vec_x = engine.gather_auto(x, vec_idx)
+                acc = engine.fmadd_auto(vec_vals, vec_x, acc)
+                idx += c
+                counters.body_iterations += 1
+            _store_rows(engine, sell, y, s * c + strip, acc)
+    counters.padded_flops += 2 * sell.padded_entries
+
+
+def spmv_sell_esb(
+    engine: SimdEngine, esb: EsbMat, x: np.ndarray, y: np.ndarray
+) -> None:
+    """ESB variant: mask out padded slots with the bit array (Section 5.3).
+
+    Requires mask support (AVX-512 / AVX2 with compiler support, per the
+    paper's discussion); narrower ISAs should use the maskless kernel.
+    """
+    engine.isa.require("masks")
+    lanes = engine.lanes
+    c = esb.slice_height
+    if c % lanes:
+        raise ValueError(
+            f"slice height {c} must be a multiple of the vector length {lanes}"
+        )
+    val, colidx, bits = esb.val, esb.colidx, esb.bits
+    counters = engine.counters
+    m = esb.shape[0]
+    for s in range(esb.nslices):
+        base = int(esb.sliceptr[s])
+        end = int(esb.sliceptr[s + 1])
+        width = (end - base) // c
+        for strip in range(0, c, lanes):
+            acc = engine.setzero()
+            idx = base + strip
+            for _ in range(width):
+                # Load the mask byte for this column strip and materialize
+                # a mask register from it.
+                engine.scalar_load(np.packbits(bits[idx : idx + lanes]), 0)
+                lane_bits = bits[idx : idx + lanes]
+                counters.mask_setup += 1
+                mask = MaskRegister(np.asarray(lane_bits, dtype=bool))
+                # Unaligned: skipping padding breaks the alignment
+                # guarantee of the padded layout.
+                vec_vals = engine.masked_load(val, idx, _full_prefix(mask))
+                vec_vals = _apply_mask(vec_vals, mask)
+                vec_idx = engine.masked_load_index(colidx, idx, _full_prefix(mask))
+                vec_x = engine.masked_gather(x, vec_idx, mask)
+                acc = engine.masked_fmadd(vec_vals, vec_x, acc, mask)
+                idx += c
+                counters.body_iterations += 1
+            _store_rows(engine, esb, y, s * c + strip, acc)
+    del m
+
+
+def _full_prefix(mask: MaskRegister) -> MaskRegister:
+    """A dense prefix mask covering the same lane count.
+
+    ESB loads the packed value/index words contiguously and *then* masks
+    the arithmetic; the memory instruction itself reads all lanes of the
+    (unaligned) word, which this prefix mask expresses.
+    """
+    return MaskRegister(np.ones(mask.lanes, dtype=bool))
+
+
+def _apply_mask(reg, mask: MaskRegister):
+    """Zero inactive lanes of a register (vblend after the masked load)."""
+    from ..simd.register import VectorRegister
+
+    data = np.where(mask.bits, reg.data, 0.0)
+    return VectorRegister(data)

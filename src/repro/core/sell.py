@@ -1,0 +1,313 @@
+"""Sliced ELLPACK (SELL) — the matrix format the paper contributes to PETSc.
+
+Storage follows Section 5 and Figure 6 exactly:
+
+* rows are grouped into **slices** of ``C`` adjacent rows (C = 8 on KNL:
+  one 512-bit register of doubles, Section 5.1);
+* each slice is padded to its own width (its longest row), so short rows
+  only pay for their slice, not for the global maximum as in ELLPACK;
+* within a slice, values and column indices are stored **column by
+  column** — the memory order equals the order the vectorized kernel
+  (Algorithm 2) consumes, so every matrix access is a contiguous,
+  alignable vector load;
+* an ``rlen`` array keeps each row's true length.  The SpMV kernel never
+  reads it (Section 5.2) — padded zeros are simply multiplied — but
+  assembly, conversion, and diagnostics need it;
+* the **column index of a padded slot is copied from a real nonzero of the
+  same row** (its last one), so gathers through padding stay within the
+  local vector and never widen a parallel matrix's ghost set
+  (Section 5.5);
+* the trailing partial slice, if any, is padded with empty rows to a full
+  ``C`` so the kernel runs maskless except possibly at the final store.
+
+Design decisions the paper argues for are parameters here so the ablation
+benchmarks can contradict them: ``slice_height`` sweeps C (C = 1
+degenerates to CSR), ``sigma`` enables SELL-C-sigma window sorting
+(``sigma = 1``, the default, is the paper's "no sorting" choice of
+Section 5.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mat.aij import AijMat
+from ..mat.base import Mat
+from ..memory.spaces import aligned_alloc
+
+
+class SellMat(Mat):
+    """A sliced-ELLPACK matrix (PETSc's MATSELL)."""
+
+    format_name = "SELL"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        slice_height: int,
+        sliceptr: np.ndarray,
+        val: np.ndarray,
+        colidx: np.ndarray,
+        rlen: np.ndarray,
+        perm: np.ndarray | None = None,
+        sigma: int = 1,
+        alignment: int = 64,
+    ):
+        m, n = shape
+        if slice_height < 1:
+            raise ValueError("slice height must be positive")
+        sliceptr = np.asarray(sliceptr, dtype=np.int64)
+        rlen = np.asarray(rlen, dtype=np.int64)
+        nslices = (m + slice_height - 1) // slice_height if m else 0
+        if sliceptr.shape != (nslices + 1,):
+            raise ValueError(f"sliceptr must have {nslices + 1} entries")
+        if sliceptr[0] != 0 or np.any(np.diff(sliceptr) < 0):
+            raise ValueError("sliceptr must be non-decreasing from zero")
+        if np.any(np.diff(sliceptr) % slice_height):
+            raise ValueError("slice extents must be multiples of the height")
+        if val.shape != colidx.shape or val.shape != (int(sliceptr[-1]),):
+            raise ValueError("val/colidx inconsistent with sliceptr")
+        if rlen.shape != (m,):
+            raise ValueError("rlen must have one entry per row")
+        self._shape = (m, n)
+        self.slice_height = slice_height
+        self.sigma = sigma
+        self.sliceptr = sliceptr
+        self.rlen = rlen
+        self.val = aligned_alloc(val.shape[0], np.float64, alignment)
+        self.val[:] = val
+        self.colidx = aligned_alloc(colidx.shape[0], np.int32, alignment)
+        self.colidx[:] = colidx
+        if perm is not None:
+            perm = np.asarray(perm, dtype=np.int64)
+            if perm.shape != (m,):
+                raise ValueError("perm must have one entry per row")
+        self.perm = perm
+
+        # Precomputed element -> output-row map for the fast NumPy matvec
+        # (exposed as :attr:`row_map` for the transpose kernels).
+        self._row_of_element = self._build_row_map()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls,
+        csr: AijMat,
+        slice_height: int = 8,
+        sigma: int = 1,
+        alignment: int = 64,
+    ) -> "SellMat":
+        """Convert an assembled CSR matrix (the MatConvert path).
+
+        ``sigma > 1`` sorts rows by descending length inside disjoint
+        windows of ``sigma`` rows before slicing (SELL-C-sigma);
+        ``sigma`` must then be a multiple of the slice height so slices
+        never straddle windows.
+        """
+        if slice_height < 1:
+            raise ValueError("slice height must be positive")
+        if sigma < 1:
+            raise ValueError("sigma must be positive")
+        if sigma > 1 and sigma % slice_height:
+            raise ValueError("sigma must be a multiple of the slice height")
+        m, n = csr.shape
+        lengths = csr.row_lengths().astype(np.int64)
+
+        if sigma > 1:
+            perm = np.empty(m, dtype=np.int64)
+            for start in range(0, m, sigma):
+                stop = min(start + sigma, m)
+                window = np.arange(start, stop)
+                order = np.argsort(-lengths[start:stop], kind="stable")
+                perm[start:stop] = window[order]
+        else:
+            perm = None
+
+        storage_rows = perm if perm is not None else np.arange(m, dtype=np.int64)
+        storage_lengths = lengths[storage_rows] if m else lengths
+
+        nslices = (m + slice_height - 1) // slice_height if m else 0
+        sliceptr = np.zeros(nslices + 1, dtype=np.int64)
+        widths = np.zeros(nslices, dtype=np.int64)
+        for s in range(nslices):
+            chunk = storage_lengths[s * slice_height : (s + 1) * slice_height]
+            widths[s] = int(chunk.max()) if chunk.size else 0
+            sliceptr[s + 1] = sliceptr[s] + widths[s] * slice_height
+
+        total = int(sliceptr[-1])
+        val = np.zeros(total, dtype=np.float64)
+        colidx = np.zeros(total, dtype=np.int32)
+        for s in range(nslices):
+            base = sliceptr[s]
+            width = widths[s]
+            for i in range(slice_height):
+                k = s * slice_height + i
+                if k >= m:
+                    # Trailing padding rows: zero values, column 0 is a
+                    # safe local index.
+                    continue
+                row = int(storage_rows[k])
+                cols, vals = csr.get_row(row)
+                length = cols.shape[0]
+                # Element (i, j) of the slice lives at base + j*C + i.
+                slots = base + np.arange(length, dtype=np.int64) * slice_height + i
+                val[slots] = vals
+                colidx[slots] = cols
+                if length < width:
+                    pad = base + np.arange(length, width) * slice_height + i
+                    # Padding reuses a real (local) column of the same row.
+                    colidx[pad] = cols[-1] if length else 0
+        return cls(
+            (m, n),
+            slice_height,
+            sliceptr,
+            val,
+            colidx,
+            lengths,
+            perm=perm,
+            sigma=sigma,
+            alignment=alignment,
+        )
+
+    def _build_row_map(self) -> np.ndarray:
+        """Output row of every stored slot (padding maps to its slice row)."""
+        m, _ = self.shape
+        c = self.slice_height
+        row_map = np.empty(self.val.shape[0], dtype=np.int64)
+        for s in range(self.nslices):
+            base, width = self.sliceptr[s], self.slice_width(s)
+            lanes = np.arange(c)
+            storage_rows = s * c + lanes
+            storage_rows = np.minimum(storage_rows, max(m - 1, 0))
+            out_rows = (
+                self.perm[storage_rows] if self.perm is not None else storage_rows
+            )
+            # column-major within the slice: slot = base + j*C + i
+            block = np.tile(out_rows, width)
+            row_map[base : base + width * c] = block
+        return row_map
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def row_map(self) -> np.ndarray:
+        """Output row of every stored slot (padding maps to its slice row).
+
+        The inverse view of the column-major slice layout; the transpose
+        kernels read it to know which x entry each slot multiplies.
+        """
+        return self._row_of_element
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rlen.sum())
+
+    @property
+    def nslices(self) -> int:
+        """Number of slices (the outer-loop trip count of Algorithm 2)."""
+        return int(self.sliceptr.shape[0] - 1)
+
+    def slice_width(self, s: int) -> int:
+        """Padded row length of slice ``s``."""
+        return int(
+            (self.sliceptr[s + 1] - self.sliceptr[s]) // self.slice_height
+        )
+
+    @property
+    def padded_entries(self) -> int:
+        """Stored slots that are padding — the SELL storage penalty."""
+        return int(self.sliceptr[-1] - self.nnz)
+
+    @property
+    def padding_fraction(self) -> float:
+        """Padding as a fraction of all stored slots."""
+        total = int(self.sliceptr[-1])
+        return self.padded_entries / total if total else 0.0
+
+    def storage_row(self, storage_index: int) -> int:
+        """Original row stored at slice position ``storage_index``."""
+        if self.perm is None:
+            return storage_index
+        return int(self.perm[storage_index])
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def multiply(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        x, y = self._check_multiply_args(x, y)
+        if self.val.shape[0] == 0:
+            y[:] = 0.0
+            return y
+        products = self.val * x[self.colidx]
+        y[:] = np.bincount(
+            self._row_of_element, weights=products, minlength=self.shape[0]
+        )[: self.shape[0]]
+        return y
+
+    def to_csr(self) -> AijMat:
+        m, n = self.shape
+        c = self.slice_height
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        for s in range(self.nslices):
+            base = self.sliceptr[s]
+            for i in range(c):
+                k = s * c + i
+                if k >= m:
+                    continue
+                row = self.storage_row(k)
+                length = int(self.rlen[row])
+                slots = base + np.arange(length, dtype=np.int64) * c + i
+                rows.append(np.full(length, row, dtype=np.int64))
+                cols.append(self.colidx[slots].astype(np.int64))
+                vals.append(self.val[slots])
+        if rows:
+            return AijMat.from_coo(
+                (m, n),
+                np.concatenate(rows),
+                np.concatenate(cols),
+                np.concatenate(vals),
+                sum_duplicates=False,
+            )
+        return AijMat.from_coo(
+            (m, n),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+    def memory_bytes(self) -> int:
+        """Storage footprint: padded val + colidx, sliceptr, rlen, perm."""
+        slots = int(self.sliceptr[-1])
+        total = slots * 12 + self.sliceptr.shape[0] * 8 + self.rlen.shape[0] * 8
+        if self.perm is not None:
+            total += self.perm.shape[0] * 8
+        return int(total)
+
+    def diagonal(self) -> np.ndarray:
+        m, n = self.shape
+        diag = np.zeros(min(m, n), dtype=np.float64)
+        c = self.slice_height
+        for s in range(self.nslices):
+            base = self.sliceptr[s]
+            for i in range(c):
+                k = s * c + i
+                if k >= m:
+                    continue
+                row = self.storage_row(k)
+                if row >= n:
+                    continue
+                length = int(self.rlen[row])
+                slots = base + np.arange(length, dtype=np.int64) * c + i
+                hits = slots[self.colidx[slots] == row]
+                if hits.size:
+                    diag[row] = self.val[hits].sum()
+        return diag

@@ -1,0 +1,74 @@
+"""Solvers: Krylov methods, preconditioners, Newton, timestepping.
+
+The mini-PETSc solver hierarchy of the paper's Figure 1: KSP (GMRES, CG,
+Richardson), PC (Jacobi, block Jacobi, SOR, Chebyshev, ILU(0), geometric
+multigrid), SNES (Newton with line search), and TS (theta method /
+Crank-Nicolson) — enough to run the full Gray-Scott experiment stack.
+"""
+
+from .base import (
+    ConvergedReason,
+    CountingOperator,
+    IdentityPC,
+    KSP,
+    KSPResult,
+    LinearOperator,
+)
+from .adjoint import AdjointThetaMethod, TransposeOperator
+from .cg import CG
+from .parallel import (
+    ParallelBlockJacobiPC,
+    ParallelGMRES,
+    ParallelIdentityPC,
+    ParallelJacobiPC,
+    ParallelRichardson,
+)
+from .gmres import GMRES
+from .pc import (
+    BlockJacobiPC,
+    ChebyshevPC,
+    ILU0PC,
+    JacobiPC,
+    MGPC,
+    SORPC,
+    bilinear_prolongation,
+    csr_matmul,
+    full_weighting_restriction,
+)
+from .richardson import Richardson
+from .snes import NewtonSolver, SNESConvergedReason, SNESResult
+from .ts import StepStats, ThetaMethod, TSResult
+
+__all__ = [
+    "AdjointThetaMethod",
+    "BlockJacobiPC",
+    "CG",
+    "ChebyshevPC",
+    "ConvergedReason",
+    "CountingOperator",
+    "GMRES",
+    "ILU0PC",
+    "IdentityPC",
+    "JacobiPC",
+    "KSP",
+    "KSPResult",
+    "LinearOperator",
+    "MGPC",
+    "NewtonSolver",
+    "ParallelBlockJacobiPC",
+    "ParallelGMRES",
+    "ParallelIdentityPC",
+    "ParallelJacobiPC",
+    "ParallelRichardson",
+    "Richardson",
+    "SNESConvergedReason",
+    "SNESResult",
+    "SORPC",
+    "StepStats",
+    "ThetaMethod",
+    "TransposeOperator",
+    "TSResult",
+    "bilinear_prolongation",
+    "csr_matmul",
+    "full_weighting_restriction",
+]

@@ -1,0 +1,149 @@
+"""Krylov solver infrastructure: operators, convergence, monitoring.
+
+The mini-PETSc solver stack mirrors the objects the paper's experiments
+configure: a KSP (Krylov method) owns an operator and a PC, iterates until
+a relative/absolute tolerance or an iteration cap, and reports a converged
+reason.  Operators are anything with ``multiply(x, y=None) -> y`` — every
+matrix format in :mod:`repro.mat` qualifies, which is how the experiments
+swap CSR for SELL under an unchanged solver configuration (the paper's
+``-dm_mat_type sell``).
+
+:class:`CountingOperator` wraps any operator and counts matvecs and rows
+processed; the Figure 10 harness uses those counts to attribute solver
+time to the MatMult kernel exactly the way PETSc's -log_view does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+
+class LinearOperator(Protocol):
+    """Anything that can apply y = A x."""
+
+    @property
+    def shape(self) -> tuple[int, int]: ...
+
+    def multiply(
+        self, x: np.ndarray, y: np.ndarray | None = None
+    ) -> np.ndarray: ...
+
+
+class ConvergedReason(enum.Enum):
+    """Why a solve stopped (PETSc's KSPConvergedReason, abridged)."""
+
+    RTOL = "converged_rtol"
+    ATOL = "converged_atol"
+    ITS = "diverged_max_iterations"
+    BREAKDOWN = "diverged_breakdown"
+    NAN = "diverged_nan"
+
+    @property
+    def converged(self) -> bool:
+        """True for successful outcomes."""
+        return self in (ConvergedReason.RTOL, ConvergedReason.ATOL)
+
+
+@dataclass
+class KSPResult:
+    """Outcome of one linear solve."""
+
+    x: np.ndarray
+    reason: ConvergedReason
+    iterations: int
+    residual_norms: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        """Last recorded (preconditioned) residual norm."""
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+class CountingOperator:
+    """Wrap an operator, counting matvecs (the MatMult log of -log_view)."""
+
+    def __init__(self, inner: LinearOperator):
+        self.inner = inner
+        self.matvecs = 0
+        self.rows_processed = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.inner.shape
+
+    def multiply(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        self.matvecs += 1
+        self.rows_processed += self.inner.shape[0]
+        return self.inner.multiply(x, y)
+
+    def diagonal(self) -> np.ndarray:
+        """Pass through to the wrapped operator (for Jacobi-type PCs)."""
+        return self.inner.diagonal()
+
+    def to_csr(self):
+        """Pass through to the wrapped operator (for PC setup paths)."""
+        return self.inner.to_csr()
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.matvecs = 0
+        self.rows_processed = 0
+
+
+class IdentityPC:
+    """The no-preconditioner PC (PCNONE)."""
+
+    def setup(self, op: LinearOperator) -> None:
+        """Nothing to factor."""
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """z = r."""
+        return r.copy()
+
+
+@dataclass
+class KSP:
+    """Base Krylov solver configuration.
+
+    Subclasses implement :meth:`solve`.  Tolerances follow PETSc: converge
+    when the preconditioned residual norm drops below
+    ``max(rtol * ||r0||, atol)``.
+    """
+
+    rtol: float = 1.0e-8
+    atol: float = 1.0e-50
+    max_it: int = 10000
+    monitor: Callable[[int, float], None] | None = None
+
+    def _check_system(self, op: LinearOperator, b: np.ndarray) -> None:
+        m, n = op.shape
+        if m != n:
+            raise ValueError(f"Krylov solvers need a square operator, got {m}x{n}")
+        if b.shape != (m,):
+            raise ValueError(f"right-hand side of length {b.shape[0]} != {m}")
+
+    def _record(self, norms: list[float], it: int, rnorm: float) -> None:
+        norms.append(rnorm)
+        if self.monitor is not None:
+            self.monitor(it, rnorm)
+
+    def _converged(
+        self, rnorm: float, rnorm0: float
+    ) -> ConvergedReason | None:
+        if np.isnan(rnorm):
+            return ConvergedReason.NAN
+        if rnorm <= self.atol:
+            return ConvergedReason.ATOL
+        if rnorm <= self.rtol * rnorm0:
+            return ConvergedReason.RTOL
+        return None
+
+    def solve(
+        self, op: LinearOperator, b: np.ndarray, x0: np.ndarray | None = None
+    ) -> KSPResult:
+        """Solve A x = b; implemented by subclasses."""
+        raise NotImplementedError

@@ -1,0 +1,65 @@
+"""Preconditioned conjugate gradients, for the SPD members of the gallery.
+
+Not used by the paper's experiments (the Gray-Scott Jacobian is
+nonsymmetric), but a Krylov library without CG would be incomplete, and
+the CG tests double as independent validation of the preconditioners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import KSP, ConvergedReason, IdentityPC, KSPResult, LinearOperator
+
+
+@dataclass
+class CG(KSP):
+    """Standard PCG with the natural-norm convergence test on z.r."""
+
+    pc: object = field(default_factory=IdentityPC)
+
+    def solve(
+        self, op: LinearOperator, b: np.ndarray, x0: np.ndarray | None = None
+    ) -> KSPResult:
+        """Solve A x = b for SPD A."""
+        self._check_system(op, b)
+        n = b.shape[0]
+        x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+        self.pc.setup(op)
+
+        r = b - op.multiply(x)
+        z = self.pc.apply(r)
+        p = z.copy()
+        rz = float(r @ z)
+        rnorm0 = float(np.linalg.norm(r)) or 1.0
+        norms: list[float] = []
+        self._record(norms, 0, rnorm0)
+        reason = self._converged(rnorm0, rnorm0)
+        if reason is not None:
+            return KSPResult(x, reason, 0, norms)
+
+        reason = ConvergedReason.ITS
+        it = 0
+        for it in range(1, self.max_it + 1):
+            ap = op.multiply(p)
+            pap = float(p @ ap)
+            if pap <= 0.0:
+                reason = ConvergedReason.BREAKDOWN
+                break
+            alpha = rz / pap
+            x += alpha * p
+            r -= alpha * ap
+            rnorm = float(np.linalg.norm(r))
+            self._record(norms, it, rnorm)
+            stop = self._converged(rnorm, rnorm0)
+            if stop is not None:
+                reason = stop
+                break
+            z = self.pc.apply(r)
+            rz_new = float(r @ z)
+            beta = rz_new / rz
+            rz = rz_new
+            p = z + beta * p
+        return KSPResult(x, reason, it, norms)

@@ -1,0 +1,278 @@
+"""Geometric multigrid preconditioning (the paper's ``-pc_type mg``).
+
+The Gray-Scott solves use a V-cycle with damped-Jacobi smoothing on every
+level and a Jacobi-preconditioned coarse solve (paper Section 7.2's exact
+option set), so that SpMV dominates on *all* levels — the coarsened
+operators have the same 10-nonzeros-per-row structure at smaller sizes,
+which is why Figure 7 finds performance insensitive to the grid size.
+
+Pieces:
+
+* :func:`bilinear_prolongation` — periodic bilinear interpolation between
+  factor-2 grids, per degree of freedom (the DMDA interpolation);
+* :func:`csr_matmul` — a fully vectorized CSR x CSR product, used for the
+  Galerkin triple product ``R A P`` when no rediscretization callback is
+  supplied;
+* :class:`MGPC` — the V/W-cycle preconditioner; each level holds its
+  operator behind a :class:`~repro.ksp.base.CountingOperator` so the
+  benchmarks can attribute every matvec, level by level, as -log_view does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ...mat.aij import AijMat
+from ...pde.grid import Grid2D
+from ..base import CountingOperator, LinearOperator
+
+
+def csr_matmul(a: AijMat, b: AijMat) -> AijMat:
+    """C = A @ B for CSR operands, fully vectorized.
+
+    Expands every A entry into the B row it multiplies (the classic
+    Gustavson formulation flattened into NumPy index arithmetic) and
+    reduces duplicates in one pass.
+    """
+    ma, ka = a.shape
+    kb, nb = b.shape
+    if ka != kb:
+        raise ValueError(f"inner dimensions differ: {ka} vs {kb}")
+    if a.nnz == 0 or b.nnz == 0:
+        return AijMat.from_coo(
+            (ma, nb),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    a_rows = np.repeat(np.arange(ma, dtype=np.int64), a.row_lengths())
+    a_cols = a.colidx.astype(np.int64)
+    b_lengths = b.row_lengths()
+    reps = b_lengths[a_cols]
+    total = int(reps.sum())
+    starts = b.rowptr[a_cols]
+    cum = np.concatenate(([0], np.cumsum(reps)[:-1]))
+    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - cum, reps)
+    out_rows = np.repeat(a_rows, reps)
+    out_cols = b.colidx[flat].astype(np.int64)
+    out_vals = np.repeat(a.val, reps) * b.val[flat]
+    return AijMat.from_coo((ma, nb), out_rows, out_cols, out_vals,
+                           sum_duplicates=True)
+
+
+def bilinear_prolongation(coarse: Grid2D, fine: Grid2D) -> AijMat:
+    """Periodic bilinear interpolation from ``coarse`` to ``fine``.
+
+    Fine points coincident with coarse points copy them; edge midpoints
+    average two coarse neighbours; cell centers average four.  Each DOF
+    component interpolates independently (the operator is block-diagonal
+    over components).
+    """
+    if fine.nx != 2 * coarse.nx or fine.ny != 2 * coarse.ny:
+        raise ValueError("prolongation expects exact factor-2 grids")
+    if fine.dof != coarse.dof:
+        raise ValueError("grids must share the DOF count")
+    dof = fine.dof
+    nxf, nyf = fine.nx, fine.ny
+    nxc, nyc = coarse.nx, coarse.ny
+
+    fi, fj = np.meshgrid(np.arange(nxf), np.arange(nyf))  # fj rows = j
+    fi = fi.ravel()
+    fj = fj.ravel()
+    fine_pt = fj * nxf + fi
+
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+
+    ci0 = fi // 2
+    cj0 = fj // 2
+    ci1 = (ci0 + 1) % nxc
+    cj1 = (cj0 + 1) % nyc
+    odd_i = (fi % 2).astype(bool)
+    odd_j = (fj % 2).astype(bool)
+
+    # The four coarse corners and their bilinear weights per fine point.
+    corners = (
+        (ci0, cj0, np.where(odd_i, 0.5, 1.0) * np.where(odd_j, 0.5, 1.0)),
+        (ci1, cj0, np.where(odd_i, 0.5, 0.0) * np.where(odd_j, 0.5, 1.0)),
+        (ci0, cj1, np.where(odd_i, 0.5, 1.0) * np.where(odd_j, 0.5, 0.0)),
+        (ci1, cj1, np.where(odd_i, 0.5, 0.0) * np.where(odd_j, 0.5, 0.0)),
+    )
+    for ci, cj, w in corners:
+        nzmask = w != 0.0
+        coarse_pt = cj[nzmask] * nxc + ci[nzmask]
+        for c in range(dof):
+            rows_parts.append(fine_pt[nzmask] * dof + c)
+            cols_parts.append(coarse_pt * dof + c)
+            vals_parts.append(w[nzmask])
+
+    return AijMat.from_coo(
+        (fine.ndof, coarse.ndof),
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts),
+        sum_duplicates=True,
+    )
+
+
+def full_weighting_restriction(prolongation: AijMat) -> AijMat:
+    """R = P^T / 4: the adjoint restriction, scaled for 2D factor-2 grids."""
+    r = prolongation.transpose()
+    r.val *= 0.25
+    return r
+
+
+@dataclass
+class MGLevel:
+    """One multigrid level: operator, inverse diagonal, transfer down."""
+
+    op: CountingOperator
+    inv_diag: np.ndarray
+    prolongation: AijMat | None  #: from the next-coarser level (None at the bottom)
+    restriction: AijMat | None
+
+
+class MGPC:
+    """Geometric multigrid V/W-cycle preconditioner.
+
+    Parameters
+    ----------
+    grids:
+        The hierarchy, finest first (``Grid2D.hierarchy``); only needed
+        when operators are rediscretized or transfers must be built.
+    operator_factory:
+        Optional callback ``grid -> AijMat`` rediscretizing the operator
+        per level (PETSc's DMDA default).  When omitted, coarse operators
+        are Galerkin triple products ``R A P``.
+    levels:
+        Level count when ``grids`` is omitted (Galerkin on implied grids is
+        impossible then, so ``grids`` is required for levels > 1).
+    smooth_down / smooth_up:
+        Damped-Jacobi sweeps before/after coarse correction.
+    omega:
+        Jacobi damping (2/3 is the 2D heuristic optimum).
+    coarse_sweeps:
+        Jacobi sweeps standing in for the coarse solve (the paper's
+        ``-mg_coarse_pc_type jacobi``).
+    cycle:
+        ``"v"`` or ``"w"``.
+    """
+
+    def __init__(
+        self,
+        grids: list[Grid2D] | None = None,
+        operator_factory: Callable[[Grid2D], AijMat] | None = None,
+        smooth_down: int = 2,
+        smooth_up: int = 2,
+        omega: float = 2.0 / 3.0,
+        coarse_sweeps: int = 8,
+        cycle: str = "v",
+    ):
+        if cycle not in ("v", "w"):
+            raise ValueError("cycle must be 'v' or 'w'")
+        if grids is not None and len(grids) < 1:
+            raise ValueError("need at least one grid")
+        self.grids = grids
+        self.operator_factory = operator_factory
+        self.smooth_down = smooth_down
+        self.smooth_up = smooth_up
+        self.omega = omega
+        self.coarse_sweeps = coarse_sweeps
+        self.cycle = cycle
+        self.levels: list[MGLevel] = []
+
+    # -- setup ----------------------------------------------------------
+    def setup(self, op: LinearOperator) -> None:
+        """Build the level hierarchy under the given fine operator."""
+        self.levels = []
+        fine_csr = op.to_csr() if hasattr(op, "to_csr") else None
+        if self.grids is None or len(self.grids) == 1:
+            self.levels.append(self._make_level(op, None, None))
+            return
+        if fine_csr is None:
+            raise TypeError("MGPC needs a fine operator exposing to_csr()")
+
+        current: AijMat = fine_csr
+        prolongations: list[AijMat | None] = [None]
+        restrictions: list[AijMat | None] = [None]
+        ops: list[AijMat] = [current]
+        for lvl in range(1, len(self.grids)):
+            fine_grid, coarse_grid = self.grids[lvl - 1], self.grids[lvl]
+            p = bilinear_prolongation(coarse_grid, fine_grid)
+            r = full_weighting_restriction(p)
+            if self.operator_factory is not None:
+                coarse_op = self.operator_factory(coarse_grid)
+            else:
+                coarse_op = csr_matmul(csr_matmul(r, current), p)
+            prolongations.append(p)
+            restrictions.append(r)
+            ops.append(coarse_op)
+            current = coarse_op
+
+        # Level 0 wraps the caller's operator so its matvecs are counted
+        # with whatever format (CSR or SELL) the caller configured.
+        self.levels.append(self._make_level(op, None, None))
+        for lvl in range(1, len(self.grids)):
+            self.levels.append(
+                self._make_level(ops[lvl], prolongations[lvl], restrictions[lvl])
+            )
+
+    def _make_level(
+        self,
+        op: LinearOperator,
+        p: AijMat | None,
+        r: AijMat | None,
+    ) -> MGLevel:
+        diag = np.array(op.diagonal(), dtype=np.float64, copy=True)
+        inv_diag = 1.0 / np.where(diag != 0.0, diag, 1.0)
+        counting = op if isinstance(op, CountingOperator) else CountingOperator(op)
+        return MGLevel(op=counting, inv_diag=inv_diag, prolongation=p,
+                       restriction=r)
+
+    # -- cycling -----------------------------------------------------------
+    def _smooth(
+        self, level: MGLevel, x: np.ndarray, b: np.ndarray, sweeps: int
+    ) -> np.ndarray:
+        for _ in range(sweeps):
+            x = x + self.omega * level.inv_diag * (b - level.op.multiply(x))
+        return x
+
+    def _cycle(self, lvl: int, b: np.ndarray) -> np.ndarray:
+        level = self.levels[lvl]
+        if lvl == len(self.levels) - 1:
+            # Coarse "solve": Jacobi sweeps, per the paper's options.
+            sweeps = self.coarse_sweeps if len(self.levels) > 1 else max(
+                self.coarse_sweeps, 1
+            )
+            return self._smooth(level, np.zeros_like(b), b, sweeps)
+        x = self._smooth(level, np.zeros_like(b), b, self.smooth_down)
+        coarse = self.levels[lvl + 1]
+        r = b - level.op.multiply(x)
+        rc = coarse.restriction.multiply(r)
+        ec = self._cycle(lvl + 1, rc)
+        if self.cycle == "w" and lvl + 1 < len(self.levels) - 1:
+            rc2 = rc - self.levels[lvl + 1].op.multiply(ec)
+            ec = ec + self._cycle(lvl + 1, rc2)
+        x = x + coarse.prolongation.multiply(ec)
+        return self._smooth(level, x, b, self.smooth_up)
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """One multigrid cycle from a zero initial guess (a linear PC)."""
+        if not self.levels:
+            raise RuntimeError("MGPC.apply before setup")
+        if r.shape[0] != self.levels[0].op.shape[0]:
+            raise ValueError("residual does not conform to the operator")
+        return self._cycle(0, r)
+
+    # -- accounting ---------------------------------------------------------
+    def matvec_counts(self) -> list[int]:
+        """MatMults executed per level since setup (finest first)."""
+        return [level.op.matvecs for level in self.levels]
+
+    def rows_processed(self) -> list[int]:
+        """Rows streamed per level — proportional to SpMV volume."""
+        return [level.op.rows_processed for level in self.levels]

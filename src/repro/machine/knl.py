@@ -1,0 +1,108 @@
+"""Knights Landing node topology: tiles, cluster modes, memory modes.
+
+Captures the architectural facts of paper Section 2.6 that the experiments
+depend on: the tile organization (2 cores sharing 1 MB of L2), the quadrant
+cluster mode all runs use, and the three MCDRAM modes.  The quantitative
+memory behaviour lives in :mod:`repro.memory`; this module provides the
+node-level object the benchmark harness configures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..memory.cache import DirectMappedCache
+from ..memory.numa import NumaPolicy, Placement
+from ..memory.spaces import GiB
+from .perf_model import MemoryMode, PerfModel
+from .specs import KNL_7230, ProcessorSpec
+
+
+class ClusterMode(enum.Enum):
+    """On-chip interconnect affinity modes of KNL."""
+
+    ALL_TO_ALL = "all-to-all"
+    QUADRANT = "quadrant"   #: used for every experiment in the paper
+    SNC2 = "snc-2"
+    SNC4 = "snc-4"
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One KNL tile: two cores sharing a 1 MB L2 slice."""
+
+    index: int
+    cores: tuple[int, int]
+    l2_bytes: int = 1 * 1024 * 1024
+
+
+@dataclass
+class KnlNode:
+    """A configured KNL node, the unit of the single-node experiments.
+
+    The constructor checks configuration invariants (hybrid mode needs a
+    split, cache mode has no NUMA policy) so benchmark configs fail fast.
+    """
+
+    spec: ProcessorSpec = field(default_factory=lambda: KNL_7230)
+    memory_mode: MemoryMode = MemoryMode.CACHE
+    cluster_mode: ClusterMode = ClusterMode.QUADRANT
+    #: In hybrid mode, the fraction of MCDRAM used as cache.
+    hybrid_cache_fraction: float | None = None
+    numa_policy: NumaPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if not self.spec.has_hbm:
+            raise ValueError("KnlNode requires a processor with MCDRAM")
+        if self.hybrid_cache_fraction is not None and not (
+            0.0 < self.hybrid_cache_fraction < 1.0
+        ):
+            raise ValueError("hybrid cache fraction must lie strictly in (0, 1)")
+        if self.memory_mode in (MemoryMode.FLAT_MCDRAM, MemoryMode.FLAT_DRAM):
+            if self.numa_policy is None:
+                placement = (
+                    Placement.PREFER_MCDRAM
+                    if self.memory_mode is MemoryMode.FLAT_MCDRAM
+                    else Placement.BIND_DRAM
+                )
+                self.numa_policy = NumaPolicy(placement=placement)
+        elif self.numa_policy is not None:
+            raise ValueError("NUMA policies only apply in flat mode")
+
+    @property
+    def tiles(self) -> list[Tile]:
+        """The tile layout: pairs of adjacent cores sharing L2."""
+        return [
+            Tile(index=i, cores=(2 * i, 2 * i + 1))
+            for i in range(self.spec.cores // 2)
+        ]
+
+    @property
+    def quadrants(self) -> list[list[Tile]]:
+        """Tiles grouped into the four quadrants of quadrant mode."""
+        tiles = self.tiles
+        per_quadrant = max(1, len(tiles) // 4)
+        return [tiles[i : i + per_quadrant] for i in range(0, len(tiles), per_quadrant)]
+
+    @property
+    def mcdram_cache(self) -> DirectMappedCache | None:
+        """The direct-mapped cache MCDRAM becomes in cache/hybrid mode."""
+        if self.memory_mode is MemoryMode.CACHE:
+            return DirectMappedCache(capacity_bytes=16 * GiB)
+        if self.hybrid_cache_fraction is not None:
+            return DirectMappedCache(
+                capacity_bytes=int(16 * GiB * self.hybrid_cache_fraction)
+            )
+        return None
+
+    def perf_model(self) -> PerfModel:
+        """A performance model bound to this node's configuration."""
+        from .perf_model import KNL_OVERLAP
+
+        return PerfModel(
+            spec=self.spec,
+            mode=self.memory_mode,
+            overlap=KNL_OVERLAP,
+            cache_model=self.mcdram_cache,
+        )

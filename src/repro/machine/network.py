@@ -1,0 +1,101 @@
+"""Interconnect and cluster model for the multinode experiments (Figure 10).
+
+Theta is a Cray XC40 with an Aries dragonfly network.  The multinode runs
+of Section 7.3 strong-scale a 16384x16384-grid Gray-Scott simulation over
+64-512 KNL nodes; what the model must capture is
+
+* per-``MatMult`` halo exchange: each rank owns a block of rows and needs a
+  thin boundary of the input vector from neighbouring ranks (the
+  off-diagonal block is compressed, Section 2.2, so message sizes are the
+  boundary sizes, not the row count);
+* Krylov-dot-product allreduces, whose latency term grows with log(P) and
+  eventually limits strong scaling;
+* the node-local SpMV time from :mod:`repro.machine.perf_model`.
+
+Constants are Aries-class figures: a few microseconds of end-to-end
+latency, ~8 GB/s injection bandwidth per node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A simple latency/bandwidth (Hockney) interconnect model."""
+
+    latency_s: float = 3.0e-6         #: end-to-end per-message latency
+    bandwidth_gbs: float = 8.0        #: injection bandwidth per node
+    #: per-rank software overhead of posting a message (MPI stack)
+    overhead_s: float = 5.0e-7
+
+    def message_time(self, nbytes: int) -> float:
+        """Point-to-point time for one message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.latency_s + self.overhead_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+    def halo_exchange_time(self, neighbor_count: int, bytes_per_neighbor: int) -> float:
+        """Time for one rank's ghost update (messages proceed concurrently).
+
+        Non-blocking sends/receives overlap across neighbours, so the cost
+        is one latency plus the serialized injection of all outgoing data.
+        """
+        if neighbor_count < 0:
+            raise ValueError("neighbor count must be non-negative")
+        if neighbor_count == 0:
+            return 0.0
+        total_bytes = neighbor_count * bytes_per_neighbor
+        return (
+            self.latency_s
+            + neighbor_count * self.overhead_s
+            + total_bytes / (self.bandwidth_gbs * 1e9)
+        )
+
+    def allreduce_time(self, nranks: int, nbytes: int = 8) -> float:
+        """Recursive-doubling allreduce over ``nranks`` ranks."""
+        if nranks < 1:
+            raise ValueError("rank count must be positive")
+        if nranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        return rounds * (
+            self.latency_s + self.overhead_s + nbytes / (self.bandwidth_gbs * 1e9)
+        )
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous cluster: nodes x ranks-per-node on one network."""
+
+    nodes: int
+    ranks_per_node: int
+    network: NetworkModel
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.ranks_per_node < 1:
+            raise ValueError("cluster dimensions must be positive")
+
+    @property
+    def total_ranks(self) -> int:
+        """World size of the simulated job."""
+        return self.nodes * self.ranks_per_node
+
+
+def halo_bytes_2d(
+    local_rows: int, dof_per_point: int = 2, stencil_width: int = 1
+) -> int:
+    """Ghost bytes one rank exchanges for a 2D 5-point-stencil partition.
+
+    PETSc's row-block partition of a 2D grid gives each rank a band of grid
+    rows; with a 5-point stencil the ghost region is one grid row (times
+    the stencil width) above and below: ``2 * width * sqrt(points) * dof``
+    values for a roughly square local domain.
+    """
+    if local_rows <= 0:
+        return 0
+    points = local_rows / dof_per_point
+    boundary_points = 2 * stencil_width * math.sqrt(points)
+    return int(boundary_points * dof_per_point * 8)

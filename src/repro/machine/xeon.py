@@ -1,0 +1,55 @@
+"""Standard Xeon node models (Haswell, Broadwell, Skylake).
+
+The Figure 11 comparison machines.  Unlike KNL these are conventional
+out-of-order processors without on-package memory; the only configuration
+choice is the socket spec.  The class exists so the Figure 11 harness treats
+every machine uniformly (``node.perf_model()``) and so node-level facts —
+like Skylake's six memory channels explaining its near-2x bandwidth edge
+over Broadwell (Section 7.4) — have a home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .perf_model import MemoryMode, PerfModel
+from .specs import BROADWELL, HASWELL, SKYLAKE, ProcessorSpec
+
+
+@dataclass
+class XeonNode:
+    """A single-socket standard Xeon node."""
+
+    spec: ProcessorSpec = field(default_factory=lambda: SKYLAKE)
+    #: DDR4 channels per socket; Haswell/Broadwell have 4, Skylake 6.
+    memory_channels: int = 6
+
+    def __post_init__(self) -> None:
+        if self.spec.has_hbm:
+            raise ValueError("XeonNode is for processors without MCDRAM")
+        if self.memory_channels < 1:
+            raise ValueError("memory channel count must be positive")
+
+    @property
+    def bandwidth_per_channel_gbs(self) -> float:
+        """Peak bandwidth one channel contributes."""
+        return self.spec.ddr_bandwidth_gbs / self.memory_channels
+
+    def perf_model(self) -> PerfModel:
+        """Performance model for this node (always DDR, high overlap)."""
+        return PerfModel(spec=self.spec, mode=MemoryMode.DDR, overlap=0.75)
+
+
+def haswell_node() -> XeonNode:
+    """The paper's Haswell E5-2699 v3 node (4 channels/socket)."""
+    return XeonNode(spec=HASWELL, memory_channels=4)
+
+
+def broadwell_node() -> XeonNode:
+    """The paper's Broadwell E5-2699 v4 node (4 channels/socket)."""
+    return XeonNode(spec=BROADWELL, memory_channels=4)
+
+
+def skylake_node() -> XeonNode:
+    """The paper's Skylake 8180M node (6 channels/socket)."""
+    return XeonNode(spec=SKYLAKE, memory_channels=6)

@@ -1,0 +1,82 @@
+"""Sparse matrix formats: the Mat layer of the mini-PETSc.
+
+Sequential formats: AIJ/CSR (the baseline), AIJPERM, BAIJ, ELLPACK(-R),
+ESB, hybrid ELL+COO, COO, and — re-exported from :mod:`repro.core` — SELL,
+the paper's contribution.  Distributed formats (MPIAIJ, MPISELL) implement
+the diag/off-diag split and the overlapped parallel SpMV of Section 2.2.
+"""
+
+from .aij import AijMat
+from .aij_perm import AijPermMat
+from .assembly import AssemblyStats, InsertMode, MatAssembler, PreallocationError
+from .baij import BaijMat
+from .base import Mat, MatrixShapeError
+from .coo import CooMat
+from .ellpack import EllpackMat
+from .hybrid import HybridMat
+from .io import (
+    MatrixMarketError,
+    dumps,
+    loads,
+    read_matrix_market,
+    write_matrix_market,
+)
+from .mpi_aij import CompressedCsr, MPIAij, split_local_rows
+from .sparsity import (
+    SparsityProfile,
+    ellpack_padding,
+    locality_span,
+    padding_ratio,
+    profile,
+    sliced_padding,
+)
+
+__all__ = [
+    "AijMat",
+    "AijPermMat",
+    "AssemblyStats",
+    "BaijMat",
+    "CompressedCsr",
+    "CooMat",
+    "EllpackMat",
+    "EsbMat",
+    "HybridMat",
+    "InsertMode",
+    "MPIAij",
+    "MatrixMarketError",
+    "MPISell",
+    "Mat",
+    "MatAssembler",
+    "MatrixShapeError",
+    "PreallocationError",
+    "SparsityProfile",
+    "dumps",
+    "ellpack_padding",
+    "loads",
+    "locality_span",
+    "padding_ratio",
+    "profile",
+    "read_matrix_market",
+    "sliced_padding",
+    "split_local_rows",
+    "write_matrix_market",
+]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports for the SELL-based classes.
+
+    EsbMat and MPISell build on :mod:`repro.core.sell`, which itself builds
+    on :mod:`repro.mat.aij`; importing them lazily keeps the package import
+    graph acyclic regardless of whether ``repro.mat`` or ``repro.core`` is
+    imported first.
+    """
+    if name == "EsbMat":
+        from ..core.esb import EsbMat
+
+        return EsbMat
+    if name == "MPISell":
+        from .mpi_sell import MPISell
+
+        return MPISell
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,100 @@
+"""The Mat interface shared by every sequential matrix format.
+
+PETSc's Mat object is format-polymorphic — the solver stack calls
+``MatMult`` without knowing whether the operator is AIJ, BAIJ, AIJPERM, or
+SELL (that polymorphism is what lets the paper swap ``-dm_mat_type sell``
+into an unchanged application).  This base class is that contract:
+
+* :meth:`multiply` — the production matvec (vectorized NumPy, used by the
+  solvers, exact same arithmetic as the engine kernels up to summation
+  order);
+* :meth:`to_csr` / conversion hooks — every format round-trips through CSR,
+  which is both how PETSc converts and how the tests establish equivalence;
+* :meth:`memory_bytes` — the storage footprint, feeding the Section 6
+  traffic analysis and the MCDRAM capacity checks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .aij import AijMat
+
+
+class MatrixShapeError(ValueError):
+    """A vector did not conform to the matrix dimensions."""
+
+
+class Mat(abc.ABC):
+    """Abstract sequential sparse matrix."""
+
+    #: Format name as it appears in benchmark tables ("CSR", "SELL", ...).
+    format_name: str = "abstract"
+
+    # -- shape -----------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns)."""
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Stored nonzeros, excluding any format padding."""
+
+    # -- operations --------------------------------------------------------
+    @abc.abstractmethod
+    def multiply(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        """y = A @ x (allocating y when not supplied)."""
+
+    @abc.abstractmethod
+    def to_csr(self) -> "AijMat":
+        """Convert to the CSR reference format."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Bytes of storage the format occupies (values + all index arrays)."""
+
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal (zero where no entry is stored)."""
+        return self.to_csr().diagonal()
+
+    # -- helpers for subclasses ---------------------------------------------
+    def _check_multiply_args(
+        self, x: np.ndarray, y: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        m, n = self.shape
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1 or x.shape[0] != n:
+            raise MatrixShapeError(
+                f"input vector of length {x.shape if x.ndim != 1 else x.shape[0]} "
+                f"does not conform to matrix {m}x{n}"
+            )
+        if y is None:
+            y = np.zeros(m, dtype=np.float64)
+        elif y.ndim != 1 or y.shape[0] != m:
+            raise MatrixShapeError(
+                f"output vector of length {y.shape[0]} does not conform to "
+                f"matrix {m}x{n}"
+            )
+        return x, y
+
+    def to_dense(self) -> np.ndarray:
+        """Dense copy, for tests on small matrices only."""
+        csr = self.to_csr()
+        m, n = csr.shape
+        dense = np.zeros((m, n), dtype=np.float64)
+        for i in range(m):
+            lo, hi = csr.rowptr[i], csr.rowptr[i + 1]
+            # np.add.at accumulates duplicate column entries; fancy-index
+            # += would silently keep only the last one.
+            np.add.at(dense[i], csr.colidx[lo:hi], csr.val[lo:hi])
+        return dense
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m, n = self.shape
+        return f"{type(self).__name__}(shape=({m}, {n}), nnz={self.nnz})"

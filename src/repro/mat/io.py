@@ -1,0 +1,139 @@
+"""Matrix Market I/O: load real-world matrices into the format zoo.
+
+The SpMV literature the paper engages with (Williams et al., Kreutzer et
+al., Liu et al.) benchmarks on SuiteSparse/Matrix Market collections; this
+module reads and writes the ``.mtx`` coordinate format so those matrices —
+or any user matrix — can be dropped into the format comparison and the
+performance model.  Pure-Python parser, no scipy.io dependency:
+coordinate real/integer/pattern matrices with general or symmetric
+storage (symmetric entries are expanded on read).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from .aij import AijMat
+
+
+class MatrixMarketError(ValueError):
+    """Malformed Matrix Market content."""
+
+
+def _open(source: str | Path | TextIO, mode: str):
+    if isinstance(source, (str, Path)):
+        return open(source, mode, encoding="ascii"), True
+    return source, False
+
+
+def read_matrix_market(source: str | Path | TextIO) -> AijMat:
+    """Read a coordinate-format ``.mtx`` into CSR.
+
+    Supports the header variants the experiments need:
+    ``matrix coordinate (real|integer|pattern) (general|symmetric)``.
+    Pattern matrices read as all-ones; symmetric storage is expanded to
+    both triangles (diagonal entries once).
+    """
+    handle, owned = _open(source, "r")
+    try:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise MatrixMarketError("missing %%MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) < 5 or parts[1].lower() != "matrix":
+            raise MatrixMarketError(f"unsupported header: {header.strip()!r}")
+        layout, field, symmetry = (
+            parts[2].lower(),
+            parts[3].lower(),
+            parts[4].lower(),
+        )
+        if layout != "coordinate":
+            raise MatrixMarketError("only coordinate layout is supported")
+        if field not in ("real", "integer", "pattern"):
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+        # Skip comments, read the size line.
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        try:
+            m, n, nnz = (int(tok) for tok in line.split())
+        except Exception as exc:
+            raise MatrixMarketError(f"bad size line: {line.strip()!r}") from exc
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            line = handle.readline()
+            if not line:
+                raise MatrixMarketError(
+                    f"expected {nnz} entries, file ended after {k}"
+                )
+            toks = line.split()
+            if field == "pattern":
+                if len(toks) != 2:
+                    raise MatrixMarketError(f"bad pattern entry: {line.strip()!r}")
+                value = 1.0
+            else:
+                if len(toks) != 3:
+                    raise MatrixMarketError(f"bad entry: {line.strip()!r}")
+                value = float(toks[2])
+            i, j = int(toks[0]) - 1, int(toks[1]) - 1  # 1-based on disk
+            if not (0 <= i < m and 0 <= j < n):
+                raise MatrixMarketError(f"entry ({i + 1}, {j + 1}) out of range")
+            rows[k], cols[k], vals[k] = i, j, value
+
+        if symmetry == "symmetric":
+            off = rows != cols  # mirror everything except the diagonal
+            rows, cols, vals = (
+                np.concatenate([rows, cols[off]]),
+                np.concatenate([cols, rows[off]]),
+                np.concatenate([vals, vals[off]]),
+            )
+        return AijMat.from_coo((m, n), rows, cols, vals, sum_duplicates=True)
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_matrix_market(
+    mat, target: str | Path | TextIO, comment: str | None = None
+) -> None:
+    """Write any repro matrix as coordinate real general ``.mtx``."""
+    csr = mat.to_csr()
+    m, n = csr.shape
+    handle, owned = _open(target, "w")
+    try:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"% {line}\n")
+        handle.write(f"{m} {n} {csr.nnz}\n")
+        for i in range(m):
+            lo, hi = int(csr.rowptr[i]), int(csr.rowptr[i + 1])
+            for k in range(lo, hi):
+                handle.write(
+                    f"{i + 1} {int(csr.colidx[k]) + 1} {csr.val[k]:.17g}\n"
+                )
+    finally:
+        if owned:
+            handle.close()
+
+
+def loads(text: str) -> AijMat:
+    """Parse Matrix Market content from a string."""
+    return read_matrix_market(io.StringIO(text))
+
+
+def dumps(mat, comment: str | None = None) -> str:
+    """Serialize a matrix to a Matrix Market string."""
+    buf = io.StringIO()
+    write_matrix_market(mat, buf, comment=comment)
+    return buf.getvalue()

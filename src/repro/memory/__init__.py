@@ -1,0 +1,59 @@
+"""Memory-system models: kinds, alignment, bandwidth curves, cache mode.
+
+The substitute for KNL's MCDRAM/DRAM hierarchy (DESIGN.md substitution
+table): real aligned allocation and capacity accounting, plus calibrated
+bandwidth-versus-process-count curves that reproduce the paper's Figure 4
+STREAM measurements and feed the SpMV performance model.
+"""
+
+from .bandwidth import (
+    FIGURE4_CURVES,
+    FIGURE4_PROCESS_COUNTS,
+    KNL_CACHE_AVX512,
+    KNL_CACHE_NOVEC,
+    KNL_FLAT_DRAM,
+    KNL_FLAT_MCDRAM_AVX512,
+    KNL_FLAT_MCDRAM_NOVEC,
+    BandwidthCurve,
+    sustained_fraction,
+)
+from .cache import DirectMappedCache
+from .numa import NumaPolicy, Placement
+from .spaces import (
+    DRAM,
+    KINDS,
+    MCDRAM,
+    Allocation,
+    MemkindAllocator,
+    MemoryKind,
+    MemoryKindExhausted,
+    aligned_alloc,
+)
+from .stream import StreamResult, figure4_series, run_all, triad
+
+__all__ = [
+    "Allocation",
+    "BandwidthCurve",
+    "DRAM",
+    "DirectMappedCache",
+    "FIGURE4_CURVES",
+    "FIGURE4_PROCESS_COUNTS",
+    "KINDS",
+    "KNL_CACHE_AVX512",
+    "KNL_CACHE_NOVEC",
+    "KNL_FLAT_DRAM",
+    "KNL_FLAT_MCDRAM_AVX512",
+    "KNL_FLAT_MCDRAM_NOVEC",
+    "MCDRAM",
+    "MemkindAllocator",
+    "MemoryKind",
+    "MemoryKindExhausted",
+    "NumaPolicy",
+    "Placement",
+    "StreamResult",
+    "aligned_alloc",
+    "figure4_series",
+    "run_all",
+    "sustained_fraction",
+    "triad",
+]

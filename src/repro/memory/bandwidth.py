@@ -1,0 +1,100 @@
+"""Bandwidth-saturation curves versus MPI process count (paper Figure 4).
+
+The STREAM measurements on a 68-core KNL 7250 (Figure 4) show three facts
+the SpMV performance model must inherit:
+
+1. MCDRAM in flat mode sustains close to **500 GB/s**, but only once ~58
+   processes are running; DRAM saturates far earlier at ~**90 GB/s**.
+2. Cache mode loses some bandwidth to the direct-mapped tag traffic and
+   saturates around 40 processes at ~**380 GB/s**.
+3. Vectorization matters for *bandwidth* too: in flat mode an unvectorized
+   STREAM reaches dramatically lower bandwidth (a core can only keep so
+   many scalar loads in flight), while in cache mode the gap nearly closes.
+
+A :class:`BandwidthCurve` encodes one such series as a smooth saturating
+function of the process count,
+
+    ``bw(p) = peak * tanh(alpha * p / p_sat) / tanh(alpha)``,
+
+with ``alpha`` fixed so the curve reaches 98% of peak at ``p_sat``.  The
+curves are calibrated to the figure's reported values; the machine models
+pick the right curve for a (memory mode, ISA) pair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BandwidthCurve:
+    """A saturating achieved-bandwidth curve.
+
+    Parameters
+    ----------
+    peak_gbs:
+        Asymptotic achieved bandwidth in GB/s.
+    p_sat:
+        Process count at which the curve reaches ~98% of peak.
+    name:
+        Label used in benchmark output (matches the Figure 4 legend).
+    """
+
+    peak_gbs: float
+    p_sat: int
+    name: str = ""
+
+    _ALPHA = 2.2975599250672945  # atanh(0.98): tanh(alpha) = 0.98
+
+    def at(self, nprocs: int) -> float:
+        """Achieved bandwidth in GB/s with ``nprocs`` processes."""
+        if nprocs < 1:
+            raise ValueError("process count must be positive")
+        x = self._ALPHA * nprocs / self.p_sat
+        return self.peak_gbs * math.tanh(x) / 0.98
+
+    def bytes_per_second(self, nprocs: int) -> float:
+        """Achieved bandwidth in bytes/s (decimal GB, as STREAM reports)."""
+        return self.at(nprocs) * 1e9
+
+
+# ---------------------------------------------------------------------------
+# KNL curves calibrated to Figure 4 (68-core 7250, quadrant mode).
+# ---------------------------------------------------------------------------
+
+#: Flat mode, MCDRAM, vectorized triad: "scales to almost 500 GB/s",
+#: "58 processes are needed to saturate in flat mode".
+KNL_FLAT_MCDRAM_AVX512 = BandwidthCurve(495.0, 58, "Flat:AVX512")
+
+#: Flat mode, MCDRAM, unvectorized: "use of vectorization results in
+#: dramatically higher achieved memory bandwidth" in flat mode.
+KNL_FLAT_MCDRAM_NOVEC = BandwidthCurve(345.0, 58, "Flat:novec")
+
+#: Cache mode, vectorized: "40 processes are needed in cache mode";
+#: slightly below flat mode, consistent with Section 7.1.
+KNL_CACHE_AVX512 = BandwidthCurve(385.0, 40, "Cache:AVX512")
+
+#: Cache mode, unvectorized: "disabling vectorization only slightly lowers
+#: the achieved bandwidth" in cache mode.
+KNL_CACHE_NOVEC = BandwidthCurve(355.0, 40, "Cache:novec")
+
+#: Flat mode but allocations forced to DDR4 (numactl --membind=0).
+#: Six DDR4-2400 channels: 115.2 GB/s peak, ~90 sustained, saturating early.
+KNL_FLAT_DRAM = BandwidthCurve(88.0, 16, "Flat:DRAM")
+
+#: Figure 4's x-axis, used by the STREAM benchmark harness.
+FIGURE4_PROCESS_COUNTS = (8, 16, 24, 32, 40, 48, 56, 64)
+
+#: The four series plotted in Figure 4, in legend order.
+FIGURE4_CURVES = (
+    KNL_FLAT_MCDRAM_AVX512,
+    KNL_FLAT_MCDRAM_NOVEC,
+    KNL_CACHE_AVX512,
+    KNL_CACHE_NOVEC,
+)
+
+
+def sustained_fraction(curve: BandwidthCurve, nprocs: int) -> float:
+    """Fraction of the curve's peak achieved at ``nprocs`` processes."""
+    return curve.at(nprocs) / curve.peak_gbs

@@ -1,0 +1,61 @@
+"""numactl-style placement policies for KNL flat mode (paper Section 3.4).
+
+In flat mode MCDRAM appears as a second NUMA node.  The paper's flat-mode
+experiments place memory with ``numactl`` rather than memkind; this module
+models the three placements those experiments use and resolves them to a
+:class:`~repro.memory.spaces.MemoryKind` given the allocation size and the
+remaining MCDRAM capacity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .spaces import DRAM, MCDRAM, MemoryKind, MemoryKindExhausted
+
+
+class Placement(enum.Enum):
+    """The numactl policies exercised by the experiments."""
+
+    #: ``numactl --membind=1``: MCDRAM only; overflow is an allocation error.
+    BIND_MCDRAM = "membind-mcdram"
+    #: ``numactl --preferred=1``: MCDRAM while it lasts, then DRAM.
+    PREFER_MCDRAM = "preferred-mcdram"
+    #: ``numactl --membind=0``: DRAM only (the "flat mode, DRAM" series).
+    BIND_DRAM = "membind-dram"
+
+
+@dataclass
+class NumaPolicy:
+    """Resolve allocations to memory kinds under a numactl policy."""
+
+    placement: Placement = Placement.PREFER_MCDRAM
+    mcdram_capacity: int = MCDRAM.capacity_bytes
+    _mcdram_used: int = 0
+
+    def place(self, nbytes: int) -> MemoryKind:
+        """Choose the kind an allocation of ``nbytes`` lands in.
+
+        Mirrors the OS behaviour: ``membind`` faults on overflow,
+        ``preferred`` silently falls back to DRAM.
+        """
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.placement is Placement.BIND_DRAM:
+            return DRAM
+        fits = self._mcdram_used + nbytes <= self.mcdram_capacity
+        if fits:
+            self._mcdram_used += nbytes
+            return MCDRAM
+        if self.placement is Placement.BIND_MCDRAM:
+            raise MemoryKindExhausted(
+                f"membind=MCDRAM allocation of {nbytes} bytes exceeds the "
+                f"{self.mcdram_capacity - self._mcdram_used} bytes remaining"
+            )
+        return DRAM
+
+    @property
+    def mcdram_used(self) -> int:
+        """Bytes placed in MCDRAM so far."""
+        return self._mcdram_used

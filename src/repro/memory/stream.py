@@ -1,0 +1,102 @@
+"""STREAM benchmark: real kernels for validation, modeled curves for Figure 4.
+
+Two layers, matching the repo-wide convention:
+
+* :func:`triad`, :func:`copy`, :func:`scale`, :func:`add` execute the actual
+  STREAM kernels on NumPy buffers and report the bytes each kernel moves —
+  used by unit tests and by anyone who wants to measure the *host*.
+* :func:`figure4_series` evaluates the calibrated KNL bandwidth curves at
+  the paper's process counts, producing the exact four series of Figure 4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bandwidth import FIGURE4_CURVES, FIGURE4_PROCESS_COUNTS, BandwidthCurve
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """One STREAM kernel execution: traffic moved and time taken."""
+
+    kernel: str
+    bytes_moved: int
+    seconds: float
+
+    @property
+    def gbs(self) -> float:
+        """Achieved bandwidth in decimal GB/s, as STREAM reports it."""
+        if self.seconds == 0:
+            return float("inf")
+        return self.bytes_moved / self.seconds / 1e9
+
+
+def _run(kernel: str, fn, bytes_moved: int, repeats: int) -> StreamResult:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return StreamResult(kernel, bytes_moved, best)
+
+
+def copy(a: np.ndarray, c: np.ndarray, repeats: int = 3) -> StreamResult:
+    """STREAM copy: ``c[:] = a`` — 16 bytes per element."""
+    n = a.shape[0]
+    return _run("copy", lambda: np.copyto(c, a), 16 * n, repeats)
+
+
+def scale(a: np.ndarray, c: np.ndarray, s: float = 3.0, repeats: int = 3) -> StreamResult:
+    """STREAM scale: ``c[:] = s*a`` — 16 bytes per element."""
+    n = a.shape[0]
+    return _run("scale", lambda: np.multiply(a, s, out=c), 16 * n, repeats)
+
+
+def add(a: np.ndarray, b: np.ndarray, c: np.ndarray, repeats: int = 3) -> StreamResult:
+    """STREAM add: ``c[:] = a+b`` — 24 bytes per element."""
+    n = a.shape[0]
+    return _run("add", lambda: np.add(a, b, out=c), 24 * n, repeats)
+
+
+def triad(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, s: float = 3.0, repeats: int = 3
+) -> StreamResult:
+    """STREAM triad: ``a[:] = b + s*c`` — 24 bytes per element."""
+    n = a.shape[0]
+
+    def body() -> None:
+        np.multiply(c, s, out=a)
+        np.add(a, b, out=a)
+
+    return _run("triad", body, 24 * n, repeats)
+
+
+def run_all(n: int = 1_000_000, repeats: int = 3) -> list[StreamResult]:
+    """Run the four STREAM kernels on freshly allocated arrays of size n."""
+    a = np.random.default_rng(0).random(n)
+    b = np.random.default_rng(1).random(n)
+    c = np.zeros(n)
+    return [
+        copy(a, c, repeats),
+        scale(a, c, repeats=repeats),
+        add(a, b, c, repeats),
+        triad(a, b, c, repeats=repeats),
+    ]
+
+
+def figure4_series(
+    curves: tuple[BandwidthCurve, ...] = FIGURE4_CURVES,
+    process_counts: tuple[int, ...] = FIGURE4_PROCESS_COUNTS,
+) -> dict[str, list[tuple[int, float]]]:
+    """The Figure 4 data: achieved GB/s per (curve, process count).
+
+    Returns a mapping from curve name (``Flat:AVX512`` etc.) to a list of
+    ``(nprocs, GB/s)`` points over the paper's x-axis.
+    """
+    return {
+        curve.name: [(p, curve.at(p)) for p in process_counts] for curve in curves
+    }

@@ -1,0 +1,47 @@
+"""PDE layer: grids, stencils, the Gray-Scott problem, matrix gallery."""
+
+from .advection import AdvectionDiffusion, AdvectionDiffusionProblem
+from .grayscott import GrayScott, GrayScottProblem
+from .grid import Grid2D
+from .parallel_grayscott import (
+    DistributedGrayScott,
+    ParallelThetaMethod,
+    StripDecomposition,
+)
+from .problems import (
+    gray_scott_jacobian,
+    irregular_rows,
+    laplacian_2d,
+    nine_point_2d,
+    random_sparse,
+    spd_laplacian,
+    tridiagonal,
+)
+from .stencil import (
+    FIVE_POINT,
+    apply_laplacian,
+    laplacian_csr,
+    nine_point_laplacian_csr,
+)
+
+__all__ = [
+    "AdvectionDiffusion",
+    "AdvectionDiffusionProblem",
+    "DistributedGrayScott",
+    "FIVE_POINT",
+    "GrayScott",
+    "GrayScottProblem",
+    "Grid2D",
+    "ParallelThetaMethod",
+    "StripDecomposition",
+    "apply_laplacian",
+    "gray_scott_jacobian",
+    "irregular_rows",
+    "laplacian_csr",
+    "laplacian_2d",
+    "nine_point_2d",
+    "nine_point_laplacian_csr",
+    "random_sparse",
+    "spd_laplacian",
+    "tridiagonal",
+]

@@ -1,0 +1,147 @@
+"""Advection-diffusion: the other problem family of the paper's source tree.
+
+The paper's test code ships as ``src/ts/examples/tutorials/
+advection-diffusion/ex5adj.c`` — the Gray-Scott adjoint example living in
+PETSc's advection-diffusion tutorial directory.  This module supplies the
+directory's namesake problem: scalar advection-diffusion on the periodic
+grid,
+
+    du/dt = D lap(u) - v . grad(u),
+
+discretized with the 5-point Laplacian and first-order upwind advection.
+The operator is *linear* and nonsymmetric — the natural GMRES stress case
+the Krylov tests want — and its Jacobian is state-independent, the
+counterpoint to Gray-Scott's rebuild-every-Newton-step behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mat.aij import AijMat
+from .grid import Grid2D
+from .stencil import apply_laplacian
+
+
+@dataclass(frozen=True)
+class AdvectionDiffusion:
+    """Model parameters: diffusivity and the constant velocity field."""
+
+    diffusivity: float = 1.0e-3
+    vx: float = 1.0
+    vy: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.diffusivity < 0:
+            raise ValueError("diffusivity must be non-negative")
+
+
+class AdvectionDiffusionProblem:
+    """Discretized scalar advection-diffusion on a periodic grid."""
+
+    def __init__(self, grid: Grid2D, model: AdvectionDiffusion | None = None):
+        if grid.dof != 1:
+            raise ValueError("advection-diffusion here is scalar (dof=1)")
+        self.grid = grid
+        self.model = model if model is not None else AdvectionDiffusion()
+
+    def initial_state(self, seed: int = 0) -> np.ndarray:
+        """A smooth Gaussian blob, slightly off-center."""
+        g = self.grid
+        x, y = g.point_coordinates()
+        cx, cy = 0.3 * g.length, 0.4 * g.length
+        width = (g.length / 8.0) ** 2
+        u = np.exp(-((x - cx) ** 2 + (y - cy) ** 2) / width)
+        if seed:
+            u += 0.01 * np.random.default_rng(seed).standard_normal(u.shape)
+        return u
+
+    def _upwind_gradient(self, field: np.ndarray) -> np.ndarray:
+        """v . grad(u) with first-order upwind differences (periodic)."""
+        g, m = self.grid, self.model
+        # Positive velocity uses the backward difference, negative forward.
+        if m.vx >= 0:
+            dudx = (field - np.roll(field, 1, axis=1)) / g.hx
+        else:
+            dudx = (np.roll(field, -1, axis=1) - field) / g.hx
+        if m.vy >= 0:
+            dudy = (field - np.roll(field, 1, axis=0)) / g.hy
+        else:
+            dudy = (np.roll(field, -1, axis=0) - field) / g.hy
+        return m.vx * dudx + m.vy * dudy
+
+    def rhs(self, w: np.ndarray) -> np.ndarray:
+        """f(w) = D lap(u) - v . grad(u)."""
+        g = self.grid
+        (u,) = g.unknowns_as_fields(w)
+        out = self.model.diffusivity * apply_laplacian(g, u)
+        out -= self._upwind_gradient(u)
+        return g.fields_as_unknowns([out])
+
+    def jacobian(
+        self, w: np.ndarray | None = None, shift: float = 0.0, scale: float = 1.0
+    ) -> AijMat:
+        """``shift*I + scale*J`` — J is linear, so ``w`` is ignored.
+
+        The row pattern stays within the 5-point stencil (upwind picks one
+        of the two neighbours per direction, the Laplacian supplies both),
+        giving 5 nonzeros per row.
+        """
+        g, m = self.grid, self.model
+        p = g.npoints
+        h2 = g.hx * g.hx
+        if g.hx != g.hy:
+            raise ValueError("assembly assumes square cells")
+        d = m.diffusivity
+        base = np.arange(p, dtype=np.int64)
+
+        # Start from the Laplacian weights, then add the upwind terms onto
+        # the matching legs so the pattern stays 5-point.
+        legs: dict[tuple[int, int], float] = {
+            (0, 0): -4.0 * d / h2,
+            (-1, 0): d / h2,
+            (1, 0): d / h2,
+            (0, -1): d / h2,
+            (0, 1): d / h2,
+        }
+        if m.vx >= 0:  # backward difference: -(u_i - u_{i-1}) vx / h
+            legs[(0, 0)] -= m.vx / g.hx
+            legs[(-1, 0)] += m.vx / g.hx
+        else:
+            legs[(0, 0)] += m.vx / g.hx
+            legs[(1, 0)] -= m.vx / g.hx
+        if m.vy >= 0:
+            legs[(0, 0)] -= m.vy / g.hy
+            legs[(0, -1)] += m.vy / g.hy
+        else:
+            legs[(0, 0)] += m.vy / g.hy
+            legs[(0, 1)] -= m.vy / g.hy
+
+        rows_parts, cols_parts, vals_parts = [], [], []
+        for (di, dj), weight in legs.items():
+            rows_parts.append(base)
+            cols_parts.append(g.shifted_points(di, dj))
+            value = scale * weight + (shift if di == 0 and dj == 0 else 0.0)
+            vals_parts.append(np.full(p, value))
+        return AijMat.from_coo(
+            (p, p),
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            np.concatenate(vals_parts),
+            sum_duplicates=True,
+        )
+
+    def jacobian_fd(self, w: np.ndarray, eps: float = 1e-7) -> np.ndarray:
+        """Dense finite-difference Jacobian for tiny grids."""
+        n = w.shape[0]
+        if n > 256:
+            raise ValueError("finite-difference Jacobian is for tiny grids only")
+        j = np.zeros((n, n))
+        f0 = self.rhs(w)
+        for k in range(n):
+            wp = w.copy()
+            wp[k] += eps
+            j[:, k] = (self.rhs(wp) - f0) / eps
+        return j

@@ -1,0 +1,135 @@
+"""Structured 2D grids with multiple DOFs per point (a DMDA stand-in).
+
+The Gray-Scott experiments discretize a periodic square with a 5-point
+stencil and two degrees of freedom (u, v) per grid point (paper Section 7).
+:class:`Grid2D` owns the index arithmetic: interleaved DOF numbering
+(PETSc's DMDA default), periodic neighbour lookup, and the coarsening used
+to build the multigrid hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """A periodic nx x ny grid with ``dof`` unknowns per point.
+
+    Global unknown numbering is interleaved: unknown ``c`` at point
+    ``(i, j)`` has index ``(j * nx + i) * dof + c`` — so each grid point
+    contributes a contiguous block of ``dof`` unknowns and the Jacobian
+    gets its natural 2x2 blocks.
+    """
+
+    nx: int
+    ny: int
+    dof: int = 1
+    #: Physical domain edge length (square domain).
+    length: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("grid extents must be positive")
+        if self.dof < 1:
+            raise ValueError("dof must be positive")
+        if self.length <= 0:
+            raise ValueError("domain length must be positive")
+
+    @property
+    def npoints(self) -> int:
+        """Grid points."""
+        return self.nx * self.ny
+
+    @property
+    def ndof(self) -> int:
+        """Total unknowns."""
+        return self.npoints * self.dof
+
+    @property
+    def hx(self) -> float:
+        """Mesh spacing in x (periodic: length / nx)."""
+        return self.length / self.nx
+
+    @property
+    def hy(self) -> float:
+        """Mesh spacing in y."""
+        return self.length / self.ny
+
+    def point_index(self, i: int, j: int) -> int:
+        """Flat point id of (i, j), with periodic wrap."""
+        return (j % self.ny) * self.nx + (i % self.nx)
+
+    def unknown_index(self, i: int, j: int, c: int = 0) -> int:
+        """Global unknown index of component ``c`` at point (i, j)."""
+        if not 0 <= c < self.dof:
+            raise IndexError(f"component {c} out of range for dof {self.dof}")
+        return self.point_index(i, j) * self.dof + c
+
+    def neighbors(self, i: int, j: int) -> list[tuple[int, int]]:
+        """The four 5-point-stencil neighbours, periodic."""
+        return [
+            ((i - 1) % self.nx, j),
+            ((i + 1) % self.nx, j),
+            (i, (j - 1) % self.ny),
+            (i, (j + 1) % self.ny),
+        ]
+
+    def point_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, y) coordinates of every point, flattened in point order."""
+        xs = np.arange(self.nx) * self.hx
+        ys = np.arange(self.ny) * self.hy
+        gx, gy = np.meshgrid(xs, ys)  # gy varies over rows = j
+        return gx.ravel(), gy.ravel()
+
+    # -- stencil neighbour ids, vectorized -------------------------------
+    def shifted_points(self, di: int, dj: int) -> np.ndarray:
+        """Flat point ids of every point's (di, dj)-shifted neighbour."""
+        i = np.arange(self.nx)
+        j = np.arange(self.ny)
+        gi, gj = np.meshgrid((i + di) % self.nx, (j + dj) % self.ny)
+        return (gj * self.nx + gi).ravel()
+
+    # -- multigrid hierarchy ----------------------------------------------
+    def can_coarsen(self) -> bool:
+        """True when both extents are even (factor-2 coarsening fits)."""
+        return self.nx % 2 == 0 and self.ny % 2 == 0 and self.nx >= 4 and self.ny >= 4
+
+    def coarsen(self) -> "Grid2D":
+        """The next-coarser grid (factor 2 in each direction)."""
+        if not self.can_coarsen():
+            raise ValueError(
+                f"grid {self.nx}x{self.ny} cannot coarsen by 2 cleanly"
+            )
+        return Grid2D(self.nx // 2, self.ny // 2, self.dof, self.length)
+
+    def hierarchy(self, levels: int) -> list["Grid2D"]:
+        """``levels`` grids, finest first (the paper's -pc_mg_levels)."""
+        if levels < 1:
+            raise ValueError("need at least one level")
+        grids = [self]
+        for _ in range(levels - 1):
+            grids.append(grids[-1].coarsen())
+        return grids
+
+    def unknowns_as_fields(self, w: np.ndarray) -> list[np.ndarray]:
+        """Split an interleaved state vector into per-component 2D fields."""
+        if w.shape != (self.ndof,):
+            raise ValueError(f"state must have {self.ndof} entries")
+        fields = []
+        for c in range(self.dof):
+            fields.append(w[c :: self.dof].reshape(self.ny, self.nx))
+        return fields
+
+    def fields_as_unknowns(self, fields: list[np.ndarray]) -> np.ndarray:
+        """Interleave per-component 2D fields back into a state vector."""
+        if len(fields) != self.dof:
+            raise ValueError(f"need {self.dof} fields")
+        w = np.empty(self.ndof, dtype=np.float64)
+        for c, f in enumerate(fields):
+            if f.shape != (self.ny, self.nx):
+                raise ValueError("field shape does not match the grid")
+            w[c :: self.dof] = f.ravel()
+        return w

@@ -1,0 +1,57 @@
+"""Simulated SIMD machine: ISAs, registers, an executing engine, and costs.
+
+This package is the substitute for the Intel intrinsics layer of the paper
+(see DESIGN.md, substitution table).  Kernels written against
+:class:`~repro.simd.engine.SimdEngine` follow the paper's Algorithms 1 and 2
+instruction for instruction; the engine performs the real lane arithmetic
+with NumPy and records instruction/traffic counters that the machine models
+turn into performance figures.
+"""
+
+from .alignment import (
+    AlignmentFault,
+    LoopDecomposition,
+    decompose_loop,
+    misalignment_elements,
+    pointer_is_aligned,
+)
+from .cost_model import DEFAULT_COSTS, CostTable, cycles
+from .counters import KernelCounters
+from .engine import SimdEngine
+from .isa import (
+    AVX,
+    AVX2,
+    AVX512,
+    ISAS,
+    SCALAR,
+    SSE2,
+    Isa,
+    UnsupportedInstructionError,
+    get_isa,
+)
+from .register import LaneMismatchError, MaskRegister, VectorRegister
+
+__all__ = [
+    "AVX",
+    "AVX2",
+    "AVX512",
+    "AlignmentFault",
+    "CostTable",
+    "DEFAULT_COSTS",
+    "ISAS",
+    "Isa",
+    "KernelCounters",
+    "LaneMismatchError",
+    "LoopDecomposition",
+    "MaskRegister",
+    "SCALAR",
+    "SSE2",
+    "SimdEngine",
+    "UnsupportedInstructionError",
+    "VectorRegister",
+    "cycles",
+    "decompose_loop",
+    "get_isa",
+    "misalignment_elements",
+    "pointer_is_aligned",
+]

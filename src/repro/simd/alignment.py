@@ -1,0 +1,139 @@
+"""Alignment-driven loop decomposition (paper Figure 5 and Section 3.1).
+
+When a compiler vectorizes a loop over an array that does not start on a
+cache-line boundary, it emits three loops: a scalar *peel* loop up to the
+first aligned address, the aligned vector *body*, and a scalar (or masked)
+*remainder* for the tail.  The paper's Figure 5 illustrates this for doubles
+with 64-byte lines: an array aligned to only 16 bytes executes 6 peel
+iterations before the vector body can start.
+
+PETSc's historical default of 16-byte heap alignment interacted badly with
+AVX-512 — the paper reports applications *hanging* on KNL until the default
+was raised to 64 bytes.  We model that failure mode as a hard
+:class:`AlignmentFault` raised by aligned vector loads on misaligned
+addresses (strict mode), and model the performance effect through the
+peel/remainder iteration counts this module computes.
+
+The same decomposition also underlies the remainder-loop analysis of the CSR
+kernel (Section 3.3): a row whose length is not a multiple of the lane count
+always executes a remainder, no matter how the data is aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AlignmentFault(RuntimeError):
+    """An aligned vector access touched a misaligned address.
+
+    This is the model of the real-world "PETSc built with -xMIC-AVX512 and
+    16-byte alignment hangs on KNL" bug described in Section 3.1.
+    """
+
+
+@dataclass(frozen=True)
+class LoopDecomposition:
+    """How a counted loop splits into peel, vector body, and remainder.
+
+    Attributes
+    ----------
+    peel:
+        Scalar iterations executed before the first aligned vector access.
+    body:
+        Full-width vector iterations.
+    remainder:
+        Scalar (or masked) iterations after the last full vector.
+    lanes:
+        Lane count the decomposition was computed for.
+    """
+
+    peel: int
+    body: int
+    remainder: int
+    lanes: int
+
+    @property
+    def total(self) -> int:
+        """Total elements covered; equals the original trip count."""
+        return self.peel + self.body * self.lanes + self.remainder
+
+    @property
+    def vector_fraction(self) -> float:
+        """Fraction of elements processed at full vector width."""
+        if self.total == 0:
+            return 0.0
+        return self.body * self.lanes / self.total
+
+
+def misalignment_elements(
+    byte_offset: int, itemsize: int = 8, alignment: int = 64
+) -> int:
+    """Elements of peel needed before ``byte_offset`` reaches ``alignment``.
+
+    Parameters
+    ----------
+    byte_offset:
+        Address of the first element modulo anything; only its residue mod
+        ``alignment`` matters.
+    itemsize:
+        Element size in bytes (8 for double precision).
+    alignment:
+        Target boundary in bytes, normally the 64-byte cache line.
+
+    Raises
+    ------
+    ValueError
+        If the byte offset is not a multiple of the element size — the
+        element grid itself would then never reach the boundary.
+    """
+    if alignment % itemsize != 0:
+        raise ValueError("alignment must be a multiple of the element size")
+    residue = byte_offset % alignment
+    if residue % itemsize != 0:
+        raise ValueError(
+            f"byte offset {byte_offset} is not element-aligned (itemsize {itemsize})"
+        )
+    if residue == 0:
+        return 0
+    return (alignment - residue) // itemsize
+
+
+def decompose_loop(
+    n: int,
+    lanes: int,
+    byte_offset: int = 0,
+    itemsize: int = 8,
+    alignment: int = 64,
+) -> LoopDecomposition:
+    """Split a trip count ``n`` into peel/body/remainder as the compiler would.
+
+    This reproduces Figure 5 of the paper: with ``n=28`` doubles starting at
+    a 16-byte-aligned address (``byte_offset=16``), AVX-512 (``lanes=8``)
+    executes ``peel=6``, ``body=2``, ``remainder=6``.
+
+    The peel is skipped when the start address already sits on the boundary,
+    and degenerates gracefully when ``n`` is too small to reach alignment at
+    all (everything becomes peel).
+    """
+    if n < 0:
+        raise ValueError("trip count must be non-negative")
+    if lanes < 1:
+        raise ValueError("lane count must be positive")
+    peel = misalignment_elements(byte_offset, itemsize, alignment)
+    if lanes == 1:
+        # Scalar loop: no vector body, no remainder semantics.
+        return LoopDecomposition(peel=0, body=n, remainder=0, lanes=1)
+    if peel >= n:
+        return LoopDecomposition(peel=n, body=0, remainder=0, lanes=lanes)
+    rest = n - peel
+    body = rest // lanes
+    remainder = rest - body * lanes
+    return LoopDecomposition(peel=peel, body=body, remainder=remainder, lanes=lanes)
+
+
+def pointer_is_aligned(address: int, alignment: int) -> bool:
+    """True when ``address`` sits on an ``alignment``-byte boundary."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError("alignment must be a positive power of two")
+    return address % alignment == 0

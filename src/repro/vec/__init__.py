@@ -1,0 +1,6 @@
+"""Vectors: sequential (aligned) and distributed, PETSc Vec style."""
+
+from .mpi_vec import MPIVec
+from .vector import SeqVec
+
+__all__ = ["MPIVec", "SeqVec"]

@@ -1,0 +1,106 @@
+"""Distributed vectors over the simulated communicator.
+
+An :class:`MPIVec` owns the block of entries its rank is assigned by a
+:class:`~repro.comm.partition.RowLayout` (conforming with the row
+distribution of the matrices, paper Section 2.1).  Reductions — dots and
+norms — combine local contributions with a deterministic ``allreduce``;
+everything else is local and delegates to the sequential operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.communicator import Comm
+from ..comm.partition import RowLayout
+from .vector import SeqVec
+
+
+class MPIVec:
+    """One rank's share of a distributed vector."""
+
+    def __init__(self, comm: Comm, layout: RowLayout, local: np.ndarray | None = None):
+        self.comm = comm
+        self.layout = layout
+        n_local = layout.local_size(comm.rank)
+        if local is None:
+            self.local = SeqVec(n_local)
+        else:
+            if local.shape[0] != n_local:
+                raise ValueError(
+                    f"local block has {local.shape[0]} entries, layout says {n_local}"
+                )
+            self.local = SeqVec.from_array(local)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_global(cls, comm: Comm, layout: RowLayout, global_array: np.ndarray) -> "MPIVec":
+        """Each rank slices its owned block from a replicated global array."""
+        start, end = layout.range_of(comm.rank)
+        return cls(comm, layout, np.asarray(global_array, dtype=np.float64)[start:end])
+
+    def duplicate(self) -> "MPIVec":
+        """A conforming zeroed vector."""
+        return MPIVec(self.comm, self.layout)
+
+    def copy(self) -> "MPIVec":
+        """A deep copy."""
+        return MPIVec(self.comm, self.layout, self.local.array)
+
+    # -- shape --------------------------------------------------------------
+    @property
+    def size_global(self) -> int:
+        """Global length."""
+        return self.layout.n_global
+
+    @property
+    def size_local(self) -> int:
+        """Entries owned by this rank."""
+        return self.local.size
+
+    @property
+    def owned_range(self) -> tuple[int, int]:
+        """Global ``[start, end)`` owned here."""
+        return self.layout.range_of(self.comm.rank)
+
+    # -- local (embarrassingly parallel) ops --------------------------------
+    def set(self, alpha: float) -> None:
+        """Fill with a scalar."""
+        self.local.set(alpha)
+
+    def scale(self, alpha: float) -> None:
+        """x <- alpha x."""
+        self.local.scale(alpha)
+
+    def axpy(self, alpha: float, x: "MPIVec") -> None:
+        """y <- alpha x + y."""
+        self.local.axpy(alpha, x.local)
+
+    def aypx(self, alpha: float, x: "MPIVec") -> None:
+        """y <- x + alpha y."""
+        self.local.aypx(alpha, x.local)
+
+    def pointwise_mult(self, x: "MPIVec", y: "MPIVec") -> None:
+        """w_i <- x_i y_i."""
+        self.local.pointwise_mult(x.local, y.local)
+
+    # -- reductions ----------------------------------------------------------
+    def dot(self, other: "MPIVec") -> float:
+        """Global inner product (one allreduce)."""
+        return float(self.comm.allreduce(self.local.dot(other.local)))
+
+    def norm(self, kind: str = "2") -> float:
+        """Global norm of the distributed vector."""
+        if kind == "2":
+            sq = self.comm.allreduce(self.local.dot(self.local))
+            return float(np.sqrt(max(sq, 0.0)))
+        if kind == "1":
+            return float(self.comm.allreduce(self.local.norm("1")))
+        if kind == "inf":
+            return float(self.comm.allreduce(self.local.norm("inf"), op="max"))
+        raise ValueError(f"unknown norm kind {kind!r}")
+
+    def to_global(self) -> np.ndarray:
+        """Gather the full vector on every rank (testing/diagnostics only)."""
+        pieces = self.comm.allgather(self.local.array)
+        return np.concatenate(pieces)

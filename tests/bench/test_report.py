@@ -1,0 +1,50 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.bench.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ("name", "value"), [("a", 1.0), ("long-name", 123456.0)], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_float_formatting(self):
+        out = format_table(("x",), [(0.123456,), (12.34,), (1234.5,), (None,)])
+        assert "0.123" in out
+        assert "12.3" in out
+        assert "1234" in out and "1234." not in out
+        assert "-" in out.splitlines()[-1]
+
+
+class TestFormatSeries:
+    def test_shared_axis_layout(self):
+        out = format_series(
+            {"a": [(1, 10.0), (2, 20.0)], "b": [(1, 1.0), (2, 2.0)]},
+            x_label="p",
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("p")
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_mismatched_axes_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"a": [(1, 1.0)], "b": [(2, 2.0)]})
+
+    def test_empty_series(self):
+        assert format_series({}, title="nothing") == "nothing"
+
+    def test_y_label_footnote(self):
+        out = format_series({"a": [(1, 1.0)]}, y_label="Gflop/s")
+        assert out.endswith("(values: Gflop/s)")

@@ -1,0 +1,200 @@
+"""Point-to-point and collective semantics of the simulated MPI."""
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import ANY_TAG, CommunicatorError
+from repro.comm.spmd import SpmdError, run_spmd
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_spmd(2, prog)
+        assert results[1] == {"a": 7}
+
+    def test_messages_are_non_overtaking_per_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1, tag=3)
+                return None
+            return [comm.recv(source=0, tag=3) for _ in range(5)]
+
+        assert run_spmd(2, prog)[1] == [0, 1, 2, 3, 4]
+
+    def test_tags_select_messages_out_of_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_spmd(2, prog)[1] == ("first", "second")
+
+    def test_any_tag_takes_the_head_of_queue(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=9)
+                return None
+            return comm.recv(source=0, tag=ANY_TAG)
+
+        assert run_spmd(2, prog)[1] == "x"
+
+    def test_isend_is_buffered_sender_may_reuse_the_array(self):
+        """MPI buffered-send semantics: payload snapshot at send time."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                data = np.arange(4, dtype=np.float64)
+                comm.isend(data, dest=1)
+                data[:] = -1.0  # mutate after send
+                comm.send("done", dest=1, tag=5)
+                return None
+            comm.recv(source=0, tag=5)  # ensure the mutation happened
+            return comm.recv(source=0)
+
+        received = run_spmd(2, prog)[1]
+        assert np.array_equal(received, [0.0, 1.0, 2.0, 3.0])
+
+    def test_irecv_test_polls_without_blocking(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1)
+                ready_before = req.test()
+                comm.send("go", dest=1)
+                value = req.wait()
+                return (ready_before, value)
+            comm.recv(source=0)
+            comm.send(42, dest=0)
+            return None
+
+        ready_before, value = run_spmd(2, prog)[0]
+        assert ready_before is False
+        assert value == 42
+
+    def test_bad_peer_rank_raises(self):
+        def prog(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+
+class TestCollectives:
+    def test_allreduce_sum_is_deterministic_rank_order(self):
+        def prog(comm):
+            return comm.allreduce(float(comm.rank + 1))
+
+        assert run_spmd(4, prog) == [10.0] * 4
+
+    def test_allreduce_max_min(self):
+        def prog(comm):
+            return (comm.allreduce(comm.rank, op="max"),
+                    comm.allreduce(comm.rank, op="min"))
+
+        assert run_spmd(3, prog) == [(2, 0)] * 3
+
+    def test_allreduce_arrays(self):
+        def prog(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)))
+
+        out = run_spmd(3, prog)
+        assert all(np.array_equal(o, [3.0, 3.0, 3.0]) for o in out)
+
+    def test_unknown_reduction_raises(self):
+        def prog(comm):
+            comm.allreduce(1, op="median")
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+    def test_bcast_from_nonzero_root(self):
+        def prog(comm):
+            payload = "hello" if comm.rank == 2 else None
+            return comm.bcast(payload, root=2)
+
+        assert run_spmd(4, prog) == ["hello"] * 4
+
+    def test_allgather_orders_by_rank(self):
+        def prog(comm):
+            return comm.allgather(comm.rank * 10)
+
+        assert run_spmd(3, prog) == [[0, 10, 20]] * 3
+
+    def test_gather_returns_none_off_root(self):
+        def prog(comm):
+            return comm.gather(comm.rank, root=1)
+
+        out = run_spmd(3, prog)
+        assert out[0] is None and out[2] is None
+        assert out[1] == [0, 1, 2]
+
+    def test_scatter(self):
+        def prog(comm):
+            values = [10, 20, 30] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        assert run_spmd(3, prog) == [10, 20, 30]
+
+    def test_scatter_wrong_length_raises(self):
+        def prog(comm):
+            values = [1] if comm.rank == 0 else None
+            comm.scatter(values, root=0)
+
+        with pytest.raises(SpmdError):
+            run_spmd(3, prog)
+
+    def test_mismatched_collectives_error_instead_of_deadlocking(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.allreduce(1)
+            return comm.barrier()
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+    def test_barrier_synchronizes(self):
+        order = []
+
+        def prog(comm):
+            if comm.rank == 1:
+                order.append("pre")
+            comm.barrier()
+            if comm.rank == 0:
+                order.append("post")
+
+        run_spmd(2, prog)
+        assert order == ["pre", "post"]
+
+
+class TestTrafficStats:
+    def test_world_counts_messages_and_bytes(self):
+        from repro.comm.communicator import World
+
+        world = World(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), dest=1)
+            else:
+                comm.recv(source=0)
+
+        run_spmd(2, prog, world=world)
+        assert world.stats.messages == 1
+        assert world.stats.bytes == 80
+
+    def test_comm_size_and_rank_validation(self):
+        from repro.comm.communicator import Comm, World
+
+        world = World(2)
+        with pytest.raises(CommunicatorError):
+            Comm(world, 2)

@@ -1,0 +1,92 @@
+"""Row layouts: the PETSc ownership-range rules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.comm.partition import RowLayout
+
+
+class TestUniform:
+    def test_even_split(self):
+        layout = RowLayout.uniform(12, 4)
+        assert [layout.local_size(r) for r in range(4)] == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_the_lowest_ranks(self):
+        """PETSc's PETSC_DECIDE rule."""
+        layout = RowLayout.uniform(10, 4)
+        assert [layout.local_size(r) for r in range(4)] == [3, 3, 2, 2]
+
+    def test_more_ranks_than_rows(self):
+        layout = RowLayout.uniform(2, 5)
+        assert [layout.local_size(r) for r in range(5)] == [1, 1, 0, 0, 0]
+
+    def test_empty_global(self):
+        layout = RowLayout.uniform(0, 3)
+        assert all(layout.local_size(r) == 0 for r in range(3))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            RowLayout.uniform(-1, 2)
+        with pytest.raises(ValueError):
+            RowLayout.uniform(5, 0)
+
+
+class TestOwnership:
+    def test_owner_of_matches_the_ranges(self):
+        layout = RowLayout.uniform(10, 3)
+        for rank in range(3):
+            start, end = layout.range_of(rank)
+            for i in range(start, end):
+                assert layout.owner_of(i) == rank
+
+    def test_owner_of_out_of_range(self):
+        layout = RowLayout.uniform(10, 3)
+        with pytest.raises(IndexError):
+            layout.owner_of(10)
+        with pytest.raises(IndexError):
+            layout.owner_of(-1)
+
+    def test_to_local(self):
+        layout = RowLayout.uniform(10, 3)
+        start, _ = layout.range_of(1)
+        assert layout.to_local(1, start) == 0
+        assert layout.to_local(1, start + 2) == 2
+
+    def test_to_local_rejects_foreign_rows(self):
+        layout = RowLayout.uniform(10, 3)
+        with pytest.raises(IndexError):
+            layout.to_local(0, 9)
+
+    def test_range_of_invalid_rank(self):
+        with pytest.raises(IndexError):
+            RowLayout.uniform(10, 3).range_of(3)
+
+
+class TestFromLocalSizes:
+    def test_explicit_sizes(self):
+        layout = RowLayout.from_local_sizes([4, 0, 6])
+        assert layout.n_global == 10
+        assert layout.range_of(1) == (4, 4)
+        assert layout.range_of(2) == (4, 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            RowLayout.from_local_sizes([3, -1])
+
+    def test_balanced_check(self):
+        assert RowLayout.uniform(10, 4).is_balanced()
+        assert not RowLayout.from_local_sizes([8, 1, 1]).is_balanced()
+
+
+@given(
+    n=st.integers(min_value=0, max_value=5000),
+    size=st.integers(min_value=1, max_value=64),
+)
+def test_uniform_layout_invariants(n, size):
+    """Local sizes cover the range exactly and differ by at most one."""
+    layout = RowLayout.uniform(n, size)
+    sizes = [layout.local_size(r) for r in range(size)]
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    assert sizes == sorted(sizes, reverse=True)  # remainders at low ranks

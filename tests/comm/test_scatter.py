@@ -1,0 +1,142 @@
+"""VecScatter: ghost-value exchange correctness and misuse handling."""
+
+import numpy as np
+import pytest
+
+from repro.comm.partition import RowLayout
+from repro.comm.scatter import VecScatter
+from repro.comm.spmd import SpmdError, run_spmd
+
+
+def global_vector(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.float64) * 10.0
+
+
+class TestExchange:
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_random_ghost_sets_receive_the_right_values(self, size):
+        n = 29
+        rng_master = np.random.default_rng(123)
+        ghost_sets = []
+        layout = RowLayout.uniform(n, size)
+        for rank in range(size):
+            start, end = layout.range_of(rank)
+            others = np.setdiff1d(np.arange(n), np.arange(start, end))
+            k = min(5, others.size)
+            ghost_sets.append(np.sort(rng_master.choice(others, k, replace=False)))
+
+        def prog(comm):
+            start, end = layout.range_of(comm.rank)
+            local = global_vector(n)[start:end]
+            sc = VecScatter(comm, layout, ghost_sets[comm.rank])
+            got = sc.exchange(local)
+            expect = global_vector(n)[ghost_sets[comm.rank]]
+            return np.array_equal(got, expect)
+
+        assert all(run_spmd(size, prog))
+
+    def test_empty_ghost_set_is_fine(self):
+        def prog(comm):
+            layout = RowLayout.uniform(8, comm.size)
+            sc = VecScatter(comm, layout, np.array([], dtype=np.int64))
+            start, end = layout.range_of(comm.rank)
+            out = sc.exchange(global_vector(8)[start:end])
+            return out.size
+
+        assert run_spmd(2, prog) == [0, 0]
+
+    def test_overlap_pattern_begin_compute_end(self):
+        """The paper's step-1/step-2/step-3 usage."""
+
+        def prog(comm):
+            layout = RowLayout.uniform(6, 2)
+            start, end = layout.range_of(comm.rank)
+            ghosts = np.array([(end % 6)], dtype=np.int64)
+            ghosts = ghosts[(ghosts < start) | (ghosts >= end)]
+            sc = VecScatter(comm, layout, ghosts)
+            local = global_vector(6)[start:end]
+            sc.begin(local)
+            local_work = float(local.sum())  # "diagonal block" work
+            ghost_vals = sc.end()
+            return local_work, list(ghost_vals)
+
+        out = run_spmd(2, prog)
+        assert out[0] == (30.0, [30.0])  # rank 0 needs x[3]
+        assert out[1] == (120.0, [0.0])  # rank 1 wraps to x[0]
+
+    def test_scatter_is_reusable_across_exchanges(self):
+        def prog(comm):
+            layout = RowLayout.uniform(4, 2)
+            start, end = layout.range_of(comm.rank)
+            ghosts = np.array([3 - start if start == 0 else 0], dtype=np.int64)
+            sc = VecScatter(comm, layout, ghosts)
+            first = sc.exchange(np.ones(2) * (comm.rank + 1))[0]
+            second = sc.exchange(np.ones(2) * (comm.rank + 10))[0]
+            return first, second
+
+        out = run_spmd(2, prog)
+        assert out[0] == (2.0, 11.0)
+        assert out[1] == (1.0, 10.0)
+
+    def test_peer_lists_are_consistent(self):
+        def prog(comm):
+            layout = RowLayout.uniform(8, 2)
+            if comm.rank == 0:
+                ghosts = np.array([5], dtype=np.int64)
+            else:
+                ghosts = np.array([], dtype=np.int64)
+            sc = VecScatter(comm, layout, ghosts)
+            return sc.send_peers, sc.recv_peers
+
+        out = run_spmd(2, prog)
+        assert out[0] == ([], [1])     # rank 0 receives from 1
+        assert out[1] == ([0], [])     # rank 1 sends to 0
+
+
+class TestValidation:
+    def test_unsorted_ghosts_rejected(self):
+        def prog(comm):
+            layout = RowLayout.uniform(8, 2)
+            VecScatter(comm, layout, np.array([5, 4], dtype=np.int64))
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+    def test_owned_indices_rejected_as_ghosts(self):
+        def prog(comm):
+            layout = RowLayout.uniform(8, 2)
+            start, _ = layout.range_of(comm.rank)
+            VecScatter(comm, layout, np.array([start], dtype=np.int64))
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+    def test_end_before_begin_raises(self):
+        def prog(comm):
+            layout = RowLayout.uniform(8, 2)
+            sc = VecScatter(comm, layout, np.array([], dtype=np.int64))
+            sc.end()
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+    def test_double_begin_raises(self):
+        def prog(comm):
+            layout = RowLayout.uniform(8, 2)
+            start, end = layout.range_of(comm.rank)
+            sc = VecScatter(comm, layout, np.array([], dtype=np.int64))
+            local = np.zeros(end - start)
+            sc.begin(local)
+            sc.begin(local)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+    def test_wrong_local_vector_length_raises(self):
+        def prog(comm):
+            layout = RowLayout.uniform(8, 2)
+            sc = VecScatter(comm, layout, np.array([], dtype=np.int64))
+            sc.begin(np.zeros(99))
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)

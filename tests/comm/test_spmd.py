@@ -1,0 +1,56 @@
+"""The SPMD driver: rank fan-out, results, failure propagation."""
+
+import pytest
+
+from repro.comm.communicator import World
+from repro.comm.spmd import SpmdError, run_spmd
+
+
+class TestRunSpmd:
+    def test_results_indexed_by_rank(self):
+        assert run_spmd(4, lambda comm: comm.rank * comm.size) == [0, 4, 8, 12]
+
+    def test_extra_args_forwarded(self):
+        def prog(comm, base, offset=0):
+            return base + offset + comm.rank
+
+        assert run_spmd(2, prog, 100, offset=10) == [110, 111]
+
+    def test_single_rank_world(self):
+        assert run_spmd(1, lambda comm: comm.allreduce(5)) == [5]
+
+    def test_exception_reports_the_failing_rank(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise RuntimeError("boom")
+            comm.barrier()
+
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(4, prog)
+        assert exc_info.value.rank == 2
+        assert isinstance(exc_info.value.original, RuntimeError)
+
+    def test_failure_unblocks_peers_waiting_in_receives(self):
+        """A crashed rank must not leave the others hanging forever."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("dead before sending")
+            return comm.recv(source=0)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+    def test_world_reuse_with_matching_size(self):
+        world = World(3)
+        run_spmd(3, lambda comm: comm.barrier(), world=world)
+        run_spmd(3, lambda comm: comm.barrier(), world=world)
+        assert world.size == 3
+
+    def test_world_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            run_spmd(2, lambda comm: None, world=World(3))
+
+    def test_zero_ranks_raises(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)

@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mat.aij import AijMat
+
+
+def make_random_csr(
+    m: int, n: int | None = None, density: float = 0.2, seed: int = 0
+) -> AijMat:
+    """A reproducible random CSR matrix (may contain empty rows)."""
+    n = m if n is None else n
+    rng = np.random.default_rng(seed)
+    mask = rng.random((m, n)) < density
+    dense = np.where(mask, rng.standard_normal((m, n)), 0.0)
+    return AijMat.from_dense(dense)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator per test."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_csr() -> AijMat:
+    """A small random square CSR matrix with irregular rows."""
+    return make_random_csr(23, density=0.25, seed=7)
+
+
+@pytest.fixture
+def gray_scott_small() -> AijMat:
+    """The Gray-Scott Crank-Nicolson operator on a 8x8 grid (128 rows)."""
+    from repro.pde.problems import gray_scott_jacobian
+
+    return gray_scott_jacobian(8)

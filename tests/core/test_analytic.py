@@ -1,0 +1,90 @@
+"""Closed-form counter predictions cross-checked against the engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytic import (
+    counters_match,
+    predict_csr_counters,
+    predict_sell_counters,
+)
+from repro.core.dispatch import CSR_AVX512, SELL_AVX, SELL_AVX2, SELL_AVX512
+from repro.core.sell import SellMat
+from repro.pde.problems import gray_scott_jacobian, irregular_rows, tridiagonal
+from repro.simd.isa import AVX512, SCALAR
+
+from ..conftest import make_random_csr
+
+MATRICES = {
+    "gray-scott": lambda: gray_scott_jacobian(8),
+    "random": lambda: make_random_csr(23, density=0.25, seed=7),
+    "irregular": lambda: irregular_rows(24, max_len=12, seed=13),
+    "tridiagonal": lambda: tridiagonal(17),
+    "with-empty-rows": lambda: make_random_csr(16, density=0.08, seed=12),
+}
+
+
+@pytest.mark.parametrize("matrix_name", sorted(MATRICES))
+@pytest.mark.parametrize("variant", [SELL_AVX512, SELL_AVX2, SELL_AVX],
+                         ids=lambda v: v.name)
+def test_sell_prediction_is_exact(matrix_name, variant):
+    """Every counter field, bit for bit, across ISAs and structures."""
+    csr = MATRICES[matrix_name]()
+    sell = SellMat.from_csr(csr)
+    x = np.random.default_rng(1).standard_normal(csr.shape[1])
+    _, measured = variant.run(sell, x)
+    predicted = predict_sell_counters(sell, variant.isa)
+    assert counters_match(predicted, measured) == []
+
+
+@pytest.mark.parametrize("matrix_name", sorted(MATRICES))
+def test_csr_prediction_is_exact(matrix_name):
+    csr = MATRICES[matrix_name]()
+    x = np.random.default_rng(2).standard_normal(csr.shape[1])
+    _, measured = CSR_AVX512.run(csr, x)
+    predicted = predict_csr_counters(csr, AVX512)
+    assert counters_match(predicted, measured) == []
+
+
+def test_sorted_sell_prediction_is_exact():
+    csr = irregular_rows(32, max_len=10, seed=16)
+    sell = SellMat.from_csr(csr, sigma=16)
+    x = np.random.default_rng(3).standard_normal(32)
+    _, measured = SELL_AVX512.run(sell, x)
+    predicted = predict_sell_counters(sell, AVX512)
+    assert counters_match(predicted, measured) == []
+
+
+def test_scalar_isa_rejected():
+    sell = SellMat.from_csr(gray_scott_jacobian(4))
+    with pytest.raises(ValueError):
+        predict_sell_counters(sell, SCALAR)
+    with pytest.raises(ValueError):
+        predict_csr_counters(gray_scott_jacobian(4), SCALAR)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=30),
+    density=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(0, 10_000),
+)
+def test_predictions_hold_for_arbitrary_structures(m, density, seed):
+    """Property form: the closed forms track the kernels everywhere."""
+    rng = np.random.default_rng(seed)
+    dense = np.where(
+        rng.random((m, m)) < density, rng.standard_normal((m, m)), 0.0
+    )
+    from repro.mat.aij import AijMat
+
+    csr = AijMat.from_dense(dense)
+    x = rng.standard_normal(m)
+
+    sell = SellMat.from_csr(csr)
+    _, measured = SELL_AVX512.run(sell, x)
+    assert counters_match(predict_sell_counters(sell, AVX512), measured) == []
+
+    _, measured_csr = CSR_AVX512.run(csr, x)
+    assert counters_match(predict_csr_counters(csr, AVX512), measured_csr) == []

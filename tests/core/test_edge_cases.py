@@ -1,0 +1,105 @@
+"""Remaining structural edge cases across formats and solvers."""
+
+import numpy as np
+import pytest
+
+from repro.mat.aij import AijMat
+
+
+class TestBaijEmptyBlockRows:
+    def test_multiply_with_empty_block_rows(self):
+        """A block row with no blocks must produce zeros, not garbage
+        (the reduceat empty-segment trap)."""
+        from repro.mat.baij import BaijMat
+
+        dense = np.zeros((8, 8))
+        dense[0, 0] = 2.0  # only the first block row has content
+        dense[6, 7] = 3.0  # and the last
+        a = AijMat.from_dense(dense)
+        baij = BaijMat.from_csr(a, 2)
+        x = np.arange(1.0, 9.0)
+        assert np.allclose(baij.multiply(x), dense @ x)
+
+    def test_fully_empty_matrix(self):
+        from repro.mat.baij import BaijMat
+
+        a = AijMat.from_coo((4, 4), np.array([]), np.array([]), np.array([]))
+        baij = BaijMat.from_csr(a, 2)
+        assert np.array_equal(baij.multiply(np.ones(4)), np.zeros(4))
+
+
+class TestGmresHappyBreakdown:
+    def test_exact_solution_inside_the_krylov_space(self):
+        """When the Krylov space exactly contains the solution, GMRES must
+        terminate with the breakdown handled as convergence."""
+        from repro.ksp.gmres import GMRES
+
+        # Rank-structured system: solution reached in exactly 2 iterations.
+        a = AijMat.from_dense(np.diag([3.0, 3.0, 5.0, 5.0]))
+        b = np.array([1.0, 1.0, 0.0, 0.0])
+        result = GMRES(rtol=1e-14).solve(a, b)
+        assert result.reason.converged
+        assert result.iterations <= 2
+        assert np.allclose(a.multiply(result.x), b, atol=1e-12)
+
+
+class TestEllpackDegenerate:
+    def test_empty_matrix(self):
+        from repro.mat.ellpack import EllpackMat
+
+        empty = AijMat.from_coo((3, 3), np.array([]), np.array([]), np.array([]))
+        ell = EllpackMat.from_csr(empty)
+        assert np.array_equal(ell.multiply(np.ones(3)), np.zeros(3))
+        assert ell.padded_entries == 0
+
+    def test_zero_row_matrix(self):
+        from repro.mat.ellpack import EllpackMat
+
+        empty = AijMat.from_coo((0, 5), np.array([]), np.array([]), np.array([]))
+        ell = EllpackMat.from_csr(empty)
+        assert ell.multiply(np.ones(5)).shape == (0,)
+
+
+class TestSellTriangularLaneConstraint:
+    def test_engine_kernel_rejects_incompatible_slice_heights(self):
+        from repro.core.triangular import SellTriangular, solve_sell_triangular
+        from repro.pde.problems import tridiagonal
+        from repro.simd.engine import SimdEngine
+        from repro.simd.isa import AVX512
+
+        lower = AijMat.from_dense(np.tril(tridiagonal(10).to_dense()))
+        tri = SellTriangular(lower, lower=True, slice_height=2)
+        with pytest.raises(ValueError, match="multiple"):
+            solve_sell_triangular(
+                SimdEngine(AVX512), tri, np.ones(10), np.zeros(10)
+            )
+
+
+class TestMpiVecNormKinds:
+    def test_unknown_norm_rejected(self):
+        from repro.comm.spmd import SpmdError, run_spmd
+        from repro.comm.partition import RowLayout
+        from repro.vec.mpi_vec import MPIVec
+
+        def prog(comm):
+            layout = RowLayout.uniform(4, comm.size)
+            MPIVec(comm, layout).norm("fro")
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+
+class TestAssemblerAfterAssembly:
+    def test_new_values_after_assemble_are_included_on_reassembly(self):
+        """PETSc allows setting values after assembly; the next assembly
+        picks them up (our cache invalidation)."""
+        from repro.mat.assembly import MatAssembler
+
+        asm = MatAssembler((2, 2))
+        asm.set_value(0, 0, 1.0)
+        first = asm.assemble()
+        assert first.nnz == 1
+        asm.set_value(1, 1, 2.0)
+        second = asm.assemble()
+        assert second.nnz == 2
+        assert second.to_dense()[1, 1] == 2.0

@@ -1,0 +1,222 @@
+"""Instruction-level kernel correctness and instruction-mix structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatch import (
+    ALL_VARIANTS,
+    CSR_AVX,
+    CSR_AVX512,
+    CSR_BASELINE,
+    ESB_AVX512,
+    SELL_AVX,
+    SELL_AVX512,
+)
+from repro.core.esb import EsbMat
+from repro.core.kernels_csr import spmv_csr_vectorized
+from repro.core.kernels_sell import spmv_sell, spmv_sell_esb
+from repro.core.sell import SellMat
+from repro.pde.problems import gray_scott_jacobian, irregular_rows, tridiagonal
+from repro.simd.engine import SimdEngine
+from repro.simd.isa import AVX, AVX2, AVX512, SCALAR
+
+from ..conftest import make_random_csr
+
+MATRICES = {
+    "random": lambda: make_random_csr(19, density=0.3, seed=11),
+    "with-empty-rows": lambda: make_random_csr(16, density=0.08, seed=12),
+    "tridiagonal": lambda: tridiagonal(17),
+    "gray-scott": lambda: gray_scott_jacobian(4),
+    "irregular": lambda: irregular_rows(24, max_len=12, seed=13),
+}
+
+
+@pytest.mark.parametrize("variant_name", sorted(ALL_VARIANTS))
+@pytest.mark.parametrize("matrix_name", sorted(MATRICES))
+def test_every_variant_is_exact_on_every_matrix(variant_name, matrix_name):
+    """The engine performs real arithmetic: results must match CSR."""
+    variant = ALL_VARIANTS[variant_name]
+    csr = MATRICES[matrix_name]()
+    if variant.fmt == "BAIJ" and (csr.shape[0] % 2 or csr.shape[1] % 2):
+        pytest.skip("BAIJ(bs=2) needs even dimensions")
+    x = np.random.default_rng(20).standard_normal(csr.shape[1])
+    mat = variant.prepare(csr)
+    y, counters = variant.run(mat, x)
+    assert np.allclose(y, csr.multiply(x), atol=1e-12), (variant_name, matrix_name)
+    assert counters.flops > 0 or csr.nnz == 0
+
+
+class TestCsrKernelStructure:
+    def test_mask_threshold_does_not_change_numerics(self, small_csr, rng):
+        x = rng.standard_normal(small_csr.shape[1])
+        outs = []
+        for threshold in (0, 2, 99):
+            engine = SimdEngine(AVX512)
+            y = np.zeros(small_csr.shape[0])
+            spmv_csr_vectorized(engine, small_csr, x, y, mask_threshold=threshold)
+            outs.append(y)
+        # The threshold flips the tail between masked-vector and scalar
+        # accumulation: same arithmetic, different summation order, so
+        # agreement is to rounding, not bitwise.
+        assert np.allclose(outs[0], outs[1], rtol=0, atol=1e-13)
+        assert np.allclose(outs[0], outs[2], rtol=0, atol=1e-13)
+
+    def test_paper_threshold_rule_controls_the_mask_usage(self):
+        """Rows of 10 leave a tail of 2: threshold 2 falls back to scalar."""
+        csr = gray_scott_jacobian(4)
+        x = np.ones(csr.shape[1])
+        masked = SimdEngine(AVX512)
+        spmv_csr_vectorized(masked, csr, x, np.zeros(csr.shape[0]), mask_threshold=0)
+        scalar_tail = SimdEngine(AVX512)
+        spmv_csr_vectorized(
+            scalar_tail, csr, x, np.zeros(csr.shape[0]), mask_threshold=2
+        )
+        assert masked.counters.mask_setup == csr.shape[0]
+        assert scalar_tail.counters.mask_setup == 0
+        assert scalar_tail.counters.scalar_load_indep > 0
+
+    def test_avx_kernel_never_issues_hardware_gathers(self, small_csr, rng):
+        x = rng.standard_normal(small_csr.shape[1])
+        y, counters = CSR_AVX.run(small_csr, x)
+        assert counters.vector_gather == 0
+        assert counters.emulated_gather_lanes > 0
+        assert counters.vector_insert > 0
+
+    def test_baseline_emulates_gathers_even_on_avx512(self, small_csr, rng):
+        """The compiler-codegen model: inserts instead of vgatherdpd."""
+        x = rng.standard_normal(small_csr.shape[1])
+        _, hand = CSR_AVX512.run(small_csr, x)
+        _, compiler = CSR_BASELINE.run(small_csr, x)
+        # The hand kernel gathers in hardware everywhere; the compiler
+        # model emulates body gathers and only uses real (masked) gathers
+        # for remainders.
+        assert compiler.emulated_gather_lanes > 0
+        assert hand.emulated_gather_lanes == 0
+        assert compiler.vector_gather < hand.vector_gather
+
+    def test_baseline_pays_more_bookkeeping_than_the_hand_kernel(self):
+        csr = gray_scott_jacobian(4)
+        x = np.ones(csr.shape[1])
+        _, hand = CSR_AVX512.run(csr, x)
+        _, compiler = CSR_BASELINE.run(csr, x)
+        assert compiler.mask_setup > hand.mask_setup
+        assert compiler.remainder_iterations > hand.remainder_iterations
+        assert compiler.body_iterations > hand.body_iterations
+
+    def test_novec_kernel_issues_no_vector_instructions(self, small_csr, rng):
+        x = rng.standard_normal(small_csr.shape[1])
+        _, counters = ALL_VARIANTS["CSR using novec"].run(small_csr, x)
+        assert counters.total_vector_instructions == 0
+        assert counters.scalar_fma == small_csr.nnz
+
+
+class TestSellKernelStructure:
+    def test_no_remainder_ever(self, gray_scott_small, rng):
+        """The format's whole point: padded slices leave no tails."""
+        x = rng.standard_normal(gray_scott_small.shape[0])
+        _, counters = SELL_AVX512.run(SellMat.from_csr(gray_scott_small), x)
+        assert counters.remainder_iterations == 0
+        assert counters.scalar_load == 0
+        assert counters.scalar_load_indep == 0
+
+    def test_matrix_loads_are_aligned(self, gray_scott_small, rng):
+        x = rng.standard_normal(gray_scott_small.shape[0])
+        _, counters = SELL_AVX512.run(SellMat.from_csr(gray_scott_small), x)
+        # Every value load hits a 64-byte boundary (slice bases are C=8
+        # doubles apart and the buffer itself is 64-byte aligned).
+        assert counters.vector_load_aligned > 0
+
+    def test_padded_flops_are_reported_exactly(self):
+        csr = irregular_rows(24, max_len=12, seed=14)
+        sell = SellMat.from_csr(csr)
+        x = np.ones(csr.shape[1])
+        _, counters = SELL_AVX512.run(sell, x)
+        assert counters.padded_flops == 2 * sell.padded_entries
+        assert counters.flops - counters.padded_flops >= 2 * csr.nnz
+
+    def test_slice_height_must_fit_the_vector_length(self):
+        csr = make_random_csr(12, density=0.4, seed=15)
+        sell = SellMat.from_csr(csr, slice_height=2)
+        engine = SimdEngine(AVX512)
+        with pytest.raises(ValueError, match="multiple"):
+            spmv_sell(engine, sell, np.ones(12), np.zeros(12))
+
+    def test_narrow_isas_process_strips(self):
+        """C=8 with 4-lane AVX: two accumulator strips per slice."""
+        csr = gray_scott_jacobian(4)
+        x = np.ones(csr.shape[1])
+        _, avx512 = SELL_AVX512.run(SellMat.from_csr(csr), x)
+        _, avx = SELL_AVX.run(SellMat.from_csr(csr), x)
+        assert avx.body_iterations == 2 * avx512.body_iterations
+
+    def test_sorted_sell_uses_scatter_stores(self):
+        csr = irregular_rows(32, max_len=10, seed=16)
+        sorted_sell = SellMat.from_csr(csr, sigma=32)
+        x = np.ones(csr.shape[1])
+        y, counters = SELL_AVX512.run(sorted_sell, x)
+        assert np.allclose(y, csr.multiply(x))
+        assert counters.scalar_store == csr.shape[0]
+
+    def test_scalar_fallback_handles_sell_layout(self, small_csr, rng):
+        x = rng.standard_normal(small_csr.shape[1])
+        engine = SimdEngine(SCALAR)
+        sell = SellMat.from_csr(small_csr)
+        y = np.zeros(small_csr.shape[0])
+        spmv_sell(engine, sell, x, y)
+        assert np.allclose(y, small_csr.multiply(x))
+
+
+class TestEsbKernel:
+    def test_masked_kernel_skips_padded_arithmetic(self):
+        csr = irregular_rows(24, max_len=12, seed=17)
+        esb = EsbMat.from_csr(csr)
+        x = np.ones(csr.shape[1])
+        y, counters = ESB_AVX512.run(esb, x)
+        assert np.allclose(y, csr.multiply(x))
+        # Flops equal the true nonzero work: padding never multiplied.
+        assert counters.flops == 2 * csr.nnz
+        assert counters.padded_flops == 0
+
+    def test_esb_pays_mask_setup_per_column(self):
+        csr = gray_scott_jacobian(4)
+        x = np.ones(csr.shape[1])
+        _, esb_c = ESB_AVX512.run(EsbMat.from_csr(csr), x)
+        _, sell_c = SELL_AVX512.run(SellMat.from_csr(csr), x)
+        assert esb_c.mask_setup > sell_c.mask_setup
+        assert esb_c.masked_ops > sell_c.masked_ops
+
+    def test_esb_requires_masks(self):
+        csr = make_random_csr(8, density=0.5, seed=18)
+        esb = EsbMat.from_csr(csr)
+        engine = SimdEngine(AVX2)
+        with pytest.raises(Exception):
+            spmv_sell_esb(engine, esb, np.ones(8), np.zeros(8))
+
+    def test_bit_array_marks_exactly_the_nonzeros(self):
+        csr = irregular_rows(20, max_len=8, seed=19)
+        esb = EsbMat.from_csr(csr)
+        assert int(esb.bits.sum()) == csr.nnz
+        assert esb.bit_array_bytes == (esb.val.shape[0] + 7) // 8
+        assert esb.memory_bytes() > SellMat.from_csr(csr).memory_bytes()
+
+
+class TestIsaConsistency:
+    @pytest.mark.parametrize("isa", [AVX, AVX2, AVX512])
+    def test_sell_kernel_flops_independent_of_isa(self, isa):
+        """Same arithmetic regardless of register width."""
+        csr = gray_scott_jacobian(4)
+        sell = SellMat.from_csr(csr)
+        engine = SimdEngine(isa)
+        y = np.zeros(csr.shape[0])
+        spmv_sell(engine, sell, np.ones(csr.shape[1]), y)
+        assert engine.counters.flops - engine.counters.padded_flops == 2 * csr.nnz
+
+    def test_avx2_doubles_the_instruction_count_of_avx512(self):
+        """Paper Section 5.5: half the lanes, twice the instructions."""
+        csr = gray_scott_jacobian(4)
+        sell = SellMat.from_csr(csr)
+        x = np.ones(csr.shape[1])
+        _, avx512 = SELL_AVX512.run(sell, x)
+        _, avx2 = ALL_VARIANTS["SELL using AVX2"].run(sell, x)
+        assert avx2.vector_fmadd == 2 * avx512.vector_fmadd
+        assert avx2.vector_load == 2 * avx512.vector_load

@@ -1,0 +1,169 @@
+"""The SELL format: layout, padding, sorting, conversions (paper Sec 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sell import SellMat
+from repro.mat.aij import AijMat
+from repro.pde.problems import gray_scott_jacobian, irregular_rows
+
+from ..conftest import make_random_csr
+
+
+def figure6_matrix() -> AijMat:
+    """A small matrix with known uneven row lengths (like Figure 6)."""
+    rows = np.array([0, 0, 0, 1, 2, 2, 3, 4, 4, 4, 4, 5, 6, 7, 7])
+    cols = np.array([0, 2, 5, 1, 0, 3, 4, 1, 2, 5, 7, 6, 3, 0, 7])
+    vals = np.arange(1.0, 16.0)
+    return AijMat.from_coo((8, 8), rows, cols, vals)
+
+
+class TestLayout:
+    def test_slice_widths_are_per_slice_maxima(self):
+        sell = SellMat.from_csr(figure6_matrix(), slice_height=4)
+        # Rows 0-3 have lengths 3,1,2,1 -> width 3; rows 4-7: 4,1,1,2 -> 4.
+        assert sell.nslices == 2
+        assert sell.slice_width(0) == 3
+        assert sell.slice_width(1) == 4
+
+    def test_column_major_slot_positions(self):
+        """Element (lane i, column j) of slice s sits at base + j*C + i."""
+        csr = figure6_matrix()
+        sell = SellMat.from_csr(csr, slice_height=4)
+        for s in range(sell.nslices):
+            base = int(sell.sliceptr[s])
+            for i in range(4):
+                row = s * 4 + i
+                cols, vals = csr.get_row(row)
+                for j in range(cols.shape[0]):
+                    slot = base + j * 4 + i
+                    assert sell.val[slot] == vals[j]
+                    assert sell.colidx[slot] == cols[j]
+
+    def test_padding_reuses_the_rows_last_column(self):
+        """Section 5.5: padded indices copy a local nonzero's column."""
+        csr = figure6_matrix()
+        sell = SellMat.from_csr(csr, slice_height=4)
+        # Row 1 has a single entry at column 1; its padded slots (j=1,2)
+        # must carry column 1 and value 0.
+        base = int(sell.sliceptr[0])
+        for j in (1, 2):
+            slot = base + j * 4 + 1
+            assert sell.val[slot] == 0.0
+            assert sell.colidx[slot] == 1
+
+    def test_padded_entries_count(self):
+        sell = SellMat.from_csr(figure6_matrix(), slice_height=4)
+        # Slice 0: 4*3 slots for 7 nnz -> 5 pads; slice 1: 16 for 8 -> 8.
+        assert sell.padded_entries == 13
+        assert sell.padding_fraction == pytest.approx(13 / 28)
+
+    def test_trailing_partial_slice_is_padded_to_full_height(self):
+        csr = make_random_csr(10, density=0.4, seed=1)
+        sell = SellMat.from_csr(csr, slice_height=8)
+        assert sell.nslices == 2
+        # Slots for 16 logical rows exist even though only 10 are real.
+        assert sell.sliceptr[-1] % 8 == 0
+
+    def test_rlen_stores_true_row_lengths(self):
+        csr = figure6_matrix()
+        sell = SellMat.from_csr(csr)
+        assert np.array_equal(sell.rlen, csr.row_lengths())
+
+    def test_storage_is_aligned(self):
+        sell = SellMat.from_csr(figure6_matrix())
+        assert sell.val.ctypes.data % 64 == 0
+        assert sell.colidx.ctypes.data % 64 == 0
+
+    def test_regular_matrix_has_no_padding(self, gray_scott_small):
+        """Section 7: Gray-Scott in SELL has very few padded zeros."""
+        sell = SellMat.from_csr(gray_scott_small, slice_height=8)
+        assert sell.padded_entries == 0
+
+    def test_slice_height_one_is_csr_storage(self):
+        """Section 2.5: C=1 makes sliced ELLPACK identical to CSR."""
+        csr = figure6_matrix()
+        sell = SellMat.from_csr(csr, slice_height=1)
+        assert sell.padded_entries == 0
+        assert np.array_equal(sell.val, csr.val)
+        assert np.array_equal(sell.colidx, csr.colidx)
+
+
+class TestOperations:
+    @pytest.mark.parametrize("c", [1, 2, 4, 8, 16])
+    def test_multiply_matches_csr_for_any_height(self, c):
+        csr = make_random_csr(21, density=0.3, seed=2)
+        x = np.random.default_rng(3).standard_normal(21)
+        sell = SellMat.from_csr(csr, slice_height=c)
+        assert np.allclose(sell.multiply(x), csr.multiply(x))
+
+    def test_round_trip_to_csr(self):
+        csr = figure6_matrix()
+        assert SellMat.from_csr(csr, 4).to_csr().equal(csr, tol=0.0)
+
+    def test_diagonal(self, small_csr):
+        sell = SellMat.from_csr(small_csr)
+        assert np.allclose(sell.diagonal(), small_csr.diagonal())
+
+    def test_memory_bytes_accounts_for_padding(self):
+        sell = SellMat.from_csr(figure6_matrix(), 4)
+        slots = int(sell.sliceptr[-1])
+        expected = slots * 12 + sell.sliceptr.shape[0] * 8 + 8 * 8
+        assert sell.memory_bytes() == expected
+
+    def test_empty_matrix(self):
+        empty = AijMat.from_coo((0, 0), np.array([]), np.array([]), np.array([]))
+        sell = SellMat.from_csr(empty)
+        assert sell.nslices == 0
+        assert sell.multiply(np.zeros(0)).shape == (0,)
+
+
+class TestSigmaSorting:
+    def test_sorting_reduces_padding_on_irregular_matrices(self):
+        csr = irregular_rows(128, max_len=32, seed=4)
+        plain = SellMat.from_csr(csr, 8, sigma=1)
+        windowed = SellMat.from_csr(csr, 8, sigma=64)
+        assert windowed.padded_entries < plain.padded_entries
+
+    def test_sorted_multiply_still_matches(self):
+        csr = irregular_rows(100, max_len=24, seed=5)
+        x = np.random.default_rng(6).standard_normal(100)
+        for sigma in (8, 32, 96):
+            sell = SellMat.from_csr(csr, 8, sigma=sigma)
+            assert np.allclose(sell.multiply(x), csr.multiply(x)), sigma
+
+    def test_perm_is_a_window_local_permutation(self):
+        csr = irregular_rows(64, max_len=16, seed=7)
+        sell = SellMat.from_csr(csr, 8, sigma=16)
+        assert sell.perm is not None
+        for start in range(0, 64, 16):
+            window = sell.perm[start : start + 16]
+            assert sorted(window.tolist()) == list(range(start, start + 16))
+
+    def test_sorted_round_trip(self):
+        csr = irregular_rows(60, max_len=16, seed=8)
+        sell = SellMat.from_csr(csr, 4, sigma=12)
+        assert sell.to_csr().equal(csr, tol=0.0)
+
+    def test_sigma_must_be_a_multiple_of_the_slice_height(self):
+        with pytest.raises(ValueError):
+            SellMat.from_csr(figure6_matrix(), 4, sigma=6)
+
+    def test_sigma_one_has_no_permutation(self):
+        assert SellMat.from_csr(figure6_matrix()).perm is None
+
+
+class TestValidation:
+    def test_bad_slice_height(self):
+        with pytest.raises(ValueError):
+            SellMat.from_csr(figure6_matrix(), 0)
+
+    def test_inconsistent_sliceptr_rejected(self):
+        csr = figure6_matrix()
+        good = SellMat.from_csr(csr, 4)
+        bad_ptr = good.sliceptr.copy()
+        bad_ptr[1] += 1  # no longer a multiple of the height
+        with pytest.raises(ValueError):
+            SellMat(
+                csr.shape, 4, bad_ptr, good.val, good.colidx, good.rlen
+            )

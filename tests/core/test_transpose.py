@@ -1,0 +1,224 @@
+"""Transpose SpMV: fast paths, engine kernels, reverse ghost exchange."""
+
+import numpy as np
+import pytest
+
+from repro.comm.spmd import run_spmd
+from repro.core.sell import SellMat
+from repro.core.transpose import (
+    csr_multiply_transpose,
+    sell_multiply_transpose,
+    spmv_csr_transpose,
+    spmv_sell_transpose,
+)
+from repro.mat.mpi_aij import MPIAij
+from repro.mat.mpi_sell import MPISell
+from repro.pde.problems import gray_scott_jacobian, irregular_rows
+from repro.simd.engine import SimdEngine
+from repro.simd.isa import AVX, AVX2, AVX512, SCALAR
+from repro.vec.mpi_vec import MPIVec
+
+from ..conftest import make_random_csr
+
+
+@pytest.fixture(params=[0, 1])
+def rect(request):
+    """Rectangular matrices: transpose must swap the dimensions."""
+    return make_random_csr(14, 9, density=0.3, seed=request.param)
+
+
+class TestFastPaths:
+    def test_csr_matches_explicit_transpose(self, rect, rng):
+        x = rng.standard_normal(rect.shape[0])
+        assert np.allclose(
+            csr_multiply_transpose(rect, x), rect.to_dense().T @ x
+        )
+
+    def test_sell_matches_explicit_transpose(self, rng):
+        csr = make_random_csr(17, 17, density=0.25, seed=2)
+        sell = SellMat.from_csr(csr)
+        x = rng.standard_normal(17)
+        assert np.allclose(
+            sell_multiply_transpose(sell, x), csr.to_dense().T @ x
+        )
+
+    def test_sorted_sell_transpose(self, rng):
+        csr = irregular_rows(32, max_len=10, seed=3)
+        sell = SellMat.from_csr(csr, sigma=16)
+        x = rng.standard_normal(32)
+        assert np.allclose(
+            sell_multiply_transpose(sell, x), csr.to_dense().T @ x
+        )
+
+    def test_duplicate_columns_accumulate(self):
+        from repro.mat.aij import AijMat
+
+        a = AijMat.from_coo(
+            (2, 3), np.array([0, 1]), np.array([1, 1]), np.array([2.0, 3.0])
+        )
+        y = csr_multiply_transpose(a, np.array([1.0, 1.0]))
+        assert np.array_equal(y, [0.0, 5.0, 0.0])
+
+    def test_conformance_validation(self, rect):
+        with pytest.raises(ValueError):
+            csr_multiply_transpose(rect, np.ones(rect.shape[1]))  # wrong side
+        with pytest.raises(ValueError):
+            csr_multiply_transpose(
+                rect, np.ones(rect.shape[0]), np.ones(rect.shape[0])
+            )
+
+
+class TestEngineKernels:
+    @pytest.mark.parametrize("isa", [AVX512, AVX2, AVX, SCALAR])
+    def test_csr_transpose_kernel_exact(self, isa, rng):
+        csr = make_random_csr(15, 15, density=0.3, seed=4)
+        x = rng.standard_normal(15)
+        engine = SimdEngine(isa)
+        y = np.zeros(15)
+        spmv_csr_transpose(engine, csr, x, y)
+        assert np.allclose(y, csr.to_dense().T @ x, atol=1e-12)
+
+    @pytest.mark.parametrize("isa", [AVX512, AVX2, AVX, SCALAR])
+    def test_sell_transpose_kernel_exact(self, isa, rng):
+        csr = gray_scott_jacobian(4)
+        sell = SellMat.from_csr(csr)
+        x = rng.standard_normal(csr.shape[0])
+        engine = SimdEngine(isa)
+        y = np.zeros(csr.shape[1])
+        spmv_sell_transpose(engine, sell, x, y)
+        assert np.allclose(y, csr.to_dense().T @ x, atol=1e-12)
+
+    def test_avx512_uses_hardware_scatter(self, rng):
+        csr = gray_scott_jacobian(4)
+        sell = SellMat.from_csr(csr)
+        x = rng.standard_normal(csr.shape[0])
+        engine = SimdEngine(AVX512)
+        spmv_sell_transpose(engine, sell, x, np.zeros(csr.shape[1]))
+        assert engine.counters.vector_scatter > 0
+        assert engine.counters.scatter_lanes == engine.counters.vector_scatter * 8
+
+    def test_narrow_isas_fall_back_to_scalar_accumulation(self, rng):
+        """Scatter arrived with AVX-512 — the reason transpose SpMV
+        vectorizes even worse than the forward product before it."""
+        csr = gray_scott_jacobian(4)
+        sell = SellMat.from_csr(csr)
+        x = rng.standard_normal(csr.shape[0])
+        engine = SimdEngine(AVX2)
+        spmv_sell_transpose(engine, sell, x, np.zeros(csr.shape[1]))
+        assert engine.counters.vector_scatter == 0
+        assert engine.counters.scalar_store > 0
+
+
+class TestEngineScatterInstruction:
+    def test_scatter_add_accumulates_duplicates(self):
+        from repro.simd.register import VectorRegister
+
+        engine = SimdEngine(AVX512)
+        buf = np.zeros(6)
+        idx = VectorRegister(np.array([0, 0, 1, 2, 3, 4, 5, 5]))
+        engine.scatter_add(buf, idx, engine.set1(1.0))
+        assert np.array_equal(buf, [2.0, 1.0, 1.0, 1.0, 1.0, 2.0])
+
+    def test_scatter_requires_avx512(self):
+        from repro.simd.isa import UnsupportedInstructionError
+        from repro.simd.register import VectorRegister
+
+        engine = SimdEngine(AVX2)
+        with pytest.raises(UnsupportedInstructionError):
+            engine.scatter_add(
+                np.zeros(4), VectorRegister(np.arange(4)), engine.set1(1.0)
+            )
+
+    def test_masked_scatter_skips_inactive_lanes(self):
+        from repro.simd.register import VectorRegister
+
+        engine = SimdEngine(AVX512)
+        buf = np.zeros(8)
+        idx = VectorRegister(np.arange(8))
+        engine.masked_scatter_add(buf, idx, engine.set1(3.0), engine.make_mask(2))
+        assert np.array_equal(buf, [3.0, 3.0, 0, 0, 0, 0, 0, 0])
+        assert engine.counters.scatter_lanes == 2
+
+
+class TestReverseScatterAndMPITranspose:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_distributed_transpose_matches_sequential(self, size):
+        csr = gray_scott_jacobian(8)
+        x = np.random.default_rng(6).standard_normal(csr.shape[0])
+        expected = csr.to_dense().T @ x
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr)
+            xv = MPIVec.from_global(comm, a.layout, x)
+            return a.multiply_transpose(xv).to_global()
+
+        for result in run_spmd(size, prog):
+            assert np.allclose(result, expected, atol=1e-11)
+
+    def test_mpisell_transpose(self):
+        csr = gray_scott_jacobian(8)
+        x = np.random.default_rng(7).standard_normal(csr.shape[0])
+        expected = csr.to_dense().T @ x
+
+        def prog(comm):
+            a = MPISell.from_global_csr(comm, csr)
+            xv = MPIVec.from_global(comm, a.layout, x)
+            return a.multiply_transpose(xv).to_global()
+
+        for result in run_spmd(3, prog):
+            assert np.allclose(result, expected, atol=1e-11)
+
+    def test_forward_and_reverse_scatter_compose_to_identity_action(self):
+        """reverse(forward(x)) accumulates each ghost exactly once."""
+        from repro.comm.partition import RowLayout
+        from repro.comm.scatter import VecScatter
+
+        n = 12
+
+        def prog(comm):
+            layout = RowLayout.uniform(n, comm.size)
+            start, end = layout.range_of(comm.rank)
+            ghosts = np.array([(end) % n], dtype=np.int64)
+            ghosts = ghosts[(ghosts < start) | (ghosts >= end)]
+            sc = VecScatter(comm, layout, ghosts)
+            local = np.zeros(end - start)
+            ghost_vals = sc.exchange(np.arange(start, end, dtype=np.float64))
+            sc.reverse_begin(np.ones_like(ghost_vals))
+            sc.reverse_end(local)
+            # Each owned entry requested by exactly one peer gained 1.0.
+            return float(local.sum()), ghost_vals.size
+
+        results = run_spmd(3, prog)
+        total_received = sum(r[0] for r in results)
+        total_ghosts = sum(r[1] for r in results)
+        assert total_received == total_ghosts
+
+    def test_reverse_contribution_length_validated(self):
+        from repro.comm.partition import RowLayout
+        from repro.comm.scatter import VecScatter
+        from repro.comm.spmd import SpmdError
+
+        def prog(comm):
+            layout = RowLayout.uniform(8, comm.size)
+            sc = VecScatter(comm, layout, np.array([], dtype=np.int64))
+            sc.reverse_begin(np.ones(5))
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+
+class TestTrafficExtensions:
+    def test_64bit_indices_add_four_bytes_per_nonzero(self):
+        from repro.core.traffic import csr_traffic, sell_traffic
+
+        for fn in (csr_traffic, sell_traffic):
+            narrow = fn(100, 100, 1000)
+            wide = fn(100, 100, 1000, index_bytes=8)
+            assert wide.total_bytes - narrow.total_bytes == 4 * 1000
+
+    def test_paper_grid_is_the_32bit_limit(self):
+        from repro.core.traffic import largest_grid_with_32bit_indices
+
+        assert largest_grid_with_32bit_indices(dof=2) == 16384
+        # One DOF per point doubles the admissible points.
+        assert largest_grid_with_32bit_indices(dof=1) == 32768

@@ -1,0 +1,181 @@
+"""SELL triangular solves and ILU(0): the future-work kernels."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.core.triangular import (
+    SellILU0PC,
+    SellTriangular,
+    ilu0,
+    level_schedule,
+    solve_sell_triangular,
+)
+from repro.ksp.gmres import GMRES
+from repro.ksp.pc.ilu import ILU0PC
+from repro.mat.aij import AijMat
+from repro.pde.problems import gray_scott_jacobian, random_sparse, tridiagonal
+from repro.simd.engine import SimdEngine
+from repro.simd.isa import AVX, AVX512, SCALAR
+
+
+@pytest.fixture(scope="module")
+def factored():
+    a = random_sparse(36, density=0.12, seed=3)
+    lower, upper = ilu0(a)
+    return a, lower, upper
+
+
+class TestIlu0:
+    def test_factors_have_the_right_triangles(self, factored):
+        _, lower, upper = factored
+        ld, ud = lower.to_dense(), upper.to_dense()
+        assert np.allclose(np.triu(ld, 1), 0.0)
+        assert np.allclose(np.diag(ld), 1.0)  # unit lower
+        assert np.allclose(np.tril(ud, -1), 0.0)
+
+    def test_matches_the_existing_ilu_preconditioner(self, factored):
+        a, lower, upper = factored
+        pc = ILU0PC()
+        pc.setup(a)
+        r = np.random.default_rng(0).standard_normal(a.shape[0])
+        y = sla.solve_triangular(lower.to_dense(), r, lower=True,
+                                 unit_diagonal=True)
+        z = sla.solve_triangular(upper.to_dense(), y, lower=False)
+        assert np.allclose(z, pc.apply(r), atol=1e-12)
+
+    def test_exact_lu_on_a_tridiagonal_matrix(self):
+        """No fill for tridiagonal: ILU(0) reproduces the matrix exactly."""
+        a = tridiagonal(14)
+        lower, upper = ilu0(a)
+        product = lower.to_dense() @ upper.to_dense()
+        assert np.allclose(product, a.to_dense(), atol=1e-12)
+
+    def test_missing_diagonal_rejected(self):
+        bad = AijMat.from_coo((2, 2), np.array([0, 1]), np.array([1, 0]),
+                              np.ones(2))
+        with pytest.raises(ValueError, match="diagonal"):
+            ilu0(bad)
+
+    def test_rectangular_rejected(self):
+        from tests.conftest import make_random_csr
+
+        with pytest.raises(ValueError):
+            ilu0(make_random_csr(4, 5, density=0.5))
+
+
+class TestLevelSchedule:
+    def test_diagonal_matrix_is_a_single_level(self):
+        d = AijMat.from_dense(np.diag([1.0, 2.0, 3.0]))
+        levels = level_schedule(d, lower=True)
+        assert len(levels) == 1
+        assert np.array_equal(levels[0], [0, 1, 2])
+
+    def test_dense_lower_triangle_is_fully_serial(self):
+        d = AijMat.from_dense(np.tril(np.ones((5, 5))))
+        levels = level_schedule(d, lower=True)
+        assert len(levels) == 5
+        assert all(lvl.size == 1 for lvl in levels)
+
+    def test_levels_partition_the_rows(self, factored):
+        _, lower, upper = factored
+        for tri, is_lower in ((lower, True), (upper, False)):
+            levels = level_schedule(tri, lower=is_lower)
+            seen = np.concatenate(levels)
+            assert sorted(seen.tolist()) == list(range(tri.shape[0]))
+
+    def test_dependencies_respect_level_order(self, factored):
+        _, lower, _ = factored
+        levels = level_schedule(lower, lower=True)
+        level_of = {}
+        for lvl, rows in enumerate(levels):
+            for r in rows:
+                level_of[int(r)] = lvl
+        for i in range(lower.shape[0]):
+            cols, _ = lower.get_row(i)
+            for j in cols[cols < i]:
+                assert level_of[int(j)] < level_of[i]
+
+    def test_upper_triangle_levels_run_backwards(self):
+        d = AijMat.from_dense(np.triu(np.ones((4, 4))))
+        levels = level_schedule(d, lower=False)
+        # Row 3 depends on nothing; row 0 on everything.
+        assert 3 in levels[0].tolist()
+        assert 0 in levels[-1].tolist()
+
+
+class TestSellTriangularSolve:
+    @pytest.mark.parametrize("c", [1, 2, 4, 8])
+    def test_lower_solve_matches_dense(self, factored, c):
+        _, lower, _ = factored
+        tri = SellTriangular(lower, lower=True, slice_height=c)
+        b = np.random.default_rng(1).standard_normal(lower.shape[0])
+        x = tri.solve(b)
+        ref = sla.solve_triangular(lower.to_dense(), b, lower=True,
+                                   unit_diagonal=True)
+        assert np.allclose(x, ref, atol=1e-11)
+
+    def test_upper_solve_matches_dense(self, factored):
+        _, _, upper = factored
+        tri = SellTriangular(upper, lower=False)
+        b = np.random.default_rng(2).standard_normal(upper.shape[0])
+        ref = sla.solve_triangular(upper.to_dense(), b, lower=False)
+        assert np.allclose(tri.solve(b), ref, atol=1e-11)
+
+    @pytest.mark.parametrize("isa", [AVX512, AVX, SCALAR])
+    def test_engine_kernel_matches_fast_path(self, factored, isa):
+        _, lower, _ = factored
+        tri = SellTriangular(lower, lower=True)
+        b = np.random.default_rng(3).standard_normal(lower.shape[0])
+        ref = tri.solve(b)
+        engine = SimdEngine(isa)
+        x = np.zeros_like(b)
+        solve_sell_triangular(engine, tri, b, x)
+        assert np.allclose(x, ref, atol=1e-11)
+        assert engine.counters.flops > 0 or isa is SCALAR
+
+    def test_zero_diagonal_rejected(self):
+        singular = AijMat.from_dense(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(ZeroDivisionError):
+            SellTriangular(singular, lower=True)
+
+    def test_gray_scott_exposes_the_future_work_problem(self):
+        """The diagnostic the paper's caution predicts: banded matrices
+        have long dependency chains, so slices run far below occupancy."""
+        lower, _ = ilu0(gray_scott_jacobian(8))
+        tri = SellTriangular(lower, lower=True)
+        spmv_parallelism = tri.shape[0] / 8  # rows per SpMV "wavefront"
+        solve_parallelism = tri.mean_level_width / 8
+        assert tri.nlevels > 10
+        assert solve_parallelism < spmv_parallelism / 4
+        assert tri.slice_occupancy < 0.9
+
+    def test_diagonal_matrix_solves_in_one_level_full_occupancy(self):
+        d = AijMat.from_dense(np.diag(np.arange(1.0, 17.0)))
+        tri = SellTriangular(d, lower=True)
+        assert tri.nlevels == 1
+        assert tri.slice_occupancy == 1.0
+        b = np.arange(1.0, 17.0)
+        assert np.allclose(tri.solve(b), np.ones(16))
+
+
+class TestSellILU0PC:
+    def test_matches_the_csr_ilu_preconditioner(self, factored):
+        a, _, _ = factored
+        csr_pc = ILU0PC()
+        csr_pc.setup(a)
+        sell_pc = SellILU0PC()
+        sell_pc.setup(a)
+        r = np.random.default_rng(4).standard_normal(a.shape[0])
+        assert np.allclose(sell_pc.apply(r), csr_pc.apply(r), atol=1e-11)
+
+    def test_usable_inside_gmres(self, factored):
+        a, _, _ = factored
+        b = np.random.default_rng(5).standard_normal(a.shape[0])
+        result = GMRES(pc=SellILU0PC(), rtol=1e-10).solve(a, b)
+        assert result.reason.converged
+        assert np.linalg.norm(a.multiply(result.x) - b) < 1e-6
+
+    def test_apply_before_setup_raises(self):
+        with pytest.raises(RuntimeError):
+            SellILU0PC().apply(np.ones(3))

@@ -1,0 +1,138 @@
+"""Discrete adjoint of the theta method (the ex5adj capability)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sell import SellMat
+from repro.ksp.adjoint import AdjointThetaMethod, TransposeOperator
+from repro.ksp.gmres import GMRES
+from repro.ksp.pc.jacobi import JacobiPC
+from repro.ksp.ts import ThetaMethod
+from repro.pde.advection import AdvectionDiffusionProblem
+from repro.pde.grayscott import GrayScottProblem
+from repro.pde.grid import Grid2D
+
+from ..conftest import make_random_csr
+
+
+def tight_ksp():
+    return GMRES(pc=JacobiPC(), rtol=1e-12)
+
+
+class TestTransposeOperator:
+    def test_applies_a_transpose_without_materializing(self, rng):
+        a = make_random_csr(11, 7, density=0.4, seed=1)
+        op = TransposeOperator(a)
+        assert op.shape == (7, 11)
+        x = rng.standard_normal(11)
+        assert np.allclose(op.multiply(x), a.to_dense().T @ x)
+
+    def test_sell_inner_uses_the_sell_transpose_path(self, rng):
+        csr = make_random_csr(16, 16, density=0.3, seed=2)
+        op = TransposeOperator(SellMat.from_csr(csr))
+        x = rng.standard_normal(16)
+        assert np.allclose(op.multiply(x), csr.to_dense().T @ x)
+
+    def test_usable_as_a_gmres_operator(self, rng):
+        from repro.pde.problems import random_sparse
+
+        a = random_sparse(30, density=0.15, seed=3)
+        b = rng.standard_normal(30)
+        result = GMRES(rtol=1e-10).solve(TransposeOperator(a), b)
+        assert result.reason.converged
+        assert np.allclose(a.to_dense().T @ result.x, b, atol=1e-5)
+
+
+class TestAdjointGradient:
+    @pytest.fixture(scope="class")
+    def gray_scott_setup(self):
+        grid = Grid2D(6, 6, dof=2)
+        prob = GrayScottProblem(grid)
+        ts = ThetaMethod(
+            rhs=prob.rhs,
+            jacobian=prob.jacobian,
+            ksp_factory=tight_ksp,
+            dt=1.0,
+            snes_rtol=1e-12,
+        )
+        w0 = prob.initial_state()
+        fwd = ts.integrate(w0, 2)
+        return prob, ts, w0, fwd
+
+    def test_matches_finite_differences(self, gray_scott_setup):
+        """lambda_0 is the exact discrete gradient of Psi = ||w_N||^2/2."""
+        prob, ts, w0, fwd = gray_scott_setup
+        adj = AdjointThetaMethod(
+            jacobian=prob.jacobian, ksp_factory=tight_ksp, dt=1.0
+        )
+        lam0 = adj.integrate_adjoint(fwd, fwd.final_state)
+
+        rng = np.random.default_rng(0)
+        for _ in range(2):
+            d = rng.standard_normal(w0.shape)
+            d /= np.linalg.norm(d)
+            eps = 1e-6
+
+            def psi(w):
+                return 0.5 * np.linalg.norm(ts.integrate(w, 2).final_state) ** 2
+
+            fd = (psi(w0 + eps * d) - psi(w0 - eps * d)) / (2 * eps)
+            assert float(lam0 @ d) == pytest.approx(fd, rel=1e-5)
+
+    def test_sell_adjoint_matches_csr_adjoint(self, gray_scott_setup):
+        """The adjoint sweep on SELL transpose kernels is bit-compatible."""
+        prob, _, _, fwd = gray_scott_setup
+        csr_adj = AdjointThetaMethod(
+            jacobian=prob.jacobian, ksp_factory=tight_ksp, dt=1.0
+        ).integrate_adjoint(fwd, fwd.final_state)
+        sell_adj = AdjointThetaMethod(
+            jacobian=prob.jacobian,
+            ksp_factory=tight_ksp,
+            dt=1.0,
+            operator_wrapper=lambda m: SellMat.from_csr(m.to_csr()),
+        ).integrate_adjoint(fwd, fwd.final_state)
+        assert np.allclose(sell_adj, csr_adj, atol=1e-12)
+
+    def test_linear_problem_adjoint_is_exact(self):
+        """For a linear operator the adjoint equals the transposed
+        propagator applied to the terminal gradient."""
+        grid = Grid2D(6, 6, dof=1)
+        prob = AdvectionDiffusionProblem(grid)
+        ts = ThetaMethod(
+            rhs=prob.rhs, jacobian=prob.jacobian, ksp_factory=tight_ksp, dt=0.1
+        )
+        w0 = prob.initial_state()
+        fwd = ts.integrate(w0, 3)
+        gT = np.random.default_rng(1).standard_normal(w0.shape)
+        lam0 = AdjointThetaMethod(
+            jacobian=prob.jacobian, ksp_factory=tight_ksp, dt=0.1
+        ).integrate_adjoint(fwd, gT)
+
+        # Build the dense one-step propagator P = A^-1 B and compare.
+        j = prob.jacobian().to_dense()
+        n = j.shape[0]
+        a = np.eye(n) / 0.1 - 0.5 * j
+        b = np.eye(n) / 0.1 + 0.5 * j
+        p = np.linalg.solve(a, b)
+        expected = np.linalg.matrix_power(p.T, 3) @ gT
+        assert np.allclose(lam0, expected, atol=1e-8)
+
+    def test_requires_a_stored_trajectory(self):
+        grid = Grid2D(4, 4, dof=1)
+        prob = AdvectionDiffusionProblem(grid)
+        adj = AdjointThetaMethod(
+            jacobian=prob.jacobian, ksp_factory=tight_ksp, dt=0.1
+        )
+        from repro.ksp.ts import TSResult
+
+        short = TSResult(times=[0.0], states=[prob.initial_state()])
+        with pytest.raises(ValueError):
+            adj.integrate_adjoint(short, prob.initial_state())
+
+    def test_terminal_gradient_shape_validated(self, gray_scott_setup):
+        prob, _, _, fwd = gray_scott_setup
+        adj = AdjointThetaMethod(
+            jacobian=prob.jacobian, ksp_factory=tight_ksp, dt=1.0
+        )
+        with pytest.raises(ValueError):
+            adj.integrate_adjoint(fwd, np.zeros(3))

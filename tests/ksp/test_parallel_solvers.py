@@ -1,0 +1,140 @@
+"""Distributed Krylov solvers on the simulated MPI runtime."""
+
+import numpy as np
+import pytest
+
+from repro.comm.spmd import run_spmd
+from repro.ksp.gmres import GMRES
+from repro.ksp.parallel import (
+    ParallelBlockJacobiPC,
+    ParallelGMRES,
+    ParallelIdentityPC,
+    ParallelJacobiPC,
+    ParallelRichardson,
+)
+from repro.ksp.pc.jacobi import JacobiPC
+from repro.mat.mpi_aij import MPIAij
+from repro.mat.mpi_sell import MPISell
+from repro.pde.problems import gray_scott_jacobian, random_sparse
+from repro.vec.mpi_vec import MPIVec
+
+
+@pytest.fixture(scope="module")
+def system():
+    csr = gray_scott_jacobian(8)
+    b = np.random.default_rng(0).standard_normal(csr.shape[0])
+    return csr, b
+
+
+class TestParallelGMRES:
+    def test_matches_sequential_iterate_for_iterate(self, system):
+        """Deterministic collectives: the parallel Krylov process is the
+        *same* process as the sequential one, to rounding."""
+        csr, b = system
+        seq = GMRES(pc=JacobiPC(), rtol=1e-10).solve(csr, b)
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr)
+            bv = MPIVec.from_global(comm, a.layout, b)
+            res = ParallelGMRES(pc=ParallelJacobiPC(), rtol=1e-10).solve(a, bv)
+            x = MPIVec(comm, a.layout, res.x)
+            return res.iterations, res.residual_norms, x.to_global()
+
+        for its, norms, x in run_spmd(3, prog):
+            assert its == seq.iterations
+            assert np.allclose(norms, seq.residual_norms, rtol=1e-10)
+            assert np.allclose(x, seq.x, atol=1e-10)
+
+    def test_reproducible_across_runs(self, system):
+        csr, b = system
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr)
+            bv = MPIVec.from_global(comm, a.layout, b)
+            return ParallelGMRES(pc=ParallelJacobiPC(), rtol=1e-10).solve(a, bv).x
+
+        first = run_spmd(2, prog)
+        second = run_spmd(2, prog)
+        for x1, x2 in zip(first, second):
+            assert np.array_equal(x1, x2)
+
+    def test_sell_operator_converges_identically(self, system):
+        csr, b = system
+
+        def prog(comm):
+            aij = MPIAij.from_global_csr(comm, csr)
+            sell = MPISell.from_mpiaij(aij)
+            bv = MPIVec.from_global(comm, sell.layout, b)
+            res = ParallelGMRES(pc=ParallelJacobiPC(), rtol=1e-10).solve(sell, bv)
+            return res.iterations, res.reason.converged
+
+        its = run_spmd(2, prog)
+        assert all(conv for _, conv in its)
+        seq = GMRES(pc=JacobiPC(), rtol=1e-10).solve(csr, b)
+        assert all(i == seq.iterations for i, _ in its)
+
+    def test_block_jacobi_strengthens_with_fewer_ranks(self, system):
+        """PCBJACOBI solves larger local blocks exactly on fewer ranks, so
+        iteration counts must not increase as ranks decrease."""
+        csr, b = system
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr)
+            bv = MPIVec.from_global(comm, a.layout, b)
+            res = ParallelGMRES(pc=ParallelBlockJacobiPC(), rtol=1e-10).solve(a, bv)
+            return res.iterations
+
+        one = run_spmd(1, prog)[0]
+        four = run_spmd(4, prog)[0]
+        assert one <= four
+        assert one <= 2  # a single rank factors the whole matrix
+
+    def test_unpreconditioned_still_converges(self):
+        csr = random_sparse(24, density=0.2, seed=5)
+        b = np.random.default_rng(1).standard_normal(24)
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr)
+            bv = MPIVec.from_global(comm, a.layout, b)
+            res = ParallelGMRES(pc=ParallelIdentityPC(), rtol=1e-9).solve(a, bv)
+            x = MPIVec(comm, a.layout, res.x)
+            err = np.linalg.norm(csr.multiply(x.to_global()) - b)
+            return res.reason.converged, err
+
+        for conv, err in run_spmd(2, prog):
+            assert conv and err < 1e-5
+
+    def test_invalid_restart_rejected(self, system):
+        csr, b = system
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr)
+            bv = MPIVec.from_global(comm, a.layout, b)
+            ParallelGMRES(restart=0).solve(a, bv)
+
+        from repro.comm.spmd import SpmdError
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+
+class TestParallelRichardson:
+    def test_converges_with_jacobi(self):
+        csr = random_sparse(20, density=0.15, seed=6)  # diag dominant
+        b = np.random.default_rng(2).standard_normal(20)
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr)
+            bv = MPIVec.from_global(comm, a.layout, b)
+            res = ParallelRichardson(
+                pc=ParallelJacobiPC(), max_it=300, rtol=1e-9
+            ).solve(a, bv)
+            return res.reason.converged
+
+        assert all(run_spmd(3, prog))
+
+    def test_pc_apply_before_setup_raises(self):
+        with pytest.raises(RuntimeError):
+            ParallelJacobiPC().apply(None)  # type: ignore[arg-type]
+        with pytest.raises(RuntimeError):
+            ParallelBlockJacobiPC().apply(None)  # type: ignore[arg-type]

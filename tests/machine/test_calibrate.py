@@ -1,0 +1,69 @@
+"""Calibration machinery and the committed fit."""
+
+import pytest
+
+from repro.machine.calibrate import (
+    FIT_FIELDS,
+    KNL_TARGETS,
+    CalibrationProblem,
+    fit,
+)
+from repro.machine.perf_model import KNL_COSTS, KNL_OVERLAP
+from repro.simd.cost_model import CostTable
+
+
+@pytest.fixture(scope="module")
+def problem() -> CalibrationProblem:
+    # A small reference grid keeps the engine measurements fast.
+    return CalibrationProblem.measure(grid=16)
+
+
+class TestProblem:
+    def test_measures_every_target_variant(self, problem):
+        assert set(problem.counters) == set(KNL_TARGETS)
+        assert set(problem.traffic) == set(KNL_TARGETS)
+
+    def test_predictions_are_positive(self, problem):
+        pred = problem.predict_gflops(CostTable(), 0.5)
+        assert all(v > 0 for v in pred.values())
+
+    def test_loss_is_zero_only_at_a_perfect_fit(self, problem):
+        loss = problem.loss(CostTable(), 0.5)
+        assert loss > 0.0
+
+
+class TestFit:
+    def test_fit_improves_the_loss(self, problem):
+        start = CostTable()
+        before = problem.loss(start, 0.5)
+        table, overlap, after = fit(problem, start=start, rounds=4)
+        assert after < before
+        assert 0.2 <= overlap <= 0.8
+
+    def test_fit_respects_the_bounds(self, problem):
+        table, _, _ = fit(problem, rounds=4)
+        for field, (lo, hi) in FIT_FIELDS.items():
+            assert lo <= getattr(table, field) <= hi
+
+
+class TestCommittedFit:
+    """The baked-in KNL_COSTS table must reproduce the paper's KNL column."""
+
+    def test_every_series_within_twenty_percent(self, problem):
+        pred = problem.predict_gflops(KNL_COSTS, KNL_OVERLAP)
+        for name, target in KNL_TARGETS.items():
+            assert pred[name] == pytest.approx(target, rel=0.20), name
+
+    def test_the_ordering_of_the_figure8_series(self, problem):
+        """Who beats whom at 64 ranks is the figure's core message."""
+        p = problem.predict_gflops(KNL_COSTS, KNL_OVERLAP)
+        assert (
+            p["SELL using AVX512"]
+            > p["SELL using AVX"]
+            > p["SELL using AVX2"]
+            > p["CSR using AVX512"]
+            > p["CSR baseline"]
+            > p["MKL CSR"]
+        )
+        assert p["CSR using AVX"] > p["CSR using AVX2"]  # the AVX2 regression
+        assert p["CSR using novec"] < p["MKL CSR"]

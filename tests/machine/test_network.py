@@ -1,0 +1,87 @@
+"""Interconnect and cluster models (Figure 10 substrate)."""
+
+import math
+
+import pytest
+
+from repro.machine.network import Cluster, NetworkModel, halo_bytes_2d
+
+
+@pytest.fixture
+def net() -> NetworkModel:
+    return NetworkModel(latency_s=3e-6, bandwidth_gbs=8.0, overhead_s=5e-7)
+
+
+class TestMessages:
+    def test_message_time_has_latency_and_bandwidth_terms(self, net):
+        small = net.message_time(0)
+        big = net.message_time(8_000_000)
+        assert small == pytest.approx(3.5e-6)
+        assert big == pytest.approx(3.5e-6 + 1e-3)
+
+    def test_negative_size_raises(self, net):
+        with pytest.raises(ValueError):
+            net.message_time(-1)
+
+
+class TestHaloExchange:
+    def test_zero_neighbors_is_free(self, net):
+        assert net.halo_exchange_time(0, 1000) == 0.0
+
+    def test_messages_overlap_one_latency(self, net):
+        one = net.halo_exchange_time(1, 1000)
+        four = net.halo_exchange_time(4, 1000)
+        # Four neighbours pay one latency, four overheads, 4x the bytes.
+        assert four < 4 * one
+        assert four == pytest.approx(
+            3e-6 + 4 * 5e-7 + 4000 / 8e9
+        )
+
+    def test_negative_neighbors_raises(self, net):
+        with pytest.raises(ValueError):
+            net.halo_exchange_time(-1, 10)
+
+
+class TestAllreduce:
+    def test_single_rank_is_free(self, net):
+        assert net.allreduce_time(1) == 0.0
+
+    def test_rounds_grow_logarithmically(self, net):
+        t2 = net.allreduce_time(2)
+        t4096 = net.allreduce_time(4096)
+        assert t4096 == pytest.approx(math.log2(4096) * t2)
+
+    def test_non_power_of_two_rounds_up(self, net):
+        assert net.allreduce_time(5) == pytest.approx(3 * net.allreduce_time(2))
+
+    def test_invalid_rank_count_raises(self, net):
+        with pytest.raises(ValueError):
+            net.allreduce_time(0)
+
+
+class TestCluster:
+    def test_total_ranks(self, net):
+        assert Cluster(64, 64, net).total_ranks == 4096
+
+    def test_invalid_dimensions_raise(self, net):
+        with pytest.raises(ValueError):
+            Cluster(0, 64, net)
+        with pytest.raises(ValueError):
+            Cluster(64, 0, net)
+
+
+class TestHaloBytes:
+    def test_square_domain_boundary_scaling(self):
+        # 4x the rows -> 2x the boundary.
+        b1 = halo_bytes_2d(10_000, dof_per_point=1)
+        b4 = halo_bytes_2d(40_000, dof_per_point=1)
+        assert b4 == pytest.approx(2 * b1, rel=0.01)
+
+    def test_dof_multiplies_the_boundary(self):
+        b1 = halo_bytes_2d(20_000, dof_per_point=1)
+        b2 = halo_bytes_2d(20_000, dof_per_point=2)
+        # Same rows, 2 dof: half the points but each carries two values.
+        assert b2 == pytest.approx(math.sqrt(2) * b1, rel=0.01)
+
+    def test_empty_partition_has_no_halo(self):
+        assert halo_bytes_2d(0) == 0

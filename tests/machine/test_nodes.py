@@ -1,0 +1,90 @@
+"""KNL and Xeon node objects: topology and configuration invariants."""
+
+import pytest
+
+from repro.machine.knl import ClusterMode, KnlNode
+from repro.machine.perf_model import MemoryMode
+from repro.machine.specs import KNL_7230, SKYLAKE
+from repro.machine.xeon import XeonNode, broadwell_node, haswell_node, skylake_node
+from repro.memory.numa import Placement
+
+
+class TestKnlTopology:
+    def test_64_cores_form_32_tiles_of_two(self):
+        """Section 2.6: 32 tiles, each two cores sharing 1 MB L2."""
+        node = KnlNode()
+        tiles = node.tiles
+        assert len(tiles) == 32
+        assert all(t.l2_bytes == 1 << 20 for t in tiles)
+        cores = [c for t in tiles for c in t.cores]
+        assert sorted(cores) == list(range(64))
+
+    def test_quadrant_mode_groups_tiles_in_four(self):
+        node = KnlNode(cluster_mode=ClusterMode.QUADRANT)
+        quadrants = node.quadrants
+        assert len(quadrants) == 4
+        assert sum(len(q) for q in quadrants) == 32
+
+
+class TestKnlMemoryModes:
+    def test_cache_mode_owns_a_direct_mapped_cache(self):
+        node = KnlNode(memory_mode=MemoryMode.CACHE)
+        assert node.mcdram_cache is not None
+        assert node.mcdram_cache.capacity_bytes == 16 * 1024**3
+
+    def test_flat_mode_has_no_cache_but_a_numa_policy(self):
+        node = KnlNode(memory_mode=MemoryMode.FLAT_MCDRAM)
+        assert node.mcdram_cache is None
+        assert node.numa_policy is not None
+        assert node.numa_policy.placement is Placement.PREFER_MCDRAM
+
+    def test_flat_dram_mode_binds_to_dram(self):
+        node = KnlNode(memory_mode=MemoryMode.FLAT_DRAM)
+        assert node.numa_policy.placement is Placement.BIND_DRAM
+
+    def test_cache_mode_rejects_numa_policies(self):
+        from repro.memory.numa import NumaPolicy
+
+        with pytest.raises(ValueError):
+            KnlNode(memory_mode=MemoryMode.CACHE, numa_policy=NumaPolicy())
+
+    def test_hybrid_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            KnlNode(memory_mode=MemoryMode.FLAT_MCDRAM, hybrid_cache_fraction=1.5)
+        node = KnlNode(
+            memory_mode=MemoryMode.FLAT_MCDRAM, hybrid_cache_fraction=0.5
+        )
+        assert node.mcdram_cache.capacity_bytes == 8 * 1024**3
+
+    def test_requires_a_processor_with_mcdram(self):
+        with pytest.raises(ValueError):
+            KnlNode(spec=SKYLAKE)
+
+    def test_perf_model_inherits_the_configuration(self):
+        node = KnlNode(memory_mode=MemoryMode.CACHE)
+        model = node.perf_model()
+        assert model.mode is MemoryMode.CACHE
+        assert model.cache_model == node.mcdram_cache
+
+
+class TestXeonNodes:
+    def test_factories_set_the_channel_counts(self):
+        """Section 7.4: Skylake has 6 channels, Haswell/Broadwell 4."""
+        assert skylake_node().memory_channels == 6
+        assert haswell_node().memory_channels == 4
+        assert broadwell_node().memory_channels == 4
+
+    def test_bandwidth_per_channel(self):
+        node = skylake_node()
+        assert node.bandwidth_per_channel_gbs == pytest.approx(119.2 / 6)
+
+    def test_rejects_mcdram_processors(self):
+        with pytest.raises(ValueError):
+            XeonNode(spec=KNL_7230)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            XeonNode(spec=SKYLAKE, memory_channels=0)
+
+    def test_perf_model_is_ddr(self):
+        assert skylake_node().perf_model().mode is MemoryMode.DDR

@@ -1,0 +1,147 @@
+"""The node performance model: leg combination, bounds, configuration."""
+
+import pytest
+
+from repro.machine.perf_model import (
+    KNL_OVERLAP,
+    MemoryMode,
+    PerfModel,
+    bandwidth_curve_for,
+    combine_legs,
+    cost_table_for,
+    make_model,
+)
+from repro.machine.specs import HASWELL, KNL_7230, SKYLAKE
+from repro.simd.counters import KernelCounters
+from repro.simd.isa import AVX512, SCALAR
+
+
+def flat_model(**kwargs) -> PerfModel:
+    return PerfModel(spec=KNL_7230, mode=MemoryMode.FLAT_MCDRAM,
+                     overlap=KNL_OVERLAP, **kwargs)
+
+
+def counters(**kwargs) -> KernelCounters:
+    c = KernelCounters()
+    for k, v in kwargs.items():
+        setattr(c, k, v)
+    return c
+
+
+class TestCombineLegs:
+    def test_balanced_legs_partially_overlap(self):
+        t = combine_legs(1.0, 1.0, overlap=0.5)
+        assert t == pytest.approx(1.5)
+
+    def test_lopsided_kernel_is_simply_bound(self):
+        # Memory 100x the compute: the compute leg vanishes.
+        t = combine_legs(0.01, 1.0, overlap=0.0)
+        assert t == pytest.approx(1.0001)
+
+    def test_symmetric_in_the_two_legs(self):
+        assert combine_legs(0.3, 0.7, 0.4) == combine_legs(0.7, 0.3, 0.4)
+
+    def test_full_overlap_is_max(self):
+        assert combine_legs(0.3, 0.7, 1.0) == 0.7
+
+    def test_zero_legs(self):
+        assert combine_legs(0.0, 0.0, 0.5) == 0.0
+
+    def test_invalid_overlap_raises(self):
+        with pytest.raises(ValueError):
+            combine_legs(1.0, 1.0, 1.5)
+
+
+class TestPredict:
+    def test_memory_bound_prediction_uses_bandwidth(self):
+        model = flat_model()
+        c = counters(flops=200, bytes_loaded=10**9)
+        perf = model.predict(c, AVX512, 64, traffic_bytes=10**9)
+        bw = model.bandwidth_gbs(AVX512, 64)
+        assert perf.bound == "memory"
+        assert perf.memory_seconds == pytest.approx(1.0 / bw, rel=1e-9)
+
+    def test_compute_bound_prediction_scales_with_ranks(self):
+        model = flat_model()
+        c = counters(vector_fmadd=10**7, flops=200)
+        p32 = model.predict(c, AVX512, 32, traffic_bytes=1)
+        p64 = model.predict(c, AVX512, 64, traffic_bytes=1)
+        assert p32.bound == p64.bound == "compute"
+        # Ideal scaling is 2x, damped by the occupancy-dependent clock
+        # (32 ranks run at a higher frequency than a full chip).
+        f32 = KNL_7230.effective_frequency("AVX512", 32)
+        f64 = KNL_7230.effective_frequency("AVX512", 64)
+        assert p32.seconds / p64.seconds == pytest.approx(2.0 * f64 / f32, rel=1e-6)
+
+    def test_efficiency_divides_throughput(self):
+        model = flat_model()
+        c = counters(vector_fmadd=1000, flops=2000)
+        full = model.predict(c, AVX512, 64, traffic_bytes=100)
+        mkl = model.predict(c, AVX512, 64, traffic_bytes=100, efficiency=0.85)
+        assert mkl.seconds == pytest.approx(full.seconds / 0.85)
+
+    def test_useful_flops_override_sets_the_gflops_numerator(self):
+        model = flat_model()
+        c = counters(vector_fmadd=100, flops=1600)
+        a = model.predict(c, AVX512, 64, traffic_bytes=100)
+        b = model.predict(c, AVX512, 64, traffic_bytes=100, useful_flops=800)
+        assert b.gflops == pytest.approx(a.gflops / 2)
+
+    def test_padded_flops_excluded_by_default(self):
+        model = flat_model()
+        c = counters(vector_fmadd=100, flops=1600, padded_flops=600)
+        perf = model.predict(c, AVX512, 64, traffic_bytes=100)
+        assert perf.useful_flops == 1000
+
+    def test_nprocs_out_of_range_raises(self):
+        model = flat_model()
+        with pytest.raises(ValueError):
+            model.predict(KernelCounters(), AVX512, 65)
+        with pytest.raises(ValueError):
+            model.predict(KernelCounters(), AVX512, 0)
+
+    def test_bad_efficiency_raises(self):
+        with pytest.raises(ValueError):
+            flat_model().predict(KernelCounters(), AVX512, 1, efficiency=0.0)
+
+    def test_cache_mode_with_huge_working_set_is_slower(self):
+        cached = PerfModel(spec=KNL_7230, mode=MemoryMode.CACHE, overlap=0.5)
+        small = cached.bandwidth_gbs(AVX512, 64, working_set=1 << 20)
+        huge = cached.bandwidth_gbs(AVX512, 64, working_set=1 << 40)
+        assert huge < small
+
+
+class TestConfiguration:
+    def test_xeon_cannot_use_mcdram_modes(self):
+        with pytest.raises(ValueError):
+            bandwidth_curve_for(HASWELL, MemoryMode.CACHE, AVX512)
+
+    def test_xeon_ddr_curve_uses_sustained_bandwidth(self):
+        curve = bandwidth_curve_for(SKYLAKE, MemoryMode.DDR, AVX512)
+        assert curve.peak_gbs == pytest.approx(SKYLAKE.sustained_ddr_gbs)
+
+    def test_knl_novec_gets_the_lower_flat_curve(self):
+        vec = bandwidth_curve_for(KNL_7230, MemoryMode.FLAT_MCDRAM, AVX512)
+        novec = bandwidth_curve_for(KNL_7230, MemoryMode.FLAT_MCDRAM, SCALAR)
+        assert novec.peak_gbs < vec.peak_gbs
+
+    def test_cost_table_selected_by_family(self):
+        from repro.machine.perf_model import KNL_COSTS, XEON_COSTS
+
+        assert cost_table_for(KNL_7230, AVX512) is KNL_COSTS
+        assert cost_table_for(SKYLAKE, AVX512) is XEON_COSTS
+
+    def test_make_model_defaults(self):
+        knl = make_model(KNL_7230)
+        assert knl.mode is MemoryMode.FLAT_MCDRAM
+        assert knl.overlap == KNL_OVERLAP
+        xeon = make_model(SKYLAKE)
+        assert xeon.mode is MemoryMode.DDR
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            PerfModel(spec=KNL_7230, overlap=1.5)
+
+    def test_cache_mode_gets_a_cache_model_automatically(self):
+        model = PerfModel(spec=KNL_7230, mode=MemoryMode.CACHE, overlap=0.5)
+        assert model.cache_model is not None

@@ -1,0 +1,79 @@
+"""Roofline model (paper Figure 9)."""
+
+import pytest
+
+from repro.machine.roofline import (
+    THETA_CEILINGS,
+    THETA_L1,
+    THETA_L2,
+    THETA_MCDRAM,
+    THETA_PEAK_GFLOPS,
+    Ceiling,
+    RooflinePoint,
+    attainable,
+    binding_ceiling,
+)
+
+
+class TestCeilings:
+    def test_theta_values_match_figure9(self):
+        assert THETA_PEAK_GFLOPS == 1018.4
+        assert THETA_L1.bandwidth_gbs == 4593.3
+        assert THETA_L2.bandwidth_gbs == 1823.0
+        assert THETA_MCDRAM.bandwidth_gbs == 419.7
+
+    def test_attainable_is_bandwidth_times_intensity_on_the_slope(self):
+        assert THETA_MCDRAM.attainable_gflops(0.1, THETA_PEAK_GFLOPS) == pytest.approx(
+            41.97
+        )
+
+    def test_attainable_is_clamped_at_the_compute_peak(self):
+        assert THETA_L1.attainable_gflops(100.0, THETA_PEAK_GFLOPS) == THETA_PEAK_GFLOPS
+
+    def test_ridge_point(self):
+        ridge = THETA_MCDRAM.ridge_point(THETA_PEAK_GFLOPS)
+        assert ridge == pytest.approx(1018.4 / 419.7)
+        # SpMV's 0.132 intensity is far left of every ridge.
+        assert 0.132 < THETA_L1.ridge_point(THETA_PEAK_GFLOPS)
+
+    def test_negative_intensity_raises(self):
+        with pytest.raises(ValueError):
+            THETA_MCDRAM.attainable_gflops(-0.1, THETA_PEAK_GFLOPS)
+
+    def test_attainable_dict_covers_all_ceilings(self):
+        vals = attainable(0.132)
+        assert set(vals) == {"L1", "L2", "MCDRAM"}
+        assert vals["MCDRAM"] < vals["L2"] < vals["L1"]
+
+
+class TestBindingCeiling:
+    def test_spmv_is_mcdram_bound(self):
+        assert binding_ceiling(0.132) is THETA_MCDRAM
+
+    def test_very_high_intensity_is_compute_bound(self):
+        assert binding_ceiling(10.0) is None
+
+    def test_intermediate_intensity_still_binds_on_the_slowest_slope(self):
+        # At AI=1 the MCDRAM slope (419.7) still sits below the peak.
+        assert binding_ceiling(1.0) is THETA_MCDRAM
+
+
+class TestRooflinePoint:
+    def test_fraction_of_ceiling(self):
+        pt = RooflinePoint("SELL using AVX512", 0.145, 47.0)
+        frac = pt.fraction_of_ceiling()
+        assert frac == pytest.approx(47.0 / (0.145 * 419.7))
+
+    def test_fraction_handles_zero_intensity(self):
+        assert RooflinePoint("x", 0.0, 1.0).fraction_of_ceiling() == 0.0
+
+    def test_custom_ceiling(self):
+        pt = RooflinePoint("k", 0.132, 20.0)
+        l2 = pt.fraction_of_ceiling(THETA_L2, THETA_PEAK_GFLOPS)
+        mc = pt.fraction_of_ceiling(THETA_MCDRAM, THETA_PEAK_GFLOPS)
+        assert l2 < mc
+
+
+def test_ceilings_tuple_order_is_fastest_first():
+    assert THETA_CEILINGS == (THETA_L1, THETA_L2, THETA_MCDRAM)
+    assert Ceiling("x", 1.0).attainable_gflops(2.0, 100.0) == 2.0

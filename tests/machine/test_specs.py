@@ -1,0 +1,104 @@
+"""Processor spec database (paper Table 1)."""
+
+import pytest
+
+from repro.machine.specs import (
+    BROADWELL,
+    HASWELL,
+    KNL_7230,
+    KNL_7250,
+    SKYLAKE,
+    TABLE1,
+    get_processor,
+    table1_rows,
+)
+
+
+class TestTable1Values:
+    """Exact Table 1 figures."""
+
+    def test_knl(self):
+        assert KNL_7230.cores == 64
+        assert KNL_7230.base_frequency_ghz == 1.3
+        assert KNL_7230.turbo_frequency_ghz == 1.5
+        assert KNL_7230.l3_cache_mb is None
+        assert KNL_7230.ddr_bandwidth_gbs == 115.2
+        assert KNL_7230.hbm_bandwidth_gbs > 400  # Table 1: ">400 GB/s"
+
+    def test_broadwell(self):
+        assert BROADWELL.cores == 22
+        assert (BROADWELL.base_frequency_ghz, BROADWELL.turbo_frequency_ghz) == (2.2, 3.6)
+        assert BROADWELL.l3_cache_mb == 55.0
+        assert BROADWELL.ddr_bandwidth_gbs == 76.8
+
+    def test_haswell(self):
+        assert HASWELL.cores == 18
+        assert HASWELL.l3_cache_mb == 45.0
+        assert HASWELL.ddr_bandwidth_gbs == 68.0
+
+    def test_skylake(self):
+        assert SKYLAKE.cores == 28
+        assert SKYLAKE.l3_cache_mb == 38.5
+        assert SKYLAKE.ddr_bandwidth_gbs == 119.2
+
+    def test_skylake_has_less_l3_but_more_bandwidth_than_broadwell(self):
+        """The Section 7.4 explanation of Skylake's advantage."""
+        assert SKYLAKE.l3_cache_mb < BROADWELL.l3_cache_mb
+        assert SKYLAKE.ddr_bandwidth_gbs > 1.5 * BROADWELL.ddr_bandwidth_gbs
+
+    def test_only_knl_has_hbm(self):
+        assert KNL_7230.has_hbm and KNL_7250.has_hbm
+        assert not any(s.has_hbm for s in (HASWELL, BROADWELL, SKYLAKE))
+
+    def test_avx512_support(self):
+        assert "AVX512" in KNL_7230.isa_names
+        assert "AVX512" in SKYLAKE.isa_names
+        assert "AVX512" not in HASWELL.isa_names
+        assert "AVX512" not in BROADWELL.isa_names
+
+    def test_table1_order_matches_the_paper(self):
+        assert [s.name for s in TABLE1] == ["KNL", "Broadwell", "Haswell", "Skylake"]
+
+    def test_table1_rows_are_printable(self):
+        rows = table1_rows()
+        assert len(rows) == 4
+        assert rows[0]["cores"] == 64
+
+
+class TestEffectiveFrequency:
+    def test_few_cores_run_at_turbo(self):
+        f = KNL_7230.effective_frequency("AVX", 1)
+        assert f == pytest.approx(KNL_7230.turbo_frequency_ghz, abs=0.01)
+
+    def test_full_chip_runs_at_base(self):
+        f = KNL_7230.effective_frequency("AVX", 64)
+        assert f == pytest.approx(KNL_7230.base_frequency_ghz)
+
+    def test_avx512_pays_the_frequency_offset_when_full(self):
+        """Section 2.6: frequency drops 0.2 GHz under heavy AVX."""
+        plain = KNL_7230.effective_frequency("AVX", 64)
+        wide = KNL_7230.effective_frequency("AVX512", 64)
+        assert plain - wide == pytest.approx(0.2)
+
+    def test_xeons_without_offset_are_unaffected_by_isa(self):
+        assert HASWELL.effective_frequency("AVX2", 18) == pytest.approx(
+            HASWELL.effective_frequency("AVX", 18)
+        )
+
+    def test_invalid_process_count_raises(self):
+        with pytest.raises(ValueError):
+            KNL_7230.effective_frequency("AVX", 0)
+
+
+class TestLookup:
+    def test_by_name_case_insensitive(self):
+        assert get_processor("knl") is KNL_7230
+        assert get_processor("Skylake") is SKYLAKE
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_processor("Itanium")
+
+    def test_sustained_bandwidth_below_peak(self):
+        for spec in TABLE1:
+            assert spec.sustained_ddr_gbs < spec.ddr_bandwidth_gbs

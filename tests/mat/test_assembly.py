@@ -1,0 +1,123 @@
+"""MatSetValues / preallocation / assembly semantics."""
+
+import numpy as np
+import pytest
+
+from repro.mat.assembly import InsertMode, MatAssembler, PreallocationError
+
+
+class TestSetValue:
+    def test_add_mode_accumulates(self):
+        asm = MatAssembler((2, 2))
+        asm.set_value(0, 0, 1.0, InsertMode.ADD)
+        asm.set_value(0, 0, 2.5, InsertMode.ADD)
+        assert asm.assemble().to_dense()[0, 0] == 3.5
+
+    def test_insert_mode_overwrites(self):
+        asm = MatAssembler((2, 2))
+        asm.set_value(0, 0, 1.0, InsertMode.ADD)
+        asm.set_value(0, 0, 9.0, InsertMode.INSERT)
+        assert asm.assemble().to_dense()[0, 0] == 9.0
+
+    def test_add_after_insert_accumulates_on_top(self):
+        asm = MatAssembler((2, 2))
+        asm.set_value(1, 1, 5.0, InsertMode.INSERT)
+        asm.set_value(1, 1, 2.0, InsertMode.ADD)
+        assert asm.assemble().to_dense()[1, 1] == 7.0
+
+    def test_out_of_range_rejected(self):
+        asm = MatAssembler((2, 3))
+        with pytest.raises(IndexError):
+            asm.set_value(2, 0, 1.0)
+        with pytest.raises(IndexError):
+            asm.set_value(0, 3, 1.0)
+
+    def test_explicit_zeros_are_stored(self):
+        """PETSc keeps structural zeros (stencil pattern stability)."""
+        asm = MatAssembler((2, 2))
+        asm.set_value(0, 1, 0.0)
+        assert asm.assemble().nnz == 1
+
+
+class TestSetValuesBlock:
+    def test_dense_logical_block(self):
+        asm = MatAssembler((4, 4))
+        asm.set_values(
+            np.array([1, 2]), np.array([0, 3]), np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+        dense = asm.assemble().to_dense()
+        assert dense[1, 0] == 1.0 and dense[1, 3] == 2.0
+        assert dense[2, 0] == 3.0 and dense[2, 3] == 4.0
+
+    def test_block_shape_validated(self):
+        asm = MatAssembler((4, 4))
+        with pytest.raises(ValueError):
+            asm.set_values(np.array([0]), np.array([0, 1]), np.zeros((2, 2)))
+
+
+class TestPreallocation:
+    def test_within_budget_no_mallocs(self):
+        asm = MatAssembler((3, 3), nnz_per_row=2)
+        asm.set_value(0, 0, 1.0)
+        asm.set_value(0, 1, 1.0)
+        assert asm.stats.mallocs_beyond_preallocation == 0
+
+    def test_overflow_is_counted(self):
+        asm = MatAssembler((3, 3), nnz_per_row=1)
+        asm.set_value(0, 0, 1.0)
+        asm.set_value(0, 1, 1.0)
+        asm.set_value(0, 2, 1.0)
+        assert asm.stats.mallocs_beyond_preallocation == 2
+
+    def test_strict_mode_raises_like_new_nonzero_error(self):
+        asm = MatAssembler((3, 3), nnz_per_row=1, strict_preallocation=True)
+        asm.set_value(0, 0, 1.0)
+        with pytest.raises(PreallocationError):
+            asm.set_value(0, 1, 1.0)
+
+    def test_per_row_preallocation(self):
+        asm = MatAssembler((2, 4), nnz_per_row=np.array([1, 3]))
+        asm.set_value(1, 0, 1.0)
+        asm.set_value(1, 1, 1.0)
+        asm.set_value(1, 2, 1.0)
+        assert asm.stats.mallocs_beyond_preallocation == 0
+
+    def test_per_row_preallocation_shape_checked(self):
+        with pytest.raises(ValueError):
+            MatAssembler((2, 2), nnz_per_row=np.array([1, 2, 3]))
+
+
+class TestAssembly:
+    def test_assemble_is_cached_until_new_values(self):
+        asm = MatAssembler((2, 2))
+        asm.set_value(0, 0, 1.0)
+        a = asm.assemble()
+        assert asm.assemble() is a
+        asm.set_value(1, 1, 2.0)
+        assert asm.assemble() is not a
+
+    def test_empty_assembly(self):
+        a = MatAssembler((3, 2)).assemble()
+        assert a.shape == (3, 2)
+        assert a.nnz == 0
+
+    def test_entries_counted(self):
+        asm = MatAssembler((2, 2))
+        asm.set_values(np.array([0, 1]), np.array([0, 1]), np.eye(2))
+        assert asm.stats.entries_set == 4
+
+    def test_five_point_stencil_assembly_matches_direct(self):
+        """Assemble a small Laplacian entry by entry and compare."""
+        from repro.pde import Grid2D, laplacian_csr
+
+        grid = Grid2D(4, 4, dof=1)
+        direct = laplacian_csr(grid)
+        asm = MatAssembler((16, 16), nnz_per_row=5, strict_preallocation=True)
+        h2 = grid.hx * grid.hx
+        for j in range(4):
+            for i in range(4):
+                row = grid.point_index(i, j)
+                asm.set_value(row, row, -4.0 / h2)
+                for ni, nj in grid.neighbors(i, j):
+                    asm.set_value(row, grid.point_index(ni, nj), 1.0 / h2)
+        assert asm.assemble().equal(direct, tol=1e-12)

@@ -1,0 +1,110 @@
+"""Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.mat.io import MatrixMarketError, dumps, loads, read_matrix_market, write_matrix_market
+
+from ..conftest import make_random_csr
+
+GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment line
+3 4 4
+1 1 2.5
+2 3 -1.0
+3 4 7.0
+3 1 0.5
+"""
+
+SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 -1.0
+3 3 2.0
+"""
+
+PATTERN = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+
+
+class TestRead:
+    def test_general_real(self):
+        a = loads(GENERAL)
+        assert a.shape == (3, 4)
+        dense = a.to_dense()
+        assert dense[0, 0] == 2.5
+        assert dense[1, 2] == -1.0
+        assert dense[2, 3] == 7.0
+        assert dense[2, 0] == 0.5
+        assert a.nnz == 4
+
+    def test_symmetric_expands_the_mirror_triangle(self):
+        a = loads(SYMMETRIC)
+        dense = a.to_dense()
+        assert np.allclose(dense, dense.T)
+        assert dense[0, 1] == -1.0 and dense[1, 0] == -1.0
+        assert dense[0, 0] == 2.0  # diagonal not duplicated
+        assert a.nnz == 6
+
+    def test_pattern_reads_as_ones(self):
+        a = loads(PATTERN)
+        assert np.array_equal(a.to_dense(), [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(GENERAL)
+        a = read_matrix_market(path)
+        assert a.nnz == 4
+
+
+class TestReadErrors:
+    def test_missing_header(self):
+        with pytest.raises(MatrixMarketError, match="header"):
+            loads("3 3 1\n1 1 5.0\n")
+
+    def test_unsupported_layout(self):
+        with pytest.raises(MatrixMarketError, match="coordinate"):
+            loads("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+
+    def test_unsupported_field(self):
+        with pytest.raises(MatrixMarketError, match="complex"):
+            loads("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n")
+
+    def test_truncated_entries(self):
+        with pytest.raises(MatrixMarketError, match="ended"):
+            loads("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n")
+
+    def test_out_of_range_entry(self):
+        with pytest.raises(MatrixMarketError, match="out of range"):
+            loads("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n")
+
+    def test_bad_size_line(self):
+        with pytest.raises(MatrixMarketError, match="size"):
+            loads("%%MatrixMarket matrix coordinate real general\nnope\n")
+
+
+class TestWrite:
+    def test_round_trip_preserves_the_matrix(self, tmp_path):
+        a = make_random_csr(13, 9, density=0.3, seed=4)
+        path = tmp_path / "rt.mtx"
+        write_matrix_market(a, path, comment="round trip")
+        back = read_matrix_market(path)
+        assert back.equal(a, tol=1e-14)
+
+    def test_dumps_loads_round_trip_for_sell(self):
+        from repro.core.sell import SellMat
+
+        csr = make_random_csr(16, 16, density=0.25, seed=5)
+        sell = SellMat.from_csr(csr)
+        back = loads(dumps(sell))
+        assert back.equal(csr, tol=1e-14)
+
+    def test_comment_lines_are_escaped(self):
+        a = make_random_csr(3, 3, density=0.5, seed=6)
+        text = dumps(a, comment="line one\nline two")
+        assert "% line one" in text and "% line two" in text
+        assert loads(text).equal(a, tol=1e-14)

@@ -1,0 +1,157 @@
+"""Distributed matrices: splitting, compression, overlapped SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.comm.partition import RowLayout
+from repro.comm.spmd import run_spmd
+from repro.mat.aij import AijMat
+from repro.mat.mpi_aij import CompressedCsr, MPIAij, split_local_rows
+from repro.mat.mpi_sell import MPISell
+from repro.pde.problems import gray_scott_jacobian
+from repro.vec.mpi_vec import MPIVec
+
+from ..conftest import make_random_csr
+
+
+class TestSplitLocalRows:
+    def test_diag_block_covers_owned_columns(self):
+        csr = make_random_csr(12, density=0.4, seed=1)
+        diag, off, garray = split_local_rows(csr, (4, 8), (4, 8))
+        assert diag.shape == (4, 4)
+        assert off.shape == (4, garray.size)
+        # diag + expanded off-diag reproduce the original row block.
+        dense = csr.to_dense()[4:8]
+        recon = np.zeros_like(dense)
+        recon[:, 4:8] = diag.to_dense()
+        if garray.size:
+            recon[:, garray] += off.to_dense()
+        assert np.allclose(recon, dense)
+
+    def test_garray_is_sorted_unique(self):
+        csr = make_random_csr(20, density=0.3, seed=2)
+        _, _, garray = split_local_rows(csr, (0, 7), (0, 7))
+        assert np.all(np.diff(garray) > 0)
+
+
+class TestCompressedCsr:
+    def test_only_nonzero_rows_are_stored(self):
+        csr = AijMat.from_coo(
+            (6, 3), np.array([1, 4, 4]), np.array([0, 1, 2]), np.ones(3)
+        )
+        comp = CompressedCsr.from_csr(csr)
+        assert np.array_equal(comp.nzrows, [1, 4])
+        assert comp.inner.shape == (2, 3)
+        assert comp.nnz == 3
+
+    def test_multiply_add_accumulates_into_existing_values(self):
+        csr = AijMat.from_coo((4, 2), np.array([2]), np.array([1]), np.array([3.0]))
+        comp = CompressedCsr.from_csr(csr)
+        y = np.ones(4)
+        comp.multiply_add(np.array([0.0, 2.0]), y)
+        assert np.array_equal(y, [1.0, 1.0, 7.0, 1.0])
+
+    def test_expand_round_trips(self):
+        csr = make_random_csr(9, 5, density=0.2, seed=3)
+        assert CompressedCsr.from_csr(csr).expand().equal(csr, tol=0.0)
+
+    def test_conformance_validation(self):
+        csr = make_random_csr(4, 4, density=0.5, seed=0)
+        comp = CompressedCsr.from_csr(csr)
+        with pytest.raises(ValueError):
+            comp.multiply_add(np.zeros(4), np.zeros(99))
+
+
+class TestParallelSpMV:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_mpiaij_matches_sequential(self, size):
+        csr = make_random_csr(25, density=0.2, seed=5)
+        x = np.random.default_rng(6).standard_normal(25)
+        expected = csr.multiply(x)
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr)
+            xv = MPIVec.from_global(comm, a.layout, x)
+            return a.multiply(xv).to_global()
+
+        for result in run_spmd(size, prog):
+            assert np.allclose(result, expected)
+
+    def test_mpisell_matches_sequential_on_gray_scott(self):
+        csr = gray_scott_jacobian(8)
+        x = np.random.default_rng(7).standard_normal(csr.shape[0])
+        expected = csr.multiply(x)
+
+        def prog(comm):
+            a = MPISell.from_global_csr(comm, csr)
+            xv = MPIVec.from_global(comm, a.layout, x)
+            return a.multiply(xv).to_global()
+
+        for result in run_spmd(4, prog):
+            assert np.allclose(result, expected)
+
+    def test_sell_conversion_preserves_the_ghost_set(self):
+        """Section 5.5: padded column indices are copied from local
+        nonzeros, so converting to SELL must not widen communication."""
+        csr = gray_scott_jacobian(8)
+
+        def prog(comm):
+            aij = MPIAij.from_global_csr(comm, csr)
+            sell = MPISell.from_mpiaij(aij)
+            return (
+                np.array_equal(aij.garray, sell.garray),
+                aij.scatter.recv_peers == sell.scatter.recv_peers,
+            )
+
+        for same_garray, same_peers in run_spmd(3, prog):
+            assert same_garray and same_peers
+
+    def test_nnz_global_sums_over_ranks(self):
+        csr = make_random_csr(18, density=0.3, seed=8)
+
+        def prog(comm):
+            return MPIAij.from_global_csr(comm, csr).nnz_global
+
+        assert run_spmd(3, prog) == [csr.nnz] * 3
+
+    def test_distributed_diagonal(self):
+        csr = make_random_csr(10, density=0.5, seed=9)
+
+        def prog(comm):
+            return MPIAij.from_global_csr(comm, csr).diagonal().to_global()
+
+        for d in run_spmd(2, prog):
+            assert np.allclose(d, csr.diagonal())
+
+    def test_uneven_layouts_are_supported(self):
+        csr = make_random_csr(11, density=0.4, seed=10)
+        x = np.random.default_rng(11).standard_normal(11)
+        layout = RowLayout.from_local_sizes([7, 1, 3])
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr, layout)
+            xv = MPIVec.from_global(comm, layout, x)
+            return a.multiply(xv).to_global()
+
+        for result in run_spmd(3, prog):
+            assert np.allclose(result, csr.multiply(x))
+
+    def test_rectangular_matrices_rejected(self):
+        csr = make_random_csr(6, 5, density=0.5, seed=0)
+
+        def prog(comm):
+            MPIAij.from_global_csr(comm, csr)
+
+        from repro.comm.spmd import SpmdError
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+    def test_local_memory_accounting(self):
+        csr = gray_scott_jacobian(8)
+
+        def prog(comm):
+            a = MPIAij.from_global_csr(comm, csr)
+            return a.memory_bytes_local() > 0
+
+        assert all(run_spmd(2, prog))

@@ -1,0 +1,79 @@
+"""Bandwidth-saturation curves (the Figure 4 calibration)."""
+
+import pytest
+
+from repro.memory.bandwidth import (
+    FIGURE4_CURVES,
+    FIGURE4_PROCESS_COUNTS,
+    KNL_CACHE_AVX512,
+    KNL_CACHE_NOVEC,
+    KNL_FLAT_DRAM,
+    KNL_FLAT_MCDRAM_AVX512,
+    KNL_FLAT_MCDRAM_NOVEC,
+    BandwidthCurve,
+    sustained_fraction,
+)
+
+
+class TestCurveShape:
+    def test_reaches_98_percent_at_saturation_point(self):
+        curve = BandwidthCurve(100.0, 40)
+        assert curve.at(40) == pytest.approx(100.0, rel=2e-2)
+
+    def test_monotonically_increasing(self):
+        curve = KNL_FLAT_MCDRAM_AVX512
+        values = [curve.at(p) for p in range(1, 70)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_never_exceeds_peak_by_much(self):
+        curve = BandwidthCurve(100.0, 10)
+        assert curve.at(1000) <= 100.0 / 0.98 + 1e-9
+
+    def test_invalid_process_count_raises(self):
+        with pytest.raises(ValueError):
+            KNL_FLAT_DRAM.at(0)
+
+    def test_bytes_per_second_is_decimal_gb(self):
+        curve = BandwidthCurve(100.0, 10)
+        assert curve.bytes_per_second(10) == pytest.approx(curve.at(10) * 1e9)
+
+    def test_sustained_fraction(self):
+        # The curve is normalized so peak is reached exactly at p_sat.
+        curve = BandwidthCurve(100.0, 40)
+        assert sustained_fraction(curve, 40) == pytest.approx(1.0, rel=1e-6)
+        assert sustained_fraction(curve, 4) < 0.5
+
+
+class TestPaperCalibration:
+    """The qualitative facts of paper Figure 4 / Section 2.6."""
+
+    def test_flat_mcdram_approaches_500_gbs(self):
+        assert 480 <= KNL_FLAT_MCDRAM_AVX512.at(64) <= 510
+
+    def test_flat_mode_saturates_around_58_processes(self):
+        assert KNL_FLAT_MCDRAM_AVX512.p_sat == 58
+
+    def test_cache_mode_saturates_around_40_processes(self):
+        assert KNL_CACHE_AVX512.p_sat == 40
+        # By 40 processes cache mode is nearly flat...
+        assert KNL_CACHE_AVX512.at(40) / KNL_CACHE_AVX512.at(64) > 0.95
+        # ...while flat mode is still climbing.
+        assert KNL_FLAT_MCDRAM_AVX512.at(40) / KNL_FLAT_MCDRAM_AVX512.at(64) < 0.95
+
+    def test_cache_mode_runs_below_flat_mode_at_scale(self):
+        assert KNL_CACHE_AVX512.at(64) < KNL_FLAT_MCDRAM_AVX512.at(64)
+
+    def test_vectorization_matters_dramatically_in_flat_mode(self):
+        ratio = KNL_FLAT_MCDRAM_AVX512.at(64) / KNL_FLAT_MCDRAM_NOVEC.at(64)
+        assert ratio > 1.35
+
+    def test_vectorization_barely_matters_in_cache_mode(self):
+        ratio = KNL_CACHE_AVX512.at(64) / KNL_CACHE_NOVEC.at(64)
+        assert 1.0 < ratio < 1.15
+
+    def test_dram_is_an_order_below_mcdram(self):
+        assert KNL_FLAT_DRAM.at(64) < KNL_FLAT_MCDRAM_AVX512.at(64) / 4
+
+    def test_figure4_axis_matches_the_paper(self):
+        assert FIGURE4_PROCESS_COUNTS == (8, 16, 24, 32, 40, 48, 56, 64)
+        assert len(FIGURE4_CURVES) == 4

@@ -1,0 +1,60 @@
+"""Direct-mapped MCDRAM cache-mode model."""
+
+import pytest
+
+from repro.memory.cache import DirectMappedCache
+
+
+class TestHitFraction:
+    def test_empty_working_set_always_hits(self):
+        assert DirectMappedCache().hit_fraction(0) == 1.0
+
+    def test_small_working_set_nearly_always_hits(self):
+        cache = DirectMappedCache(conflict_pressure=0.08)
+        assert cache.hit_fraction(cache.capacity_bytes // 100) > 0.99
+
+    def test_conflict_misses_grow_with_occupancy(self):
+        cache = DirectMappedCache()
+        h25 = cache.hit_fraction(cache.capacity_bytes // 4)
+        h100 = cache.hit_fraction(cache.capacity_bytes)
+        assert h100 < h25 < 1.0
+
+    def test_at_capacity_the_conflict_pressure_binds(self):
+        cache = DirectMappedCache(conflict_pressure=0.08)
+        assert cache.hit_fraction(cache.capacity_bytes) == pytest.approx(0.92)
+
+    def test_oversubscribed_stream_hits_like_capacity_over_ws(self):
+        cache = DirectMappedCache(conflict_pressure=0.0)
+        assert cache.hit_fraction(4 * cache.capacity_bytes) == pytest.approx(0.25)
+
+    def test_hit_fraction_is_monotone_decreasing(self):
+        cache = DirectMappedCache()
+        sizes = [cache.capacity_bytes * f // 10 for f in range(1, 30)]
+        hits = [cache.hit_fraction(s) for s in sizes]
+        assert all(b <= a + 1e-12 for a, b in zip(hits, hits[1:]))
+
+    def test_negative_working_set_raises(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache().hit_fraction(-1)
+
+
+class TestEffectiveBandwidth:
+    def test_all_hits_gives_cache_bandwidth(self):
+        cache = DirectMappedCache(conflict_pressure=0.0)
+        assert cache.effective_bandwidth(0, 400.0, 90.0) == pytest.approx(400.0)
+
+    def test_spilled_working_set_approaches_dram_bandwidth(self):
+        cache = DirectMappedCache(conflict_pressure=0.0)
+        bw = cache.effective_bandwidth(100 * cache.capacity_bytes, 400.0, 90.0)
+        assert 60.0 < bw < 90.0  # miss path pays both interfaces
+
+    def test_blend_lies_between_the_two(self):
+        cache = DirectMappedCache()
+        bw = cache.effective_bandwidth(2 * cache.capacity_bytes, 400.0, 90.0)
+        assert 60.0 < bw < 400.0
+
+    def test_invalid_bandwidths_raise(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache().effective_bandwidth(0, 0.0, 90.0)
+        with pytest.raises(ValueError):
+            DirectMappedCache().effective_bandwidth(0, 400.0, -1.0)

@@ -1,0 +1,49 @@
+"""numactl-style placement policies for KNL flat mode."""
+
+import pytest
+
+from repro.memory.numa import NumaPolicy, Placement
+from repro.memory.spaces import DRAM, MCDRAM, MemoryKindExhausted
+
+
+class TestBindDram:
+    def test_everything_lands_in_dram(self):
+        policy = NumaPolicy(placement=Placement.BIND_DRAM)
+        assert policy.place(1 << 30) is DRAM
+        assert policy.mcdram_used == 0
+
+
+class TestPreferMcdram:
+    def test_mcdram_while_it_lasts(self):
+        policy = NumaPolicy(placement=Placement.PREFER_MCDRAM, mcdram_capacity=100)
+        assert policy.place(60) is MCDRAM
+        assert policy.place(40) is MCDRAM
+        assert policy.mcdram_used == 100
+
+    def test_silent_fallback_to_dram_on_overflow(self):
+        policy = NumaPolicy(placement=Placement.PREFER_MCDRAM, mcdram_capacity=100)
+        policy.place(90)
+        assert policy.place(20) is DRAM
+        assert policy.mcdram_used == 90
+
+
+class TestBindMcdram:
+    def test_overflow_is_an_allocation_error(self):
+        """membind faults instead of spilling — the OS behaviour."""
+        policy = NumaPolicy(placement=Placement.BIND_MCDRAM, mcdram_capacity=100)
+        policy.place(90)
+        with pytest.raises(MemoryKindExhausted):
+            policy.place(20)
+
+    def test_exact_fit_is_allowed(self):
+        policy = NumaPolicy(placement=Placement.BIND_MCDRAM, mcdram_capacity=100)
+        assert policy.place(100) is MCDRAM
+
+
+def test_negative_allocation_raises():
+    with pytest.raises(ValueError):
+        NumaPolicy().place(-1)
+
+
+def test_default_capacity_is_the_mcdram_module():
+    assert NumaPolicy().mcdram_capacity == MCDRAM.capacity_bytes

@@ -1,0 +1,74 @@
+"""STREAM kernels and the Figure 4 series generator."""
+
+import numpy as np
+import pytest
+
+from repro.memory.stream import add, copy, figure4_series, run_all, scale, triad
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(0)
+    a = rng.random(1000)
+    b = rng.random(1000)
+    c = np.zeros(1000)
+    return a, b, c
+
+
+class TestKernels:
+    def test_copy(self, arrays):
+        a, _, c = arrays
+        res = copy(a, c, repeats=1)
+        assert np.array_equal(c, a)
+        assert res.bytes_moved == 16 * 1000
+
+    def test_scale(self, arrays):
+        a, _, c = arrays
+        scale(a, c, s=3.0, repeats=1)
+        assert np.allclose(c, 3.0 * a)
+
+    def test_add(self, arrays):
+        a, b, c = arrays
+        res = add(a, b, c, repeats=1)
+        assert np.allclose(c, a + b)
+        assert res.bytes_moved == 24 * 1000
+
+    def test_triad(self, arrays):
+        a, b, c = arrays
+        c[:] = np.arange(1000)
+        expect = b + 3.0 * c
+        res = triad(a, b, c, s=3.0, repeats=1)
+        assert np.allclose(a, expect)
+        assert res.kernel == "triad"
+
+    def test_gbs_is_positive_and_finite(self, arrays):
+        a, _, c = arrays
+        res = copy(a, c, repeats=2)
+        assert 0 < res.gbs < float("inf")
+
+    def test_run_all_produces_four_kernels(self):
+        results = run_all(n=10_000, repeats=1)
+        assert [r.kernel for r in results] == ["copy", "scale", "add", "triad"]
+
+
+class TestFigure4Series:
+    def test_series_names_match_the_legend(self):
+        series = figure4_series()
+        assert set(series) == {
+            "Flat:AVX512",
+            "Flat:novec",
+            "Cache:AVX512",
+            "Cache:novec",
+        }
+
+    def test_each_series_covers_the_paper_axis(self):
+        series = figure4_series()
+        for points in series.values():
+            assert [p for p, _ in points] == [8, 16, 24, 32, 40, 48, 56, 64]
+
+    def test_flat_avx512_dominates_everywhere_beyond_saturation(self):
+        series = figure4_series()
+        flat = dict(series["Flat:AVX512"])
+        for name in ("Flat:novec", "Cache:AVX512", "Cache:novec"):
+            other = dict(series[name])
+            assert flat[64] > other[64]

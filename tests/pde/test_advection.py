@@ -1,0 +1,98 @@
+"""Advection-diffusion: the nonsymmetric linear problem."""
+
+import numpy as np
+import pytest
+
+from repro.ksp.gmres import GMRES
+from repro.ksp.pc.jacobi import JacobiPC
+from repro.ksp.ts import ThetaMethod
+from repro.pde.advection import AdvectionDiffusion, AdvectionDiffusionProblem
+from repro.pde.grid import Grid2D
+
+
+@pytest.fixture
+def problem() -> AdvectionDiffusionProblem:
+    return AdvectionDiffusionProblem(Grid2D(8, 8, dof=1))
+
+
+class TestModel:
+    def test_requires_scalar_grid(self):
+        with pytest.raises(ValueError):
+            AdvectionDiffusionProblem(Grid2D(4, 4, dof=2))
+
+    def test_negative_diffusivity_rejected(self):
+        with pytest.raises(ValueError):
+            AdvectionDiffusion(diffusivity=-1.0)
+
+
+class TestJacobian:
+    def test_matches_finite_differences(self, problem):
+        w = problem.initial_state()
+        analytic = problem.jacobian().to_dense()
+        fd = problem.jacobian_fd(w)
+        assert np.abs(analytic - fd).max() < 1e-6
+
+    @pytest.mark.parametrize("vx,vy", [(1.0, 0.5), (-1.0, 0.5), (1.0, -0.5), (-0.7, -0.2)])
+    def test_upwind_direction_follows_velocity_sign(self, vx, vy):
+        grid = Grid2D(6, 6, dof=1)
+        p = AdvectionDiffusionProblem(
+            grid, AdvectionDiffusion(vx=vx, vy=vy)
+        )
+        w = p.initial_state()
+        assert np.abs(p.jacobian().to_dense() - p.jacobian_fd(w)).max() < 1e-6
+
+    def test_pattern_is_five_point(self, problem):
+        assert set(problem.jacobian().row_lengths().tolist()) == {5}
+
+    def test_nonsymmetric(self, problem):
+        j = problem.jacobian().to_dense()
+        assert not np.allclose(j, j.T)
+
+    def test_jacobian_is_state_independent(self, problem):
+        a = problem.jacobian(problem.initial_state())
+        b = problem.jacobian(None)
+        assert a.equal(b, tol=0.0)
+
+    def test_shift_scale(self, problem):
+        j = problem.jacobian().to_dense()
+        composed = problem.jacobian(shift=2.0, scale=-0.5).to_dense()
+        assert np.allclose(composed, 2.0 * np.eye(j.shape[0]) - 0.5 * j)
+
+
+class TestDynamics:
+    def test_rhs_conserves_mass(self, problem):
+        """Both the periodic Laplacian and upwind advection are
+        conservative: the rhs sums to zero."""
+        w = problem.initial_state()
+        assert abs(problem.rhs(w).sum()) < 1e-10
+
+    def test_pure_advection_preserves_the_total(self):
+        """A few implicit steps of advection keep sum(u) constant."""
+        grid = Grid2D(12, 12, dof=1)
+        p = AdvectionDiffusionProblem(
+            grid, AdvectionDiffusion(diffusivity=1e-12, vx=1.0, vy=0.0)
+        )
+        ts = ThetaMethod(
+            rhs=p.rhs,
+            jacobian=p.jacobian,
+            ksp_factory=lambda: GMRES(pc=JacobiPC(), rtol=1e-12),
+            dt=0.05,
+        )
+        w0 = p.initial_state()
+        result = ts.integrate(w0, 4)
+        assert result.final_state.sum() == pytest.approx(w0.sum(), rel=1e-9)
+
+    def test_diffusion_damps_the_peak(self):
+        grid = Grid2D(12, 12, dof=1)
+        p = AdvectionDiffusionProblem(
+            grid, AdvectionDiffusion(diffusivity=0.05, vx=0.0, vy=0.0)
+        )
+        ts = ThetaMethod(
+            rhs=p.rhs,
+            jacobian=p.jacobian,
+            ksp_factory=lambda: GMRES(pc=JacobiPC(), rtol=1e-12),
+            dt=0.1,
+        )
+        w0 = p.initial_state()
+        result = ts.integrate(w0, 3)
+        assert result.final_state.max() < w0.max()

@@ -1,0 +1,108 @@
+"""The Gray-Scott problem: residual, Jacobian, initial data."""
+
+import numpy as np
+import pytest
+
+from repro.pde.grayscott import GrayScott, GrayScottProblem
+from repro.pde.grid import Grid2D
+
+
+@pytest.fixture
+def problem() -> GrayScottProblem:
+    return GrayScottProblem(Grid2D(6, 6, dof=2))
+
+
+class TestModel:
+    def test_default_parameters_follow_the_literature(self):
+        m = GrayScott()
+        assert m.d1 == 8.0e-5
+        assert m.d2 == 4.0e-5
+        assert m.gamma == 0.024
+        assert m.kappa == 0.06
+
+    def test_diffusivities_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GrayScott(d1=0.0)
+
+    def test_requires_two_dofs(self):
+        with pytest.raises(ValueError):
+            GrayScottProblem(Grid2D(4, 4, dof=1))
+
+
+class TestInitialState:
+    def test_trivial_state_outside_the_seeded_square(self, problem):
+        w = problem.initial_state(noise=0.0)
+        u, v = problem.split(w)
+        # Corners are far from the centered square.
+        assert u[0, 0] == 1.0
+        assert v[0, 0] == 0.0
+
+    def test_seeded_square_carries_the_pearson_values(self, problem):
+        w = problem.initial_state(noise=0.0)
+        u, v = problem.split(w)
+        mid = 3  # center of a 6x6 grid
+        assert u[mid, mid] == pytest.approx(0.5)
+        assert v[mid, mid] == pytest.approx(0.25)
+
+    def test_deterministic_for_a_fixed_seed(self, problem):
+        a = problem.initial_state(seed=7)
+        b = problem.initial_state(seed=7)
+        c = problem.initial_state(seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestResidual:
+    def test_uniform_steady_state_of_the_reaction(self):
+        """(u, v) = (1, 0) is an equilibrium: f vanishes identically."""
+        g = Grid2D(5, 5, dof=2)
+        problem = GrayScottProblem(g)
+        w = np.empty(g.ndof)
+        w[0::2] = 1.0
+        w[1::2] = 0.0
+        assert np.allclose(problem.rhs(w), 0.0, atol=1e-14)
+
+    def test_rhs_shape_validation(self, problem):
+        with pytest.raises(ValueError):
+            problem.rhs(np.zeros(5))
+
+
+class TestJacobian:
+    def test_matches_finite_differences(self, problem):
+        w = problem.initial_state()
+        analytic = problem.jacobian(w).to_dense()
+        fd = problem.jacobian_fd(w)
+        assert np.abs(analytic - fd).max() < 1e-5
+
+    def test_every_row_has_exactly_ten_entries(self, problem):
+        """Paper Section 7: 'Each row has 10 elements.'"""
+        j = problem.jacobian(problem.initial_state())
+        assert set(j.row_lengths().tolist()) == {10}
+        assert j.nnz == 10 * problem.grid.ndof
+
+    def test_shift_scale_convention(self, problem):
+        """jacobian(w, shift, scale) == shift*I + scale*J."""
+        w = problem.initial_state()
+        j = problem.jacobian(w).to_dense()
+        composed = problem.jacobian(w, shift=3.0, scale=-0.25).to_dense()
+        expected = 3.0 * np.eye(w.shape[0]) - 0.25 * j
+        assert np.abs(composed - expected).max() < 1e-13
+
+    def test_sparsity_pattern_is_state_independent(self, problem):
+        """The same stencil pattern at every Newton iteration — what makes
+        re-assembly cheap and SELL slicing reusable."""
+        w1 = problem.initial_state(seed=1)
+        w2 = problem.initial_state(seed=2) * 1.7
+        j1 = problem.jacobian(w1)
+        j2 = problem.jacobian(w2)
+        assert np.array_equal(j1.rowptr, j2.rowptr)
+        assert np.array_equal(j1.colidx, j2.colidx)
+
+    def test_jacobian_fd_guard_for_large_problems(self):
+        big = GrayScottProblem(Grid2D(32, 32, dof=2))
+        with pytest.raises(ValueError):
+            big.jacobian_fd(big.initial_state())
+
+    def test_state_length_validated(self, problem):
+        with pytest.raises(ValueError):
+            problem.jacobian(np.zeros(3))

@@ -1,0 +1,104 @@
+"""Structured grids: indexing, periodicity, hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.pde.grid import Grid2D
+
+
+class TestIndexing:
+    def test_interleaved_unknown_numbering(self):
+        g = Grid2D(4, 3, dof=2)
+        assert g.unknown_index(0, 0, 0) == 0
+        assert g.unknown_index(0, 0, 1) == 1
+        assert g.unknown_index(1, 0, 0) == 2
+        assert g.unknown_index(0, 1, 0) == 8
+
+    def test_periodic_wrap(self):
+        g = Grid2D(4, 4)
+        assert g.point_index(-1, 0) == g.point_index(3, 0)
+        assert g.point_index(4, 2) == g.point_index(0, 2)
+        assert g.point_index(0, -1) == g.point_index(0, 3)
+
+    def test_component_bounds(self):
+        g = Grid2D(2, 2, dof=2)
+        with pytest.raises(IndexError):
+            g.unknown_index(0, 0, 2)
+
+    def test_neighbors_are_the_four_stencil_points(self):
+        g = Grid2D(5, 5)
+        nbrs = g.neighbors(0, 0)
+        assert set(nbrs) == {(4, 0), (1, 0), (0, 4), (0, 1)}
+
+    def test_shifted_points_vectorized_matches_scalar(self):
+        g = Grid2D(5, 4)
+        shifted = g.shifted_points(1, -1)
+        for j in range(4):
+            for i in range(5):
+                assert shifted[j * 5 + i] == g.point_index(i + 1, j - 1)
+
+    def test_sizes(self):
+        g = Grid2D(8, 4, dof=2, length=2.5)
+        assert g.npoints == 32
+        assert g.ndof == 64
+        assert g.hx == pytest.approx(2.5 / 8)
+        assert g.hy == pytest.approx(2.5 / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid2D(0, 4)
+        with pytest.raises(ValueError):
+            Grid2D(4, 4, dof=0)
+        with pytest.raises(ValueError):
+            Grid2D(4, 4, length=-1.0)
+
+
+class TestFields:
+    def test_round_trip(self):
+        g = Grid2D(4, 3, dof=2)
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal(g.ndof)
+        assert np.array_equal(g.fields_as_unknowns(g.unknowns_as_fields(w)), w)
+
+    def test_field_shapes(self):
+        g = Grid2D(4, 3, dof=2)
+        fields = g.unknowns_as_fields(np.zeros(g.ndof))
+        assert len(fields) == 2
+        assert fields[0].shape == (3, 4)  # (ny, nx)
+
+    def test_shape_validation(self):
+        g = Grid2D(4, 3, dof=1)
+        with pytest.raises(ValueError):
+            g.unknowns_as_fields(np.zeros(5))
+        with pytest.raises(ValueError):
+            g.fields_as_unknowns([np.zeros((4, 3))])  # transposed
+
+    def test_coordinates_span_the_domain(self):
+        g = Grid2D(4, 4, length=2.0)
+        x, y = g.point_coordinates()
+        assert x.min() == 0.0 and x.max() == pytest.approx(1.5)
+        assert y.min() == 0.0 and y.max() == pytest.approx(1.5)
+
+
+class TestHierarchy:
+    def test_factor_two_coarsening(self):
+        g = Grid2D(16, 8, dof=2)
+        c = g.coarsen()
+        assert (c.nx, c.ny, c.dof) == (8, 4, 2)
+        assert c.length == g.length
+
+    def test_hierarchy_finest_first(self):
+        grids = Grid2D(32, 32).hierarchy(4)
+        assert [g.nx for g in grids] == [32, 16, 8, 4]
+
+    def test_odd_grids_cannot_coarsen(self):
+        assert not Grid2D(6, 7).can_coarsen()
+        with pytest.raises(ValueError):
+            Grid2D(6, 7).coarsen()
+
+    def test_too_small_grids_cannot_coarsen(self):
+        assert not Grid2D(2, 2).can_coarsen()
+
+    def test_hierarchy_validation(self):
+        with pytest.raises(ValueError):
+            Grid2D(8, 8).hierarchy(0)

@@ -1,0 +1,81 @@
+"""The matrix gallery."""
+
+import numpy as np
+import pytest
+
+from repro.pde.problems import (
+    gray_scott_jacobian,
+    irregular_rows,
+    laplacian_2d,
+    nine_point_2d,
+    random_sparse,
+    spd_laplacian,
+    tridiagonal,
+)
+
+
+class TestGrayScottJacobian:
+    def test_paper_structure(self):
+        a = gray_scott_jacobian(8)
+        assert a.shape == (128, 128)
+        assert set(a.row_lengths().tolist()) == {10}
+
+    def test_crank_nicolson_shift_makes_it_well_conditioned(self):
+        """I - 0.5 J is strongly diagonally dominant at dt=1 for this
+        problem, hence the fast Jacobi-preconditioned convergence."""
+        a = gray_scott_jacobian(8)
+        d = np.abs(a.diagonal())
+        dense = np.abs(a.to_dense())
+        off = dense.sum(axis=1) - np.abs(np.diag(dense))
+        assert np.all(d > 0.5 * off)
+
+
+class TestGallery:
+    def test_laplacians(self):
+        assert set(laplacian_2d(8).row_lengths().tolist()) == {5}
+        assert set(nine_point_2d(8).row_lengths().tolist()) == {9}
+
+    def test_tridiagonal_row_lengths(self):
+        t = tridiagonal(10)
+        lengths = t.row_lengths()
+        assert lengths[0] == 2 and lengths[-1] == 2
+        assert np.all(lengths[1:-1] == 3)
+
+    def test_spd_laplacian_is_spd(self):
+        a = spd_laplacian(6).to_dense()
+        assert np.allclose(a, a.T)
+        eigenvalues = np.linalg.eigvalsh(a)
+        assert eigenvalues.min() > 0
+
+    def test_random_sparse_is_diagonally_dominant(self):
+        a = random_sparse(30, density=0.1, seed=3).to_dense()
+        d = np.abs(np.diag(a))
+        off = np.abs(a).sum(axis=1) - d
+        assert np.all(d > off)
+
+    def test_random_sparse_symmetric_option(self):
+        a = random_sparse(20, density=0.2, seed=4, symmetric=True).to_dense()
+        assert np.allclose(a, a.T)
+
+    def test_random_sparse_density_validated(self):
+        with pytest.raises(ValueError):
+            random_sparse(10, density=0.0)
+
+    def test_irregular_rows_length_distribution(self):
+        a = irregular_rows(200, min_len=2, max_len=40, seed=5)
+        lengths = a.row_lengths()
+        assert lengths.min() >= 2
+        assert lengths.max() <= 40
+        # Power-law: the longest rows greatly exceed the median.
+        assert lengths.max() > 3 * np.median(lengths)
+
+    def test_irregular_rows_deterministic(self):
+        a = irregular_rows(40, max_len=12, seed=6)
+        b = irregular_rows(40, max_len=12, seed=6)
+        assert a.equal(b)
+
+    def test_irregular_rows_bounds_validated(self):
+        with pytest.raises(ValueError):
+            irregular_rows(10, min_len=5, max_len=3)
+        with pytest.raises(ValueError):
+            irregular_rows(10, max_len=20)

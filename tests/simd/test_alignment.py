@@ -1,0 +1,98 @@
+"""Loop decomposition and alignment arithmetic (paper Figure 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simd.alignment import (
+    decompose_loop,
+    misalignment_elements,
+    pointer_is_aligned,
+)
+
+
+class TestFigure5:
+    def test_paper_example(self):
+        """28 doubles at a 16-byte boundary: peel 6, two vectors, tail 6."""
+        d = decompose_loop(28, lanes=8, byte_offset=16)
+        assert (d.peel, d.body, d.remainder) == (6, 2, 6)
+
+    def test_aligned_start_needs_no_peel(self):
+        d = decompose_loop(28, lanes=8, byte_offset=0)
+        assert d.peel == 0
+        assert d.body == 3
+        assert d.remainder == 4
+
+    def test_64_byte_alignment_eliminates_peel_for_any_size(self):
+        """The paper's --with-mem-align=64 fix: no peel code at all."""
+        for n in (1, 7, 8, 9, 100):
+            assert decompose_loop(n, 8, byte_offset=0).peel == 0
+
+
+class TestEdgeCases:
+    def test_trip_count_smaller_than_peel_is_all_peel(self):
+        d = decompose_loop(3, lanes=8, byte_offset=16)
+        assert (d.peel, d.body, d.remainder) == (3, 0, 0)
+
+    def test_scalar_lanes_are_one_body_loop(self):
+        d = decompose_loop(17, lanes=1, byte_offset=24)
+        assert (d.peel, d.body, d.remainder) == (0, 17, 0)
+
+    def test_zero_trip_count(self):
+        d = decompose_loop(0, lanes=8)
+        assert d.total == 0
+
+    def test_negative_trip_count_raises(self):
+        with pytest.raises(ValueError):
+            decompose_loop(-1, 8)
+
+    def test_zero_lanes_raises(self):
+        with pytest.raises(ValueError):
+            decompose_loop(8, 0)
+
+    def test_vector_fraction(self):
+        d = decompose_loop(28, lanes=8, byte_offset=16)
+        assert d.vector_fraction == pytest.approx(16 / 28)
+        assert decompose_loop(0, 8).vector_fraction == 0.0
+
+
+class TestMisalignment:
+    def test_element_misaligned_offset_raises(self):
+        with pytest.raises(ValueError):
+            misalignment_elements(13, itemsize=8, alignment=64)
+
+    def test_alignment_not_multiple_of_itemsize_raises(self):
+        with pytest.raises(ValueError):
+            misalignment_elements(0, itemsize=12, alignment=64)
+
+    def test_known_values(self):
+        assert misalignment_elements(0) == 0
+        assert misalignment_elements(16) == 6
+        assert misalignment_elements(56) == 1
+        assert misalignment_elements(64) == 0
+
+
+class TestPointerAlignment:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            pointer_is_aligned(0, 48)
+        with pytest.raises(ValueError):
+            pointer_is_aligned(0, 0)
+
+    def test_basic(self):
+        assert pointer_is_aligned(128, 64)
+        assert not pointer_is_aligned(136, 64)
+        assert pointer_is_aligned(136, 8)
+
+
+@given(
+    n=st.integers(min_value=0, max_value=10_000),
+    lanes=st.sampled_from([2, 4, 8, 16]),
+    offset_elems=st.integers(min_value=0, max_value=7),
+)
+def test_decomposition_covers_exactly_the_trip_count(n, lanes, offset_elems):
+    """peel + body*lanes + remainder == n for any configuration."""
+    d = decompose_loop(n, lanes, byte_offset=offset_elems * 8)
+    assert d.total == n
+    assert 0 <= d.remainder < lanes or (d.body == 0 and d.remainder == 0)
+    assert d.peel >= 0 and d.body >= 0

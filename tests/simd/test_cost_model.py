@@ -1,0 +1,71 @@
+"""Cost tables and cycle pricing."""
+
+import pytest
+
+from repro.simd.cost_model import DEFAULT_COSTS, CostTable, cycles
+from repro.simd.counters import KernelCounters
+
+
+def counters(**kwargs) -> KernelCounters:
+    c = KernelCounters()
+    for k, v in kwargs.items():
+        setattr(c, k, v)
+    return c
+
+
+class TestPricing:
+    def test_empty_counters_cost_nothing(self):
+        assert cycles(KernelCounters()) == 0.0
+
+    def test_each_class_is_priced_by_its_entry(self):
+        table = CostTable(vload=2.0, fma=3.0)
+        c = counters(vector_load=5, vector_fmadd=4)
+        assert cycles(c, table) == 5 * 2.0 + 4 * 3.0
+
+    def test_gather_has_base_plus_lane_cost(self):
+        table = CostTable(gather_base=4.0, gather_lane=1.5)
+        c = counters(vector_gather=2, gather_lanes=16)
+        assert cycles(c, table) == 2 * 4.0 + 16 * 1.5
+
+    def test_aligned_loads_get_the_discount(self):
+        table = CostTable(vload=2.0, vload_aligned_discount=0.5)
+        c = counters(vector_load=4, vector_load_aligned=4)
+        assert cycles(c, table) == 4 * 2.0 - 4 * 0.5
+
+    def test_emulated_gather_lanes_priced_separately(self):
+        table = CostTable(emulated_gather_lane=0.7, gather_lane=9.9)
+        c = counters(emulated_gather_lanes=10)
+        assert cycles(c, table) == pytest.approx(7.0)
+
+    def test_independent_scalars_priced_separately_from_chained(self):
+        table = CostTable(sload=5.0, sload_indep=0.5, sfma=8.0, sfma_indep=1.0)
+        chained = counters(scalar_load=10, scalar_fma=10)
+        indep = counters(scalar_load_indep=10, scalar_fma_indep=10)
+        assert cycles(chained, table) == 130.0
+        assert cycles(indep, table) == 15.0
+
+    def test_total_is_clamped_non_negative(self):
+        table = CostTable(vload=0.0, vload_aligned_discount=10.0)
+        c = counters(vector_load=1, vector_load_aligned=1)
+        assert cycles(c, table) == 0.0
+
+    def test_monotone_in_counts(self):
+        a = counters(vector_load=1, vector_fmadd=1, mask_setup=1)
+        b = counters(vector_load=2, vector_fmadd=2, mask_setup=2)
+        assert cycles(b) == pytest.approx(2 * cycles(a))
+
+
+class TestCostTable:
+    def test_scaled_multiplies_every_entry(self):
+        t = DEFAULT_COSTS.scaled(2.0)
+        assert t.vload == 2 * DEFAULT_COSTS.vload
+        assert t.sfma == 2 * DEFAULT_COSTS.sfma
+
+    def test_with_overrides_replaces_only_named_entries(self):
+        t = DEFAULT_COSTS.with_overrides(fma=9.0)
+        assert t.fma == 9.0
+        assert t.vload == DEFAULT_COSTS.vload
+
+    def test_tables_are_immutable(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COSTS.fma = 1.0  # type: ignore[misc]

@@ -1,0 +1,244 @@
+"""The executing SIMD engine: semantics, validation, and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.memory.spaces import aligned_alloc
+from repro.simd.alignment import AlignmentFault
+from repro.simd.engine import SimdEngine
+from repro.simd.isa import AVX, AVX2, AVX512, SCALAR, UnsupportedInstructionError
+from repro.simd.register import LaneMismatchError, VectorRegister
+
+
+@pytest.fixture
+def engine() -> SimdEngine:
+    return SimdEngine(AVX512)
+
+
+@pytest.fixture
+def buf() -> np.ndarray:
+    b = aligned_alloc(32, np.float64, 64)
+    b[:] = np.arange(32, dtype=np.float64)
+    return b
+
+
+class TestLoadsStores:
+    def test_load_reads_lanes_and_counts(self, engine, buf):
+        r = engine.load(buf, 4)
+        assert np.array_equal(r.data, np.arange(4, 12))
+        assert engine.counters.vector_load == 1
+        assert engine.counters.bytes_loaded == 64
+
+    def test_load_overrun_raises(self, engine, buf):
+        with pytest.raises(IndexError):
+            engine.load(buf, 30)
+
+    def test_load_copies_do_not_alias(self, engine, buf):
+        r = engine.load(buf, 0)
+        buf[0] = 99.0
+        assert r.data[0] == 0.0
+
+    def test_aligned_load_counts_the_alignment(self, engine, buf):
+        engine.load_aligned(buf, 0)
+        assert engine.counters.vector_load_aligned == 1
+
+    def test_aligned_load_on_misaligned_address_degrades(self, engine, buf):
+        engine.load_aligned(buf, 3)  # 24-byte offset: not 64-aligned
+        assert engine.counters.vector_load == 1
+        assert engine.counters.vector_load_aligned == 0
+
+    def test_strict_alignment_faults(self, buf):
+        """The model of the 16-byte-alignment hang (Section 3.1)."""
+        engine = SimdEngine(AVX512, strict_alignment=True)
+        with pytest.raises(AlignmentFault):
+            engine.load_aligned(buf, 3)
+
+    def test_index_load_charges_four_bytes_per_lane(self, engine):
+        idx = np.arange(16, dtype=np.int32)
+        engine.load_index(idx, 0)
+        assert engine.counters.bytes_loaded == 8 * 4
+
+    def test_store_writes_and_counts(self, engine, buf):
+        out = np.zeros(16)
+        engine.store(out, 8, engine.set1(5.0))
+        assert np.all(out[8:16] == 5.0) and np.all(out[:8] == 0.0)
+        assert engine.counters.vector_store == 1
+        assert engine.counters.bytes_stored == 64
+
+    def test_store_overrun_raises(self, engine):
+        with pytest.raises(IndexError):
+            engine.store(np.zeros(4), 0, SimdEngine(AVX512).set1(1.0))
+
+    def test_store_aligned_strict_faults(self):
+        engine = SimdEngine(AVX512, strict_alignment=True)
+        out = aligned_alloc(16, np.float64, 64)
+        engine.store_aligned(out, 0, engine.set1(1.0))  # fine
+        with pytest.raises(AlignmentFault):
+            engine.store_aligned(out, 1, engine.set1(1.0))
+
+    def test_prefetch_counts_only(self, engine, buf):
+        engine.prefetch(buf, 0)
+        assert engine.counters.prefetch == 1
+        assert engine.counters.bytes_loaded == 0
+
+
+class TestGathers:
+    def test_gather_semantics_and_per_lane_cost(self, engine, buf):
+        idx = VectorRegister(np.array([0, 2, 4, 6, 8, 10, 12, 14]))
+        r = engine.gather(buf, idx)
+        assert np.array_equal(r.data, buf[::2][:8])
+        assert engine.counters.vector_gather == 1
+        assert engine.counters.gather_lanes == 8
+        assert engine.counters.bytes_loaded == 64
+
+    def test_gather_requires_hardware_support(self, buf):
+        engine = SimdEngine(AVX)
+        idx = VectorRegister(np.arange(4))
+        with pytest.raises(UnsupportedInstructionError):
+            engine.gather(buf, idx)
+
+    def test_emulated_gather_counts_inserts_not_gathers(self, buf):
+        engine = SimdEngine(AVX)
+        idx = VectorRegister(np.array([3, 1, 4, 1]))
+        r = engine.emulated_gather(buf, idx)
+        assert np.array_equal(r.data, buf[[3, 1, 4, 1]])
+        assert engine.counters.vector_gather == 0
+        assert engine.counters.emulated_gather_lanes == 4
+        assert engine.counters.vector_insert == 3  # 2 merges + 1 vinsertf128
+
+    def test_gather_auto_picks_hardware_when_available(self, buf):
+        hw = SimdEngine(AVX2)
+        hw.gather_auto(buf, VectorRegister(np.arange(4)))
+        assert hw.counters.vector_gather == 1
+        sw = SimdEngine(AVX)
+        sw.gather_auto(buf, VectorRegister(np.arange(4)))
+        assert sw.counters.vector_gather == 0
+        assert sw.counters.emulated_gather_lanes == 4
+
+    def test_gather_lane_width_must_match(self, engine, buf):
+        with pytest.raises(ValueError):
+            engine.gather(buf, VectorRegister(np.arange(4)))
+
+
+class TestMasks:
+    def test_masks_require_avx512(self):
+        with pytest.raises(UnsupportedInstructionError):
+            SimdEngine(AVX2).make_mask(2)
+
+    def test_mask_population_bounds(self, engine):
+        with pytest.raises(ValueError):
+            engine.make_mask(9)
+        assert engine.make_mask(0).popcount == 0
+        assert engine.make_mask(8).popcount == 8
+
+    def test_masked_load_zeroes_inactive_lanes(self, engine, buf):
+        mask = engine.make_mask(3)
+        r = engine.masked_load(buf, 10, mask)
+        assert np.array_equal(r.data[:3], buf[10:13])
+        assert np.all(r.data[3:] == 0.0)
+        assert engine.counters.bytes_loaded == 3 * 8
+
+    def test_masked_gather_only_touches_active_lanes(self, engine):
+        x = np.arange(10, dtype=np.float64)
+        # Inactive lanes carry an out-of-range index: must not be read.
+        idx = VectorRegister(np.array([1, 2, 3, 999, 999, 999, 999, 999]))
+        mask = engine.make_mask(3)
+        r = engine.masked_gather(x, idx, mask)
+        assert np.array_equal(r.data[:3], [1.0, 2.0, 3.0])
+        assert np.all(r.data[3:] == 0.0)
+        assert engine.counters.gather_lanes == 3
+
+    def test_masked_store_leaves_inactive_lanes(self, engine):
+        out = np.full(8, -1.0)
+        engine.masked_store(out, 0, engine.set1(2.0), engine.make_mask(5))
+        assert np.all(out[:5] == 2.0) and np.all(out[5:] == -1.0)
+        assert engine.counters.bytes_stored == 5 * 8
+
+    def test_masked_fmadd_passes_through_inactive_lanes(self, engine):
+        a = engine.set1(2.0)
+        b = engine.set1(3.0)
+        c = engine.set1(1.0)
+        r = engine.masked_fmadd(a, b, c, engine.make_mask(2))
+        assert np.array_equal(r.data[:2], [7.0, 7.0])
+        assert np.all(r.data[2:] == 1.0)
+        assert engine.counters.flops == 4  # two active lanes, two flops each
+
+    def test_masked_fmadd_flop_count_is_popcount_based(self):
+        engine = SimdEngine(AVX512)
+        r = engine.masked_fmadd(
+            engine.set1(1.0), engine.set1(1.0), engine.setzero(), engine.make_mask(5)
+        )
+        assert engine.counters.flops == 10
+        assert r.data.sum() == 5.0
+
+
+class TestArithmetic:
+    def test_fmadd_math_and_flops(self, engine):
+        r = engine.fmadd(engine.set1(2.0), engine.set1(3.0), engine.set1(1.0))
+        assert np.all(r.data == 7.0)
+        assert engine.counters.vector_fmadd == 1
+        assert engine.counters.flops == 16
+
+    def test_fmadd_requires_fma(self):
+        engine = SimdEngine(AVX)
+        with pytest.raises(UnsupportedInstructionError):
+            engine.fmadd(engine.set1(1.0), engine.set1(1.0), engine.set1(1.0))
+
+    def test_mul_add_equals_fmadd_numerically(self):
+        avx = SimdEngine(AVX)
+        a, b, c = avx.set1(1.5), avx.set1(-2.0), avx.set1(0.25)
+        split = avx.mul_add(a, b, c)
+        fused = SimdEngine(AVX2).fmadd(
+            SimdEngine(AVX2).set1(1.5),
+            SimdEngine(AVX2).set1(-2.0),
+            SimdEngine(AVX2).set1(0.25),
+        )
+        assert split.data[0] == fused.data[0] == pytest.approx(-2.75)
+        assert avx.counters.vector_mul == 1 and avx.counters.vector_add == 1
+
+    def test_fmadd_auto_dispatches_by_isa(self):
+        for isa, fused in ((AVX, False), (AVX2, True), (AVX512, True)):
+            e = SimdEngine(isa)
+            e.fmadd_auto(e.set1(1.0), e.set1(1.0), e.set1(0.0))
+            assert (e.counters.vector_fmadd == 1) is fused
+
+    def test_lane_mismatch_raises(self):
+        e8 = SimdEngine(AVX512)
+        e4 = SimdEngine(AVX2)
+        with pytest.raises(LaneMismatchError):
+            e8.fmadd(e8.set1(1.0), e4.set1(1.0), e8.set1(0.0))
+
+    def test_reduce_add(self, engine):
+        r = VectorRegister(np.arange(8, dtype=np.float64))
+        assert engine.reduce_add(r) == 28.0
+        assert engine.counters.vector_reduce == 1
+
+    def test_setzero(self, engine):
+        assert np.all(engine.setzero().data == 0.0)
+        assert engine.counters.vector_set == 1
+
+
+class TestScalarOps:
+    def test_scalar_roundtrip_and_counts(self):
+        e = SimdEngine(SCALAR)
+        buf = np.array([1.0, 2.0, 3.0])
+        out = np.zeros(3)
+        v = e.scalar_load(buf, 1)
+        acc = e.scalar_fma(v, 10.0, 0.5)
+        e.scalar_store(out, 2, acc)
+        assert out[2] == 20.5
+        assert e.counters.scalar_load == 1
+        assert e.counters.scalar_fma == 1
+        assert e.counters.scalar_store == 1
+        assert e.counters.flops == 2
+
+    def test_independent_scalar_ops_count_separately(self):
+        e = SimdEngine(AVX512)
+        buf = np.array([4.0])
+        e.scalar_load_indep(buf, 0)
+        e.scalar_fma_indep(1.0, 2.0, 3.0)
+        assert e.counters.scalar_load_indep == 1
+        assert e.counters.scalar_fma_indep == 1
+        assert e.counters.scalar_load == 0
+        assert e.counters.scalar_fma == 0
+        assert e.counters.flops == 2

@@ -1,0 +1,85 @@
+"""ISA descriptions: lane widths, feature flags, lookup."""
+
+import pytest
+
+from repro.simd.isa import (
+    AVX,
+    AVX2,
+    AVX512,
+    ISAS,
+    SCALAR,
+    SSE2,
+    UnsupportedInstructionError,
+    get_isa,
+)
+
+
+class TestLaneWidths:
+    def test_avx512_has_eight_double_lanes(self):
+        assert AVX512.lanes(8) == 8
+
+    def test_avx_and_avx2_have_four_double_lanes(self):
+        assert AVX.lanes(8) == 4
+        assert AVX2.lanes(8) == 4
+
+    def test_sse2_has_two_double_lanes(self):
+        assert SSE2.lanes(8) == 2
+
+    def test_scalar_has_one_lane(self):
+        assert SCALAR.lanes(8) == 1
+
+    def test_int32_lanes_double_the_float64_lanes(self):
+        assert AVX512.lanes(4) == 16
+        assert AVX.lanes(4) == 8
+
+    def test_vector_bytes(self):
+        assert AVX512.vector_bytes == 64
+        assert AVX.vector_bytes == 32
+
+    def test_is_vector_flag(self):
+        assert AVX512.is_vector and AVX.is_vector
+        assert not SCALAR.is_vector
+
+
+class TestFeatureFlags:
+    def test_avx_lacks_gather_and_fma(self):
+        """Paper Section 5.5: AVX has neither gather nor fmadd."""
+        assert not AVX.has_gather
+        assert not AVX.has_fma
+
+    def test_avx2_adds_gather_and_fma(self):
+        assert AVX2.has_gather and AVX2.has_fma
+
+    def test_only_avx512_has_masks(self):
+        assert AVX512.has_masks
+        assert not AVX2.has_masks
+        assert not AVX.has_masks
+
+    def test_require_passes_on_supported_feature(self):
+        AVX512.require("gather")
+        AVX512.require("fma")
+        AVX512.require("masks")
+
+    def test_require_raises_on_missing_feature(self):
+        with pytest.raises(UnsupportedInstructionError, match="gather"):
+            AVX.require("gather")
+        with pytest.raises(UnsupportedInstructionError, match="masks"):
+            AVX2.require("masks")
+
+    def test_require_unknown_feature_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            AVX512.require("teleport")
+
+
+class TestLookup:
+    def test_lookup_is_case_insensitive(self):
+        assert get_isa("avx512") is AVX512
+        assert get_isa("AVX2") is AVX2
+        assert get_isa("Novec") is SCALAR
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="AVX"):
+            get_isa("AVX1024")
+
+    def test_registry_contains_all_five(self):
+        assert set(ISAS) == {"novec", "SSE2", "AVX", "AVX2", "AVX512"}

@@ -1,0 +1,59 @@
+"""Vector and mask register semantics."""
+
+import numpy as np
+import pytest
+
+from repro.simd.register import (
+    LaneMismatchError,
+    MaskRegister,
+    VectorRegister,
+    check_lanes,
+)
+
+
+class TestVectorRegister:
+    def test_lane_and_dtype_exposure(self):
+        r = VectorRegister(np.arange(8, dtype=np.float64))
+        assert r.lanes == 8
+        assert r.dtype == np.float64
+
+    def test_rejects_multidimensional_data(self):
+        with pytest.raises(ValueError):
+            VectorRegister(np.zeros((2, 4)))
+
+    def test_copy_is_deep(self):
+        src = np.arange(4, dtype=np.float64)
+        r = VectorRegister(src)
+        c = r.copy()
+        src[0] = 99.0
+        assert r.data[0] == 99.0  # register views its source...
+        assert c.data[0] == 0.0   # ...but the copy does not
+
+
+class TestMaskRegister:
+    def test_popcount(self):
+        m = MaskRegister(np.array([True, False, True, True]))
+        assert m.popcount == 3
+        assert m.lanes == 4
+
+    def test_bits_coerced_to_bool(self):
+        m = MaskRegister(np.array([1, 0, 2]))
+        assert m.bits.dtype == bool
+        assert m.popcount == 2
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValueError):
+            MaskRegister(np.zeros((2, 2), dtype=bool))
+
+
+class TestCheckLanes:
+    def test_matching_widths_pass(self):
+        a = VectorRegister(np.zeros(4))
+        b = VectorRegister(np.ones(4))
+        assert check_lanes(a, b) == 4
+
+    def test_mismatch_raises(self):
+        a = VectorRegister(np.zeros(4))
+        b = VectorRegister(np.zeros(8))
+        with pytest.raises(LaneMismatchError):
+            check_lanes(a, b)

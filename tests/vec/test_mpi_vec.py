@@ -1,0 +1,106 @@
+"""Distributed vectors over the simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.comm.partition import RowLayout
+from repro.comm.spmd import SpmdError, run_spmd
+from repro.vec.mpi_vec import MPIVec
+
+
+def test_from_global_slices_the_owned_block():
+    g = np.arange(10, dtype=np.float64)
+
+    def prog(comm):
+        layout = RowLayout.uniform(10, comm.size)
+        v = MPIVec.from_global(comm, layout, g)
+        start, end = v.owned_range
+        return np.array_equal(v.local.array, g[start:end])
+
+    assert all(run_spmd(3, prog))
+
+
+def test_global_dot_and_norms_match_numpy():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(17)
+    b = rng.standard_normal(17)
+
+    def prog(comm):
+        layout = RowLayout.uniform(17, comm.size)
+        va = MPIVec.from_global(comm, layout, a)
+        vb = MPIVec.from_global(comm, layout, b)
+        return (
+            va.dot(vb),
+            va.norm("2"),
+            va.norm("1"),
+            va.norm("inf"),
+        )
+
+    for dot, n2, n1, ninf in run_spmd(4, prog):
+        assert dot == pytest.approx(float(a @ b))
+        assert n2 == pytest.approx(float(np.linalg.norm(a)))
+        assert n1 == pytest.approx(float(np.abs(a).sum()))
+        assert ninf == pytest.approx(float(np.abs(a).max()))
+
+
+def test_norms_are_identical_across_ranks():
+    """Deterministic rank-ordered reduction: bitwise identical results."""
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal(23)
+
+    def prog(comm):
+        layout = RowLayout.uniform(23, comm.size)
+        v = MPIVec.from_global(comm, layout, a)
+        return v.norm("2")
+
+    results = run_spmd(3, prog)
+    assert results[0] == results[1] == results[2]
+
+
+def test_local_operations_match_sequential():
+    a = np.arange(9, dtype=np.float64)
+    b = np.ones(9)
+
+    def prog(comm):
+        layout = RowLayout.uniform(9, comm.size)
+        va = MPIVec.from_global(comm, layout, a)
+        vb = MPIVec.from_global(comm, layout, b)
+        va.axpy(2.0, vb)
+        va.scale(0.5)
+        return va.to_global()
+
+    for out in run_spmd(2, prog):
+        assert np.allclose(out, (a + 2.0) * 0.5)
+
+
+def test_to_global_concatenates_in_rank_order():
+    def prog(comm):
+        layout = RowLayout.uniform(6, comm.size)
+        v = MPIVec(comm, layout)
+        v.set(float(comm.rank))
+        return v.to_global()
+
+    out = run_spmd(3, prog)[0]
+    assert np.array_equal(out, [0, 0, 1, 1, 2, 2])
+
+
+def test_wrong_local_block_length_raises():
+    def prog(comm):
+        layout = RowLayout.uniform(10, comm.size)
+        MPIVec(comm, layout, np.zeros(99))
+
+    with pytest.raises(SpmdError):
+        run_spmd(2, prog)
+
+
+def test_duplicate_and_copy():
+    def prog(comm):
+        layout = RowLayout.uniform(8, comm.size)
+        v = MPIVec.from_global(comm, layout, np.ones(8))
+        d = v.duplicate()
+        c = v.copy()
+        c.scale(3.0)
+        return float(d.norm("1")), float(v.norm("1")), float(c.norm("1"))
+
+    for dn, vn, cn in run_spmd(2, prog):
+        assert dn == 0.0 and vn == 8.0 and cn == 24.0

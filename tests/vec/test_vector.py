@@ -1,0 +1,97 @@
+"""Sequential vector operations (the Vec layer)."""
+
+import numpy as np
+import pytest
+
+from repro.vec.vector import SeqVec
+
+
+class TestConstruction:
+    def test_zeroed_by_length(self):
+        v = SeqVec(5)
+        assert v.size == 5
+        assert np.all(v.array == 0.0)
+
+    def test_from_array_copies(self):
+        src = np.arange(4, dtype=np.float64)
+        v = SeqVec.from_array(src)
+        src[0] = 99.0
+        assert v.array[0] == 0.0
+
+    def test_storage_is_64_byte_aligned(self):
+        """Section 3.1: vectors must sit on cache-line boundaries."""
+        v = SeqVec(100)
+        assert v.array.ctypes.data % 64 == 0
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            SeqVec(-1)
+
+    def test_duplicate_is_zeroed_copy_is_deep(self):
+        v = SeqVec.from_array(np.ones(3))
+        d = v.duplicate()
+        c = v.copy()
+        assert np.all(d.array == 0.0)
+        c.array[0] = 5.0
+        assert v.array[0] == 1.0
+
+
+class TestBlas1:
+    def test_set_and_scale(self):
+        v = SeqVec(4)
+        v.set(2.0)
+        v.scale(-0.5)
+        assert np.all(v.array == -1.0)
+
+    def test_axpy(self):
+        y = SeqVec.from_array(np.array([1.0, 2.0]))
+        x = SeqVec.from_array(np.array([10.0, 20.0]))
+        y.axpy(0.5, x)
+        assert np.array_equal(y.array, [6.0, 12.0])
+
+    def test_aypx(self):
+        y = SeqVec.from_array(np.array([1.0, 2.0]))
+        x = SeqVec.from_array(np.array([10.0, 20.0]))
+        y.aypx(2.0, x)  # y <- x + 2y
+        assert np.array_equal(y.array, [12.0, 24.0])
+
+    def test_waxpy(self):
+        w = SeqVec(2)
+        x = SeqVec.from_array(np.array([1.0, 1.0]))
+        y = SeqVec.from_array(np.array([5.0, 6.0]))
+        w.waxpy(3.0, x, y)
+        assert np.array_equal(w.array, [8.0, 9.0])
+
+    def test_pointwise_mult(self):
+        w = SeqVec(2)
+        w.pointwise_mult(
+            SeqVec.from_array(np.array([2.0, 3.0])),
+            SeqVec.from_array(np.array([4.0, 5.0])),
+        )
+        assert np.array_equal(w.array, [8.0, 15.0])
+
+    def test_dot(self):
+        a = SeqVec.from_array(np.array([1.0, 2.0, 3.0]))
+        b = SeqVec.from_array(np.array([4.0, 5.0, 6.0]))
+        assert a.dot(b) == 32.0
+
+    def test_norms(self):
+        v = SeqVec.from_array(np.array([3.0, -4.0]))
+        assert v.norm("2") == 5.0
+        assert v.norm("1") == 7.0
+        assert v.norm("inf") == 4.0
+
+    def test_unknown_norm_raises(self):
+        with pytest.raises(ValueError):
+            SeqVec(1).norm("fro")
+
+    def test_reciprocal_skips_zeros(self):
+        v = SeqVec.from_array(np.array([2.0, 0.0, -4.0]))
+        v.reciprocal()
+        assert np.array_equal(v.array, [0.5, 0.0, -0.25])
+
+    def test_nonconforming_operands_raise(self):
+        with pytest.raises(ValueError):
+            SeqVec(3).axpy(1.0, SeqVec(4))
+        with pytest.raises(ValueError):
+            SeqVec(3).dot(SeqVec(2))
