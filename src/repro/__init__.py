@@ -11,18 +11,20 @@ the per-figure reproduction record.
 
 Quick start::
 
-    from repro import gray_scott_jacobian, SellMat, measure, predict
-    from repro.machine import KNL_7230, make_model
+    from repro import ExecutionContext, gray_scott_jacobian
 
+    ctx = ExecutionContext()                    # KNL 7230, flat MCDRAM
     csr = gray_scott_jacobian(64)               # the paper's operator
-    meas = measure("SELL using AVX512", csr)    # run Algorithm 2
-    perf = predict(meas, make_model(KNL_7230), nprocs=64, scale=1024.0)
-    print(perf.gflops)
+    best = ctx.best_variant(csr)                # autotuned format choice
+    meas = ctx.measure(best, csr)               # run its kernel (memoized)
+    perf = ctx.predict(meas, scale=1024.0)      # price it on the machine
+    print(best.name, perf.gflops)
 """
 
 from .core import (
     FIGURE8_VARIANTS,
     FIGURE11_VARIANTS,
+    ExecutionContext,
     KernelVariant,
     SellMat,
     SpmvMeasurement,
@@ -30,6 +32,8 @@ from .core import (
     get_variant,
     measure,
     predict,
+    register_variant,
+    registered_variants,
     sell_traffic,
     spmv,
 )
@@ -47,6 +51,7 @@ __all__ = [
     "AijMat",
     "BaijMat",
     "EllpackMat",
+    "ExecutionContext",
     "FIGURE11_VARIANTS",
     "FIGURE8_VARIANTS",
     "GrayScottProblem",
@@ -67,6 +72,8 @@ __all__ = [
     "gray_scott_jacobian",
     "measure",
     "predict",
+    "register_variant",
+    "registered_variants",
     "sell_traffic",
     "spmv",
 ]

@@ -22,20 +22,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...core.context import ExecutionContext
 from ...core.dispatch import ESB_AVX512, SELL_AVX512
 from ...core.sell import SellMat
-from ...core.spmv import measure, predict
-from ...machine.perf_model import KNL_OVERLAP, MemoryMode, PerfModel
 from ...mat.aij import AijMat
 from ...mat.sparsity import locality_span, padding_ratio
 from ...pde.problems import gray_scott_jacobian, irregular_rows
 from ..report import format_table
-from .common import REFERENCE_GRID, grid_scale
+from .common import REFERENCE_GRID, grid_scale, knl_context
 
-def _knl_model() -> PerfModel:
-    from ...machine.specs import KNL_7230
 
-    return PerfModel(spec=KNL_7230, mode=MemoryMode.FLAT_MCDRAM, overlap=KNL_OVERLAP)
+def _knl_context(nprocs: int = 64) -> ExecutionContext:
+    """The flat-MCDRAM KNL context every ablation prices against."""
+    return knl_context(nprocs=nprocs)
 
 
 @dataclass(frozen=True)
@@ -55,12 +54,12 @@ class AblationRow:
 def run_bitarray(matrix: AijMat | None = None, nprocs: int = 64) -> list[AblationRow]:
     """Padded SELL versus ESB masked kernel on one matrix."""
     csr = matrix if matrix is not None else gray_scott_jacobian(REFERENCE_GRID)
-    model = _knl_model()
+    ctx = _knl_context(nprocs)
     scale = grid_scale(2048) if matrix is None else 1.0
     rows = []
     for variant in (SELL_AVX512, ESB_AVX512):
-        meas = measure(variant, csr)
-        perf = predict(meas, model, nprocs=nprocs, scale=scale)
+        meas = ctx.measure(variant, csr)
+        perf = ctx.predict(meas, scale=scale)
         pad = meas.mat.padding_fraction  # type: ignore[attr-defined]
         rows.append(
             AblationRow(
@@ -95,11 +94,13 @@ def run_sigma(
         if matrix is not None
         else irregular_rows(1024, min_len=2, max_len=48, seed=5)
     )
-    model = _knl_model()
+    ctx = _knl_context(nprocs)
     rows = []
     for sigma in sigmas:
-        meas = measure(SELL_AVX512, csr, sigma=sigma, slice_height=slice_height)
-        perf = predict(meas, model, nprocs=nprocs)
+        meas = ctx.measure(
+            SELL_AVX512, csr, sigma=sigma, slice_height=slice_height
+        )
+        perf = ctx.predict(meas)
         sell: SellMat = meas.mat  # type: ignore[assignment]
         span = locality_span(csr, sell.perm)
         rows.append(
@@ -134,11 +135,11 @@ def run_slice_height(
         if matrix is not None
         else irregular_rows(1024, min_len=2, max_len=48, seed=5)
     )
-    model = _knl_model()
+    ctx = _knl_context(nprocs)
     rows = []
     for c in heights:
-        meas = measure(SELL_AVX512, csr, slice_height=c)
-        perf = predict(meas, model, nprocs=nprocs)
+        meas = ctx.measure(SELL_AVX512, csr, slice_height=c)
+        perf = ctx.predict(meas)
         rows.append(
             AblationRow(
                 label=f"C={c}",
@@ -207,15 +208,13 @@ def run_register_blocking(nprocs: int = 64) -> dict[str, dict[str, float]]:
     """
     from ...core.dispatch import BAIJ_AVX512
     from ...core.kernels_baij import simd_efficiency
-    from ...core.spmv import measure as measure_spmv
-    from ...core.spmv import predict as predict_spmv
 
     csr = gray_scott_jacobian(REFERENCE_GRID)
-    model = _knl_model()
+    ctx = _knl_context(nprocs)
     out: dict[str, dict[str, float]] = {}
     for variant in (SELL_AVX512, BAIJ_AVX512):
-        meas = measure_spmv(variant, csr)
-        perf = predict_spmv(meas, model, nprocs=nprocs, scale=grid_scale(2048))
+        meas = ctx.measure(variant, csr)
+        perf = ctx.predict(meas, scale=grid_scale(2048))
         out[variant.name] = {
             "gflops": perf.gflops,
             "simd_efficiency": simd_efficiency(meas.counters),
@@ -241,24 +240,18 @@ def run_overlap(
     local compute that hides the halo).
     """
     from ...machine.network import Cluster, NetworkModel, halo_bytes_2d
-    from ...machine.perf_model import KNL_OVERLAP, MemoryMode, PerfModel
-    from ...machine.specs import KNL_7230
-    from ...core.spmv import predict as predict_spmv
     from .common import reference_measurement, working_set_bytes
 
     meas = reference_measurement("SELL using AVX512")
-    model = PerfModel(spec=KNL_7230, mode=MemoryMode.FLAT_MCDRAM,
-                      overlap=KNL_OVERLAP)
+    ctx = _knl_context(nprocs=64)
     network = NetworkModel()
     rows_global = meas.mat.shape[0] * grid_scale(grid)
     out = []
     for nodes in node_counts:
         cluster = Cluster(nodes, 64, network)
         per_node_scale = grid_scale(grid) / nodes
-        perf = predict_spmv(
+        perf = ctx.predict(
             meas,
-            model,
-            nprocs=64,
             scale=per_node_scale,
             working_set=round(working_set_bytes(grid) / nodes),
         )

@@ -37,11 +37,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from ...core.context import ExecutionContext
 from ...machine.network import Cluster, NetworkModel, halo_bytes_2d
-from ...machine.perf_model import KNL_OVERLAP, MemoryMode, PerfModel
-from ...machine.specs import KNL_7230
+from ...machine.perf_model import MemoryMode
 from ..report import format_table
-from .common import grid_scale, reference_measurement, working_set_bytes
+from .common import (
+    grid_scale,
+    knl_context,
+    reference_matrix,
+    working_set_bytes,
+)
 
 NODE_COUNTS = (64, 128, 256, 512)
 RANKS_PER_NODE = 64
@@ -136,21 +141,17 @@ class Fig10Point:
 
 def _matvec_seconds(
     variant_name: str,
-    model: PerfModel,
+    ctx: ExecutionContext,
     cluster: Cluster,
     grid: int,
     level: int,
 ) -> float:
     """Time of one whole-problem matvec on level ``level`` of the hierarchy."""
-    meas = reference_measurement(variant_name)
+    meas = ctx.measure(variant_name, reference_matrix())
     level_rows_scale = grid_scale(grid) / (4.0**level)
     per_node_scale = level_rows_scale / cluster.nodes
-    from ...core.spmv import predict
-
-    perf = predict(
+    perf = ctx.predict(
         meas,
-        model,
-        nprocs=RANKS_PER_NODE,
         scale=per_node_scale,
         working_set=round(working_set_bytes(grid, variant_name) / cluster.nodes),
     )
@@ -171,7 +172,7 @@ def run(
     """All Figure 10 bars."""
     profile = profile_solver()
     network = NetworkModel()
-    meas_ref = reference_measurement("CSR baseline")
+    meas_ref = knl_context().measure("CSR baseline", reference_matrix())
     m_fine = meas_ref.mat.shape[0] * grid_scale(grid)
     nnz_fine = meas_ref.mat.nnz * grid_scale(grid)
 
@@ -180,11 +181,11 @@ def run(
 
     points = []
     for mode in MODES:
-        model = PerfModel(spec=KNL_7230, mode=mode, overlap=KNL_OVERLAP)
+        ctx = knl_context(mode, nprocs=RANKS_PER_NODE)
         for nodes in node_counts:
             cluster = Cluster(nodes, RANKS_PER_NODE, network)
             agg_bw = (
-                model.bandwidth_gbs(
+                ctx.model.bandwidth_gbs(
                     meas_ref.variant.isa, RANKS_PER_NODE,
                     round(working_set_bytes(grid) / nodes),
                 )
@@ -207,7 +208,7 @@ def run(
                 matmult = 0.0
                 for level in range(levels):
                     per_matvec = _matvec_seconds(
-                        variant_name, model, cluster, grid, level
+                        variant_name, ctx, cluster, grid, level
                     )
                     per_it = (
                         profile.matvecs_per_it_coarsest

@@ -15,10 +15,9 @@ while CSR-AVX512 peaks on KNL.
 from __future__ import annotations
 
 from ...core.dispatch import FIGURE11_VARIANTS
-from ...machine.perf_model import make_model
 from ...machine.specs import BROADWELL, HASWELL, KNL_7230, SKYLAKE, ProcessorSpec
 from ..report import format_table
-from .common import SINGLE_NODE_GRID, predict_variant
+from .common import SINGLE_NODE_GRID, machine_context, predict_variant
 
 MACHINES: tuple[ProcessorSpec, ...] = (HASWELL, BROADWELL, SKYLAKE, KNL_7230)
 
@@ -32,15 +31,16 @@ def run(
     grid: int = SINGLE_NODE_GRID,
 ) -> dict[str, dict[str, float | None]]:
     """variant -> machine -> Gflop/s (None where the ISA is unsupported)."""
+    contexts = {spec.name: machine_context(spec) for spec in MACHINES}
     out: dict[str, dict[str, float | None]] = {}
     for variant in FIGURE11_VARIANTS:
         row: dict[str, float | None] = {}
         for spec in MACHINES:
-            if not supported(spec, variant.isa.name):
+            ctx = contexts[spec.name]
+            if not ctx.supports(variant):
                 row[spec.name] = None
                 continue
-            model = make_model(spec)
-            perf = predict_variant(variant.name, model, spec.cores, grid)
+            perf = predict_variant(variant.name, ctx, grid)
             row[spec.name] = perf.gflops
         out[variant.name] = row
     return out

@@ -14,10 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ...machine.perf_model import MemoryMode, PerfModel
-from ...machine.specs import KNL_7230
+from ...machine.perf_model import MemoryMode
 from ..report import format_table
-from .common import predict_variant
+from .common import knl_context, predict_variant
 
 GRIDS = (1024, 2048, 4096)
 PROCESS_COUNTS = (16, 32, 64)
@@ -37,14 +36,12 @@ class Fig7Point:
 
 def run() -> list[Fig7Point]:
     """All 27 Figure 7 data points."""
-    from ...machine.perf_model import KNL_OVERLAP
-
     points = []
     for mode in MODES:
-        model = PerfModel(spec=KNL_7230, mode=mode, overlap=KNL_OVERLAP)
+        ctx = knl_context(mode)
         for grid in GRIDS:
             for nprocs in PROCESS_COUNTS:
-                perf = predict_variant(VARIANT, model, nprocs, grid)
+                perf = predict_variant(VARIANT, ctx, grid, nprocs=nprocs)
                 points.append(Fig7Point(mode, grid, nprocs, perf.gflops))
     return points
 

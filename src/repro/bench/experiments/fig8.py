@@ -12,24 +12,20 @@ cores.
 from __future__ import annotations
 
 from ...core.dispatch import FIGURE8_VARIANTS
-from ...machine.perf_model import KNL_OVERLAP, MemoryMode, PerfModel
-from ...machine.specs import KNL_7230
 from ..report import format_series
-from .common import SINGLE_NODE_GRID, predict_variant
+from .common import SINGLE_NODE_GRID, knl_context, predict_variant
 
 PROCESS_COUNTS = (4, 8, 16, 32, 64)
 
 
 def run(grid: int = SINGLE_NODE_GRID) -> dict[str, list[tuple[int, float]]]:
     """Gflop/s per (variant, rank count): the nine Figure 8 series."""
-    model = PerfModel(
-        spec=KNL_7230, mode=MemoryMode.FLAT_MCDRAM, overlap=KNL_OVERLAP
-    )
+    ctx = knl_context()  # flat-MCDRAM, the paper's primary configuration
     series: dict[str, list[tuple[int, float]]] = {}
     for variant in FIGURE8_VARIANTS:
         points = []
         for nprocs in PROCESS_COUNTS:
-            perf = predict_variant(variant.name, model, nprocs, grid)
+            perf = predict_variant(variant.name, ctx, grid, nprocs=nprocs)
             points.append((nprocs, perf.gflops))
         series[variant.name] = points
     return series

@@ -13,6 +13,7 @@ from .analytic import (
     predict_sell_counters,
 )
 from .autotune import TuneCandidate, TuneResult, tune_sell
+from .context import ExecutionContext
 from .esb import EsbMat
 from .kernels_baij import simd_efficiency, spmv_baij
 from .dispatch import (
@@ -24,9 +25,12 @@ from .dispatch import (
     CSR_BASELINE,
     CSR_NOVEC,
     CSR_PERM,
+    ELLPACK_AVX512,
+    ELLPACK_R_AVX512,
     ESB_AVX512,
     FIGURE11_VARIANTS,
     FIGURE8_VARIANTS,
+    HYBRID_AVX512,
     MKL_CSR,
     SELL_AVX,
     SELL_AVX2,
@@ -34,6 +38,8 @@ from .dispatch import (
     SELL_NOVEC,
     KernelVariant,
     get_variant,
+    register_variant,
+    registered_variants,
 )
 from .kernels_csr import (
     spmv_csr_compiler,
@@ -41,6 +47,7 @@ from .kernels_csr import (
     spmv_csr_scalar,
     spmv_csr_vectorized,
 )
+from .kernels_ellpack import spmv_ellpack, spmv_ellpack_r, spmv_hybrid
 from .kernels_mkl import MKL_EFFICIENCY, spmv_csr_mkl
 from .kernels_sell import spmv_sell, spmv_sell_esb
 from .sell import SellMat
@@ -77,9 +84,13 @@ __all__ = [
     "CSR_BASELINE",
     "CSR_NOVEC",
     "CSR_PERM",
+    "ELLPACK_AVX512",
+    "ELLPACK_R_AVX512",
     "ESB_AVX512",
+    "ExecutionContext",
     "FIGURE11_VARIANTS",
     "FIGURE8_VARIANTS",
+    "HYBRID_AVX512",
     "KernelVariant",
     "MKL_CSR",
     "MKL_EFFICIENCY",
@@ -106,12 +117,17 @@ __all__ = [
     "predict_csr_counters",
     "predict_sell_counters",
     "predict",
+    "register_variant",
+    "registered_variants",
     "sell_multiply_transpose",
     "sell_traffic",
     "solve_sell_triangular",
     "simd_efficiency",
     "spmv",
     "spmv_baij",
+    "spmv_ellpack",
+    "spmv_ellpack_r",
+    "spmv_hybrid",
     "spmv_csr_compiler",
     "spmv_csr_transpose",
     "spmv_csr_mkl",

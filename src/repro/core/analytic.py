@@ -152,8 +152,8 @@ def predict_csr_counters(csr: AijMat, isa: Isa) -> KernelCounters:
     out.flops = (
         2 * n_body * lanes          # body FMAs
         + 2 * total_rem             # masked FMAs (active lanes)
-        + (m + tails) * (lanes - 1)  # horizontal reductions
     )
+    out.reduction_flops = (m + tails) * (lanes - 1)  # horizontal reductions
     out.bytes_loaded = (
         n_body * lanes * (8 + 4 + 8)  # values + indices + gathered x
         + tails * 0

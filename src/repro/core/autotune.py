@@ -14,11 +14,15 @@ pins that); on irregular matrices it discovers when sigma-sorting pays.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..machine.perf_model import PerfModel
 from ..mat.aij import AijMat
 from .dispatch import SELL_AVX512
 from .spmv import measure, predict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import ExecutionContext
 
 
 @dataclass(frozen=True)
@@ -54,20 +58,29 @@ class TuneResult:
 
 def tune_sell(
     csr: AijMat,
-    model: PerfModel,
-    nprocs: int,
+    model: PerfModel | None = None,
+    nprocs: int | None = None,
     slice_heights: tuple[int, ...] = (8, 16),
     sigmas: tuple[int, ...] = (1, 4, 16, 64),
     scale: float = 1.0,
+    ctx: "ExecutionContext | None" = None,
 ) -> TuneResult:
     """Sweep (C, sigma) and return the best modeled configuration.
 
     ``sigmas`` entries are interpreted as multiples of the slice height
     (sigma must divide into whole slices); sigma = 1 means no sorting.
     Candidates whose window would exceed the matrix are skipped.
+
+    Execution state comes either from an :class:`ExecutionContext` (which
+    also supplies its measurement cache and engine policy) or from an
+    explicit ``model`` + ``nprocs`` pair; passing neither is an error.
+    Prefer :meth:`ExecutionContext.tune`, which additionally memoizes the
+    whole sweep per sparsity signature.
     """
     if not slice_heights:
         raise ValueError("need at least one slice height")
+    if ctx is None and (model is None or nprocs is None):
+        raise ValueError("tune_sell needs a ctx or a model + nprocs pair")
     m = csr.shape[0]
     candidates: list[TuneCandidate] = []
     for c in slice_heights:
@@ -75,8 +88,12 @@ def tune_sell(
             sigma = 1 if sigma_factor == 1 else c * sigma_factor
             if sigma > max(m, 1) and sigma != 1:
                 continue
-            meas = measure(SELL_AVX512, csr, slice_height=c, sigma=sigma)
-            perf = predict(meas, model, nprocs=nprocs, scale=scale)
+            if ctx is not None:
+                meas = ctx.measure(SELL_AVX512, csr, slice_height=c, sigma=sigma)
+                perf = ctx.predict(meas, scale=scale)
+            else:
+                meas = measure(SELL_AVX512, csr, slice_height=c, sigma=sigma)
+                perf = predict(meas, model, nprocs=nprocs, scale=scale)
             candidates.append(
                 TuneCandidate(
                     slice_height=c,

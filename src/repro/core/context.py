@@ -1,0 +1,360 @@
+"""ExecutionContext: one object owning how kernels run and are priced.
+
+The paper's experiments are parameterized by a small bundle of execution
+state — which processor and memory mode (Table 1, Figure 4), how many
+ranks, which ISA the kernels were built for, whether alignment is strictly
+enforced (Section 3.1), and the SELL ``C``/``sigma`` knobs (Sections 5.1
+and 5.4).  Before this module that bundle was hand-threaded through every
+``measure()``/``predict()`` call; the :class:`ExecutionContext` carries it
+once and becomes the object callers hand around:
+
+* ``ctx.measure(variant, csr)`` — run a kernel under the context's policy,
+  memoized per (variant, configuration, matrix);
+* ``ctx.predict(meas)`` — price a measurement on the context's machine;
+* ``ctx.best_variant(csr)`` / ``ctx.tune(csr)`` — inspector-executor style
+  format selection and SELL parameter tuning, memoized per sparsity
+  signature (:func:`repro.mat.sparsity.signature`), so repeated solves on
+  the same stencil never re-sweep;
+* ``ctx.reformat(csr)`` — convert an assembled operator to the context's
+  chosen format, the seam the solver stack (``ksp``) uses to retune
+  operators per multigrid level.
+
+Contexts are cheap to derive (:meth:`with_nprocs`, :meth:`with_model`)
+and derived contexts share the measurement cache — engine measurements
+depend only on the kernel and the matrix, never on the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..machine.perf_model import (
+    KernelPerformance,
+    MemoryMode,
+    PerfModel,
+    make_model,
+)
+from ..machine.specs import KNL_7230, ProcessorSpec
+from ..mat.aij import AijMat
+from ..mat.base import Mat
+from ..mat.sparsity import signature
+from ..simd.engine import SimdEngine
+from ..simd.isa import ISAS, Isa, get_isa
+from .autotune import TuneResult, tune_sell
+from .dispatch import ALL_VARIANTS, KernelVariant, get_variant
+from .spmv import SpmvMeasurement
+from .spmv import measure as _measure
+from .spmv import predict as _predict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..mat.mpi_aij import MPIAij
+
+#: Preference order when picking the widest ISA a machine supports.
+_ISA_PREFERENCE = ("AVX512", "AVX2", "AVX", "SSE2", "novec")
+
+
+def _widest_isa(spec: ProcessorSpec) -> Isa:
+    """The widest ISA in the spec's supported set (Table 1's build target)."""
+    for name in _ISA_PREFERENCE:
+        if name in spec.isa_names:
+            return get_isa(name)
+    raise ValueError(f"{spec.name} supports none of the modeled ISAs")
+
+
+@dataclass
+class ExecutionContext:
+    """Execution policy + machine model + memoized tuning decisions.
+
+    Parameters
+    ----------
+    model:
+        The machine to price kernels on (processor spec + memory mode +
+        overlap rule).  Defaults to the paper's primary platform: KNL 7230
+        in flat-MCDRAM mode.
+    nprocs:
+        MPI ranks sharing the node.  Defaults to every core of the model's
+        processor (the full-node configuration of Figures 8/9/11).
+    isa:
+        The ISA kernels are built for.  Defaults to the widest ISA the
+        processor supports — the ``-march`` flag of the paper's builds.
+    strict_alignment:
+        When true, engines fault on misaligned aligned-ops
+        (Section 3.1's behavior) instead of degrading them.
+    slice_height / sigma:
+        Default SELL ``C`` and sorting window for format conversions and
+        measurements made through this context.
+    default_variant:
+        When set (a variant or legend name), :meth:`reformat` uses it
+        unconditionally; when ``None`` the autotuned
+        :meth:`best_variant` decides.
+    """
+
+    model: PerfModel = field(default_factory=lambda: make_model(KNL_7230))
+    nprocs: int | None = None
+    isa: Isa | None = None
+    strict_alignment: bool = False
+    slice_height: int = 8
+    sigma: int = 1
+    default_variant: KernelVariant | str | None = None
+
+    #: Autotune sweeps actually executed (cache misses); tests assert this
+    #: stays at one per sparsity signature across repeated solves.
+    autotune_sweeps: int = field(default=0, repr=False, compare=False)
+
+    _measure_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _tune_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _best_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.nprocs is None:
+            self.nprocs = self.model.spec.cores
+        if not 1 <= self.nprocs <= self.model.spec.cores:
+            raise ValueError(
+                f"nprocs {self.nprocs} out of range for "
+                f"{self.model.spec.name} ({self.model.spec.cores} cores)"
+            )
+        if self.isa is None:
+            self.isa = _widest_isa(self.model.spec)
+        if isinstance(self.default_variant, str):
+            self.default_variant = get_variant(self.default_variant)
+
+    # -- derived state -------------------------------------------------
+    @property
+    def spec(self) -> ProcessorSpec:
+        """The processor being modeled."""
+        return self.model.spec
+
+    @property
+    def memory_mode(self) -> MemoryMode:
+        """The node memory configuration (flat-MCDRAM, cache, DDR, ...)."""
+        return self.model.mode
+
+    def supports(self, variant: KernelVariant) -> bool:
+        """Whether this machine can run a kernel built for the variant's ISA."""
+        return variant.isa.name in self.spec.isa_names
+
+    def supported_variants(self) -> tuple[KernelVariant, ...]:
+        """Registered variants this machine can run, in name order."""
+        return tuple(
+            ALL_VARIANTS[name]
+            for name in sorted(ALL_VARIANTS)
+            if self.supports(ALL_VARIANTS[name])
+        )
+
+    # -- engines and measurement ---------------------------------------
+    def engine(self, isa: Isa | None = None) -> SimdEngine:
+        """A fresh engine under this context's alignment policy."""
+        return SimdEngine(
+            isa if isa is not None else self.isa,
+            strict_alignment=self.strict_alignment,
+        )
+
+    def measure(
+        self,
+        variant: KernelVariant | str,
+        csr: AijMat,
+        x: np.ndarray | None = None,
+        slice_height: int | None = None,
+        sigma: int | None = None,
+    ) -> SpmvMeasurement:
+        """Run one variant's kernel on one matrix under this context.
+
+        ``slice_height``/``sigma`` default to the context's.  Calls with
+        the default input vector are memoized — keyed by the variant, the
+        configuration, and a value-inclusive matrix signature — so figure
+        harnesses and repeated tuner sweeps share one engine execution.
+        """
+        if isinstance(variant, str):
+            variant = get_variant(variant)
+        c = self.slice_height if slice_height is None else slice_height
+        s = self.sigma if sigma is None else sigma
+        if x is not None:
+            return self._measure_once(variant, csr, x, c, s)
+        key = (
+            variant.name,
+            c,
+            s,
+            self.strict_alignment,
+            signature(csr, include_values=True),
+        )
+        hit = self._measure_cache.get(key)
+        if hit is None:
+            hit = self._measure_once(variant, csr, None, c, s)
+            self._measure_cache[key] = hit
+        return hit
+
+    def _measure_once(
+        self,
+        variant: KernelVariant,
+        csr: AijMat,
+        x: np.ndarray | None,
+        slice_height: int,
+        sigma: int,
+    ) -> SpmvMeasurement:
+        return _measure(
+            variant,
+            csr,
+            x,
+            slice_height=slice_height,
+            sigma=sigma,
+            strict_alignment=self.strict_alignment,
+            engine=self.engine(variant.isa),
+        )
+
+    def predict(
+        self,
+        measurement: SpmvMeasurement,
+        scale: float = 1.0,
+        working_set: int | None = None,
+    ) -> KernelPerformance:
+        """Price a measurement on this context's machine and rank count."""
+        return _predict(
+            measurement,
+            self.model,
+            nprocs=self.nprocs,
+            scale=scale,
+            working_set=working_set,
+        )
+
+    # -- tuning (the inspector step, memoized) -------------------------
+    def tune(
+        self,
+        csr: AijMat,
+        slice_heights: tuple[int, ...] = (8, 16),
+        sigmas: tuple[int, ...] = (1, 4, 16, 64),
+        scale: float = 1.0,
+    ) -> TuneResult:
+        """SELL (C, sigma) sweep, memoized per sparsity signature.
+
+        Instruction counts and padding are pure functions of the sparsity
+        *structure*, so the structural signature is the exact cache key:
+        reassembling the operator with new coefficients (every Newton step
+        of the Gray-Scott runs) hits the cache.
+        """
+        key = (signature(csr), slice_heights, sigmas, scale)
+        hit = self._tune_cache.get(key)
+        if hit is None:
+            self.autotune_sweeps += 1
+            hit = tune_sell(
+                csr,
+                slice_heights=slice_heights,
+                sigmas=sigmas,
+                scale=scale,
+                ctx=self,
+            )
+            self._tune_cache[key] = hit
+        return hit
+
+    def best_variant(
+        self,
+        csr: AijMat,
+        candidates: tuple[KernelVariant, ...] | None = None,
+        scale: float = 1.0,
+    ) -> KernelVariant:
+        """The fastest registered variant for this matrix on this machine.
+
+        Sweeps every supported registered variant (or ``candidates``),
+        pricing each measured kernel with the context's model, and caches
+        the winner per sparsity signature — the memoization that keeps
+        repeated solver iterations from ever re-running the sweep.
+        Variants whose conversion rejects the matrix (e.g. BAIJ on odd
+        dimensions) are skipped.
+        """
+        pool = self.supported_variants() if candidates is None else candidates
+        key = (signature(csr), tuple(v.name for v in pool), scale)
+        hit = self._best_cache.get(key)
+        if hit is not None:
+            return hit
+        self.autotune_sweeps += 1
+        best: KernelVariant | None = None
+        best_gflops = -1.0
+        for variant in pool:
+            try:
+                meas = self.measure(variant, csr)
+            except (ValueError, NotImplementedError):
+                continue  # format constraint (block size, mask support, ...)
+            perf = self.predict(meas, scale=scale)
+            if perf.gflops > best_gflops:
+                best, best_gflops = variant, perf.gflops
+        if best is None:
+            raise ValueError("no registered variant accepts this matrix")
+        self._best_cache[key] = best
+        return best
+
+    # -- format conversion (the executor step) -------------------------
+    def resolve_variant(self, csr: AijMat) -> KernelVariant:
+        """The variant :meth:`reformat` would use: default or autotuned."""
+        if self.default_variant is not None:
+            return self.default_variant  # type: ignore[return-value]
+        return self.best_variant(csr)
+
+    def reformat(self, csr: AijMat) -> Mat:
+        """Convert an assembled CSR operator to this context's format.
+
+        The chosen variant's registered format converter runs with the
+        context's ``C``/``sigma``; with no :attr:`default_variant` the
+        choice is the memoized :meth:`best_variant`.
+        """
+        variant = self.resolve_variant(csr)
+        return variant.prepare(
+            csr, slice_height=self.slice_height, sigma=self.sigma
+        )
+
+    def reformat_parallel(self, op: "MPIAij") -> "MPIAij":
+        """MatConvert for distributed operators (MPIAIJ -> MPISELL).
+
+        Chooses on the rank-local diagonal block (the part the
+        instruction-level kernels run on); non-SELL choices keep the
+        operator as is — the distributed layer only implements the
+        AIJ and SELL diagonal blocks, like PETSc's ``-dm_mat_type``.
+        """
+        from ..mat.mpi_sell import MPISell
+
+        if isinstance(op, MPISell):
+            return op
+        variant = (
+            self.default_variant
+            if self.default_variant is not None
+            else self.best_variant(op.diag.to_csr())
+        )
+        if variant.fmt == "SELL":  # type: ignore[union-attr]
+            return MPISell.from_mpiaij(
+                op, slice_height=self.slice_height, sigma=self.sigma
+            )
+        return op
+
+    # -- derivation ----------------------------------------------------
+    def with_nprocs(self, nprocs: int) -> "ExecutionContext":
+        """Same machine and policy at a different rank count.
+
+        Shares the measurement cache (engine measurements are
+        model-independent); tuning caches start fresh because the pricing
+        changed.
+        """
+        return self._derive(model=self.model, nprocs=nprocs)
+
+    def with_model(
+        self, model: PerfModel, nprocs: int | None = None
+    ) -> "ExecutionContext":
+        """Same policy on a different machine (ISA re-derived from it)."""
+        return self._derive(model=model, nprocs=nprocs)
+
+    def _derive(
+        self, model: PerfModel, nprocs: int | None
+    ) -> "ExecutionContext":
+        derived = ExecutionContext(
+            model=model,
+            nprocs=nprocs,
+            isa=None if model is not self.model else self.isa,
+            strict_alignment=self.strict_alignment,
+            slice_height=self.slice_height,
+            sigma=self.sigma,
+            default_variant=self.default_variant,
+        )
+        derived._measure_cache = self._measure_cache  # shared by design
+        return derived

@@ -5,19 +5,26 @@ plots needs: the matrix format conversion, the instruction-level kernel,
 the ISA it targets, and any library-efficiency factor (MKL).  The figure
 harnesses iterate these lists instead of hand-wiring format/ISA/kernel
 triples, so every figure names its series exactly as the paper does.
+
+Variants live in an open registry: :func:`register_variant` adds one
+(every built-in series below registers itself this way), the format
+conversion is dispatched through the :func:`~repro.mat.base.register_format`
+converter table, and :func:`get_variant` resolves legend names — so a new
+format/kernel pair is one ``register_format`` converter plus one
+``register_variant`` call, and it immediately shows up in shootouts,
+autotuning, and the registry-driven correctness tests.
 """
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..mat.aij import AijMat
-from ..mat.aij_perm import AijPermMat
-from ..mat.base import Mat
-from .esb import EsbMat
+from ..mat.base import Mat, converter_for
 from ..simd.counters import KernelCounters
 from ..simd.engine import SimdEngine
 from ..simd.isa import AVX, AVX2, AVX512, SCALAR, Isa
@@ -28,10 +35,14 @@ from .kernels_csr import (
     spmv_csr_vectorized,
 )
 from .kernels_baij import spmv_baij
+from .kernels_ellpack import spmv_ellpack, spmv_ellpack_r, spmv_hybrid
 from .kernels_mkl import MKL_EFFICIENCY, spmv_csr_mkl
 from .kernels_sell import spmv_sell, spmv_sell_esb
-from .sell import SellMat
 from .traffic import TrafficEstimate, traffic_for
+
+# Imported for their format-converter registrations (ESB registers "ESB",
+# the SELL registration rides in through the kernels' own imports).
+from . import esb as _esb  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -39,7 +50,7 @@ class KernelVariant:
     """One plotted series: format + kernel + ISA + efficiency."""
 
     name: str
-    fmt: str                      #: "CSR", "SELL", "CSRPerm", "MKL", "ESB"
+    fmt: str                      #: a registered format name ("CSR", "SELL", ...)
     isa: Isa
     kernel: Callable[[SimdEngine, Mat, np.ndarray, np.ndarray], None]
     efficiency: float = 1.0       #: time multiplier 1/efficiency at predict
@@ -47,28 +58,33 @@ class KernelVariant:
     def prepare(
         self, csr: AijMat, slice_height: int = 8, sigma: int = 1
     ) -> Mat:
-        """Convert the assembled CSR operator to this variant's format."""
-        if self.fmt in ("CSR", "MKL"):
-            return csr
-        if self.fmt == "CSRPerm":
-            return AijPermMat.from_csr(csr)
-        if self.fmt == "SELL":
-            return SellMat.from_csr(csr, slice_height=slice_height, sigma=sigma)
-        if self.fmt == "ESB":
-            return EsbMat.from_csr(csr, slice_height=slice_height, sigma=sigma)
-        if self.fmt == "BAIJ":
-            from ..mat.baij import BaijMat
+        """Convert the assembled CSR operator to this variant's format.
 
-            return BaijMat.from_csr(csr, 2)
-        raise ValueError(f"unknown format {self.fmt!r}")
+        Dispatches through the format-converter registry
+        (:func:`repro.mat.base.register_format`); formats without the
+        SELL tuning knobs ignore them.
+        """
+        return converter_for(self.fmt)(
+            csr, slice_height=slice_height, sigma=sigma
+        )
 
     def run(
-        self, mat: Mat, x: np.ndarray, strict_alignment: bool = False
+        self,
+        mat: Mat,
+        x: np.ndarray,
+        strict_alignment: bool = False,
+        engine: SimdEngine | None = None,
     ) -> tuple[np.ndarray, KernelCounters]:
-        """Execute the instruction-level kernel; return (y, counters)."""
+        """Execute the instruction-level kernel; return (y, counters).
+
+        ``engine`` lets an :class:`~repro.core.context.ExecutionContext`
+        supply its own (policy-carrying) engine; by default a fresh one is
+        built for this variant's ISA.
+        """
         from ..memory.spaces import aligned_alloc
 
-        engine = SimdEngine(self.isa, strict_alignment=strict_alignment)
+        if engine is None:
+            engine = SimdEngine(self.isa, strict_alignment=strict_alignment)
         # The output vector must sit on a cache-line boundary like every
         # PETSc Vec (Section 3.1); the SELL kernel stores to it aligned.
         y = aligned_alloc(mat.shape[0], np.float64, 64)
@@ -81,26 +97,100 @@ class KernelVariant:
 
 
 # ---------------------------------------------------------------------------
+# The registry.  ALL_VARIANTS is the live dict behind it, kept under its
+# historical name so existing callers (and figure legends) iterate it.
+# ---------------------------------------------------------------------------
+
+ALL_VARIANTS: dict[str, KernelVariant] = {}
+
+
+def register_variant(variant: KernelVariant) -> KernelVariant:
+    """Add a variant to the registry under its legend name.
+
+    Returns the variant so registration composes with assignment::
+
+        MINE = register_variant(KernelVariant("mine", "SELL", AVX512, my_kernel))
+
+    Re-registering the same object is a no-op; a *different* variant under
+    an existing name is an error (legend names are identities).
+    """
+    existing = ALL_VARIANTS.get(variant.name)
+    if existing is not None and existing != variant:
+        raise ValueError(f"variant {variant.name!r} is already registered")
+    ALL_VARIANTS[variant.name] = variant
+    return variant
+
+
+def registered_variants() -> tuple[KernelVariant, ...]:
+    """Every registered variant, in name order."""
+    return tuple(ALL_VARIANTS[name] for name in sorted(ALL_VARIANTS))
+
+
+def get_variant(name: str) -> KernelVariant:
+    """Look up a series by its legend name."""
+    if name not in ALL_VARIANTS:
+        close = difflib.get_close_matches(name, ALL_VARIANTS, n=1, cutoff=0.4)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise KeyError(
+            f"unknown variant {name!r}{hint} known: {sorted(ALL_VARIANTS)}"
+        )
+    return ALL_VARIANTS[name]
+
+
+# ---------------------------------------------------------------------------
 # The named series, exactly as the paper's legends spell them.
 # ---------------------------------------------------------------------------
 
-SELL_AVX512 = KernelVariant("SELL using AVX512", "SELL", AVX512, spmv_sell)
-SELL_AVX2 = KernelVariant("SELL using AVX2", "SELL", AVX2, spmv_sell)
-SELL_AVX = KernelVariant("SELL using AVX", "SELL", AVX, spmv_sell)
-SELL_NOVEC = KernelVariant("SELL using novec", "SELL", SCALAR, spmv_sell)
-CSR_AVX512 = KernelVariant("CSR using AVX512", "CSR", AVX512, spmv_csr_vectorized)
-CSR_AVX2 = KernelVariant("CSR using AVX2", "CSR", AVX2, spmv_csr_vectorized)
-CSR_AVX = KernelVariant("CSR using AVX", "CSR", AVX, spmv_csr_vectorized)
-CSR_NOVEC = KernelVariant("CSR using novec", "CSR", SCALAR, spmv_csr_scalar)
-CSR_PERM = KernelVariant("CSRPerm", "CSRPerm", AVX512, spmv_csr_perm)
-CSR_BASELINE = KernelVariant("CSR baseline", "CSR", AVX512, spmv_csr_compiler)
-MKL_CSR = KernelVariant(
-    "MKL CSR", "MKL", AVX512, spmv_csr_mkl, efficiency=MKL_EFFICIENCY
+SELL_AVX512 = register_variant(
+    KernelVariant("SELL using AVX512", "SELL", AVX512, spmv_sell)
 )
-ESB_AVX512 = KernelVariant("ESB using AVX512", "ESB", AVX512, spmv_sell_esb)
+SELL_AVX2 = register_variant(
+    KernelVariant("SELL using AVX2", "SELL", AVX2, spmv_sell)
+)
+SELL_AVX = register_variant(KernelVariant("SELL using AVX", "SELL", AVX, spmv_sell))
+SELL_NOVEC = register_variant(
+    KernelVariant("SELL using novec", "SELL", SCALAR, spmv_sell)
+)
+CSR_AVX512 = register_variant(
+    KernelVariant("CSR using AVX512", "CSR", AVX512, spmv_csr_vectorized)
+)
+CSR_AVX2 = register_variant(
+    KernelVariant("CSR using AVX2", "CSR", AVX2, spmv_csr_vectorized)
+)
+CSR_AVX = register_variant(
+    KernelVariant("CSR using AVX", "CSR", AVX, spmv_csr_vectorized)
+)
+CSR_NOVEC = register_variant(
+    KernelVariant("CSR using novec", "CSR", SCALAR, spmv_csr_scalar)
+)
+CSR_PERM = register_variant(
+    KernelVariant("CSRPerm", "CSRPerm", AVX512, spmv_csr_perm)
+)
+CSR_BASELINE = register_variant(
+    KernelVariant("CSR baseline", "CSR", AVX512, spmv_csr_compiler)
+)
+MKL_CSR = register_variant(
+    KernelVariant("MKL CSR", "MKL", AVX512, spmv_csr_mkl, efficiency=MKL_EFFICIENCY)
+)
+ESB_AVX512 = register_variant(
+    KernelVariant("ESB using AVX512", "ESB", AVX512, spmv_sell_esb)
+)
 #: Register blocking on wide registers (Section 3.2's cautionary tale);
 #: not a paper figure series, but the ablation compares it against SELL.
-BAIJ_AVX512 = KernelVariant("BAIJ using AVX512", "BAIJ", AVX512, spmv_baij)
+BAIJ_AVX512 = register_variant(
+    KernelVariant("BAIJ using AVX512", "BAIJ", AVX512, spmv_baij)
+)
+#: The GPU-era formats of Section 2.5, dispatchable so shootouts and
+#: ablations can price them against SELL on the same matrices.
+ELLPACK_AVX512 = register_variant(
+    KernelVariant("ELLPACK using AVX512", "ELLPACK", AVX512, spmv_ellpack)
+)
+ELLPACK_R_AVX512 = register_variant(
+    KernelVariant("ELLPACK-R using AVX512", "ELLPACK-R", AVX512, spmv_ellpack_r)
+)
+HYBRID_AVX512 = register_variant(
+    KernelVariant("HYB using AVX512", "HYB", AVX512, spmv_hybrid)
+)
 
 #: Figure 8's nine series, in the paper's legend order.
 FIGURE8_VARIANTS: tuple[KernelVariant, ...] = (
@@ -127,21 +217,3 @@ FIGURE11_VARIANTS: tuple[KernelVariant, ...] = (
     CSR_AVX512,
     SELL_AVX512,
 )
-
-ALL_VARIANTS: dict[str, KernelVariant] = {
-    v.name: v
-    for v in (
-        *FIGURE8_VARIANTS,
-        CSR_NOVEC,
-        SELL_NOVEC,
-        ESB_AVX512,
-        BAIJ_AVX512,
-    )
-}
-
-
-def get_variant(name: str) -> KernelVariant:
-    """Look up a series by its legend name."""
-    if name not in ALL_VARIANTS:
-        raise KeyError(f"unknown variant {name!r}; known: {sorted(ALL_VARIANTS)}")
-    return ALL_VARIANTS[name]

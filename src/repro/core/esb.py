@@ -15,6 +15,7 @@ import numpy as np
 
 from .sell import SellMat
 from ..mat.aij import AijMat
+from ..mat.base import register_format
 
 
 class EsbMat(SellMat):
@@ -98,3 +99,8 @@ class EsbMat(SellMat):
             self._row_of_element, weights=products, minlength=self.shape[0]
         )[: self.shape[0]]
         return y
+
+
+@register_format("ESB")
+def _esb_from_csr(csr: AijMat, *, slice_height: int = 8, sigma: int = 1) -> EsbMat:
+    return EsbMat.from_csr(csr, slice_height=slice_height, sigma=sigma)

@@ -1,0 +1,172 @@
+"""ELLPACK-family SpMV kernels (paper Section 2.5's GPU-era formats).
+
+Three kernels over the :class:`~repro.mat.ellpack.EllpackMat` /
+:class:`~repro.mat.hybrid.HybridMat` storage, written so the simulated
+engine can price them against SELL:
+
+* :func:`spmv_ellpack` — classic ELLPACK: vector registers span *rows*
+  (the column-major storage makes each column of the padded array a
+  contiguous load), every padded slot is multiplied, and the padding is
+  reported as ``padded_flops`` exactly like SELL's;
+* :func:`spmv_ellpack_r` — Vazquez et al.'s ELLPACK-R: the per-row length
+  array bounds each strip's inner loop and masks off padded lanes, so no
+  padded arithmetic executes — at the price of materializing one mask
+  register per column (AVX-512 only, like the ESB ablation kernel);
+* :func:`spmv_hybrid` — Bell & Garland's ELL+COO hybrid: the regular part
+  runs the ELLPACK kernel, the spilled tail entries run a scalar COO
+  accumulation (the CPU stand-in for the GPU's atomic path).
+
+The storage is column-major, so the strip of rows ``[r0, r0+lanes)`` at
+column ``j`` sits at flat offset ``j*m + r0`` of the Fortran-raveled
+arrays — memory order equals consumption order down the rows, the same
+property SELL engineers per slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mat.ellpack import EllpackMat
+from ..mat.hybrid import HybridMat
+from ..simd.engine import SimdEngine
+from ..simd.register import MaskRegister
+
+
+def _spmv_ellpack_scalar(
+    engine: SimdEngine, ell: EllpackMat, x: np.ndarray, y: np.ndarray
+) -> None:
+    """Scalar traversal of the padded layout (full width, padding included)."""
+    m = ell.shape[0]
+    width = ell.width
+    counters = engine.counters
+    for i in range(m):
+        acc = 0.0
+        for j in range(width):
+            v = engine.scalar_load(ell.val[:, j], i)
+            col = int(engine.scalar_load(ell.colidx[:, j], i))
+            xv = engine.scalar_load(x, col)
+            acc = engine.scalar_fma(v, xv, acc)
+        engine.scalar_store(y, i, acc)
+        counters.body_iterations += 1
+    counters.padded_flops += 2 * ell.padded_entries
+
+
+def spmv_ellpack(
+    engine: SimdEngine, ell: EllpackMat, x: np.ndarray, y: np.ndarray
+) -> None:
+    """Classic ELLPACK SpMV: vectorized down the rows of the padded array.
+
+    Every row runs the full padded width; padded slots multiply zeros
+    through a valid column index (the same Section 5.5 trick SELL uses),
+    and their arithmetic is recorded as ``padded_flops``.
+    """
+    if not engine.isa.is_vector:
+        _spmv_ellpack_scalar(engine, ell, x, y)
+        return
+    m = ell.shape[0]
+    lanes = engine.lanes
+    width = ell.width
+    # Fortran ravel is a contiguous view of the column-major storage.
+    valf = ell.val.ravel(order="F")
+    colf = ell.colidx.ravel(order="F")
+    counters = engine.counters
+    tail = m % lanes
+    full = m - tail
+    for r0 in range(0, full, lanes):
+        acc = engine.setzero()
+        for j in range(width):
+            off = j * m + r0
+            vec_vals = engine.load(valf, off)
+            vec_idx = engine.load_index(colf, off)
+            vec_x = engine.gather_auto(x, vec_idx)
+            acc = engine.fmadd_auto(vec_vals, vec_x, acc)
+            counters.body_iterations += 1
+        engine.store(y, r0, acc)
+    if tail:
+        if engine.isa.has_masks:
+            prefix = engine.make_mask(tail)
+            acc = engine.setzero()
+            for j in range(width):
+                off = j * m + full
+                vec_vals = engine.masked_load(valf, off, prefix)
+                vec_idx = engine.masked_load_index(colf, off, prefix)
+                vec_x = engine.masked_gather(x, vec_idx, prefix)
+                acc = engine.masked_fmadd(vec_vals, vec_x, acc, prefix)
+                counters.remainder_iterations += 1
+            engine.masked_store(y, full, acc, prefix)
+        else:
+            for i in range(full, m):
+                acc = 0.0
+                for j in range(width):
+                    v = engine.scalar_load(ell.val[:, j], i)
+                    col = int(engine.scalar_load(ell.colidx[:, j], i))
+                    xv = engine.scalar_load(x, col)
+                    acc = engine.scalar_fma(v, xv, acc)
+                engine.scalar_store(y, i, acc)
+                counters.remainder_iterations += 1
+    counters.padded_flops += 2 * ell.padded_entries
+
+
+def spmv_ellpack_r(
+    engine: SimdEngine, ell: EllpackMat, x: np.ndarray, y: np.ndarray
+) -> None:
+    """ELLPACK-R SpMV: the ``rlen`` array masks off all padded arithmetic.
+
+    Each row strip runs only to its own longest row, and every column
+    materializes a mask of the lanes still inside their row — built from
+    ``rlen`` like the ESB kernel builds its masks from the bit array, so
+    no padded flop ever executes (``padded_flops`` stays zero).  Requires
+    mask support (AVX-512).
+    """
+    engine.isa.require("masks")
+    m = ell.shape[0]
+    lanes = engine.lanes
+    valf = ell.val.ravel(order="F")
+    colf = ell.colidx.ravel(order="F")
+    rlen = ell.rlen
+    counters = engine.counters
+    for r0 in range(0, m, lanes):
+        active = min(lanes, m - r0)
+        strip_rlen = rlen[r0 : r0 + active]
+        strip_width = int(strip_rlen.max()) if active else 0
+        prefix = engine.make_mask(active)
+        acc = engine.setzero()
+        for j in range(strip_width):
+            off = j * m + r0
+            # Materialize the lanes-still-active mask from rlen.
+            bits = np.zeros(lanes, dtype=bool)
+            bits[:active] = strip_rlen > j
+            counters.mask_setup += 1
+            mask = MaskRegister(bits)
+            vec_vals = engine.masked_load(valf, off, prefix)
+            vec_idx = engine.masked_load_index(colf, off, prefix)
+            vec_x = engine.masked_gather(x, vec_idx, mask)
+            acc = engine.masked_fmadd(vec_vals, vec_x, acc, mask)
+            counters.body_iterations += 1
+        if active == lanes:
+            engine.store(y, r0, acc)
+        else:
+            engine.masked_store(y, r0, acc, prefix)
+
+
+def spmv_hybrid(
+    engine: SimdEngine, hyb: HybridMat, x: np.ndarray, y: np.ndarray
+) -> None:
+    """Hybrid ELL+COO SpMV: vector ELLPACK part plus a scalar COO spill.
+
+    The ELL part carries the regular bulk through :func:`spmv_ellpack`;
+    the spilled tail entries accumulate scalar-wise into ``y`` — a
+    read-modify-write per triplet, the serialization the hybrid accepts
+    in exchange for a narrow padded width.
+    """
+    spmv_ellpack(engine, hyb.ell, x, y)
+    coo = hyb.coo
+    counters = engine.counters
+    for k in range(coo.nnz):
+        v = engine.scalar_load(coo.vals, k)
+        col = int(engine.scalar_load(coo.cols, k))
+        row = int(engine.scalar_load(coo.rows, k))
+        xv = engine.scalar_load(x, col)
+        cur = engine.scalar_load(y, row)
+        engine.scalar_store(y, row, engine.scalar_fma(v, xv, cur))
+        counters.remainder_iterations += 1

@@ -32,7 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mat.aij import AijMat
-from ..mat.base import Mat
+from ..mat.base import Mat, register_format
 from ..memory.spaces import aligned_alloc
 
 
@@ -311,3 +311,8 @@ class SellMat(Mat):
                 if hits.size:
                     diag[row] = self.val[hits].sum()
         return diag
+
+
+@register_format("SELL")
+def _sell_from_csr(csr: AijMat, *, slice_height: int = 8, sigma: int = 1) -> SellMat:
+    return SellMat.from_csr(csr, slice_height=slice_height, sigma=sigma)

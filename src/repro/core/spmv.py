@@ -23,6 +23,7 @@ from ..machine.perf_model import KernelPerformance, PerfModel
 from ..mat.aij import AijMat
 from ..mat.base import Mat
 from ..simd.counters import KernelCounters
+from ..simd.engine import SimdEngine
 from .dispatch import KernelVariant, get_variant
 from .traffic import TrafficEstimate, traffic_for
 
@@ -55,19 +56,24 @@ def measure(
     slice_height: int = 8,
     sigma: int = 1,
     strict_alignment: bool = False,
+    engine: "SimdEngine | None" = None,
 ) -> SpmvMeasurement:
     """Convert, execute, and account one kernel variant on one matrix.
 
     ``x`` defaults to a reproducible random vector.  The returned ``y`` is
     exact (the engine performs real arithmetic), so callers can verify it
     against ``csr.multiply(x)`` — the measurement doubles as a test.
+    ``engine`` lets an :class:`~repro.core.context.ExecutionContext` supply
+    a policy-carrying engine instead of the default per-call one.
     """
     if isinstance(variant, str):
         variant = get_variant(variant)
     if x is None:
         x = np.random.default_rng(12345).standard_normal(csr.shape[1])
     mat = variant.prepare(csr, slice_height=slice_height, sigma=sigma)
-    y, counters = variant.run(mat, x, strict_alignment=strict_alignment)
+    y, counters = variant.run(
+        mat, x, strict_alignment=strict_alignment, engine=engine
+    )
     return SpmvMeasurement(
         variant=variant,
         mat=mat,
@@ -92,6 +98,12 @@ def predict(
     Section 7.1's observation).  ``working_set`` feeds the cache-mode
     blend; when omitted it defaults to the scaled matrix footprint plus
     vectors.
+
+    The Gflop/s numerator comes from the *measured* counters
+    (``counters.flops - counters.padded_flops``), so formats whose padding
+    accounting differs from the analytic traffic model (ESB executes no
+    padded arithmetic, plain ELLPACK executes all of it) report exactly
+    what :attr:`SpmvMeasurement.useful_flops` reports.
     """
     counters = (
         measurement.counters if scale == 1.0 else measurement.counters.scaled(scale)
@@ -109,5 +121,5 @@ def predict(
         traffic_bytes=traffic_bytes,
         working_set=working_set,
         efficiency=measurement.variant.efficiency,
-        useful_flops=round(measurement.traffic.flops * scale),
+        useful_flops=round(measurement.useful_flops * scale),
     )

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.context import ExecutionContext
 
 
 class LinearOperator(Protocol):
@@ -112,12 +115,35 @@ class KSP:
     Subclasses implement :meth:`solve`.  Tolerances follow PETSc: converge
     when the preconditioned residual norm drops below
     ``max(rtol * ||r0||, atol)``.
+
+    When a :class:`~repro.core.context.ExecutionContext` is attached, an
+    assembled CSR operator handed to :meth:`solve` is reformatted through
+    the context (the ``-dm_mat_type sell`` swap under an unchanged
+    application); the context's autotune memoization makes repeated solves
+    on the same stencil reuse the original format decision.
     """
 
     rtol: float = 1.0e-8
     atol: float = 1.0e-50
     max_it: int = 10000
     monitor: Callable[[int, float], None] | None = None
+    context: "ExecutionContext | None" = None
+
+    def _resolve_operator(self, op: LinearOperator) -> LinearOperator:
+        """Reformat a bare CSR operator through the attached context.
+
+        Only the assembled :class:`~repro.mat.aij.AijMat` is converted;
+        wrapped or already-converted operators pass through untouched (a
+        caller who wrapped an operator in a
+        :class:`CountingOperator` keeps exactly that object's counters).
+        """
+        if self.context is None:
+            return op
+        from ..mat.aij import AijMat
+
+        if isinstance(op, AijMat):
+            return self.context.reformat(op)
+        return op
 
     def _check_system(self, op: LinearOperator, b: np.ndarray) -> None:
         m, n = op.shape

@@ -24,6 +24,7 @@ class CG(KSP):
         self, op: LinearOperator, b: np.ndarray, x0: np.ndarray | None = None
     ) -> KSPResult:
         """Solve A x = b for SPD A."""
+        op = self._resolve_operator(op)
         self._check_system(op, b)
         n = b.shape[0]
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)

@@ -28,6 +28,7 @@ class GMRES(KSP):
         self, op: LinearOperator, b: np.ndarray, x0: np.ndarray | None = None
     ) -> KSPResult:
         """Solve A x = b from ``x0`` (zero when omitted)."""
+        op = self._resolve_operator(op)
         self._check_system(op, b)
         if self.restart < 1:
             raise ValueError("restart length must be positive")

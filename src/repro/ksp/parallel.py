@@ -22,13 +22,16 @@ rank count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..mat.mpi_aij import MPIAij
 from ..vec.mpi_vec import MPIVec
 from .base import ConvergedReason, KSPResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.context import ExecutionContext
 
 
 class ParallelIdentityPC:
@@ -100,7 +103,12 @@ class ParallelBlockJacobiPC:
 
 @dataclass
 class ParallelGMRES:
-    """Restarted GMRES on distributed vectors (left preconditioning)."""
+    """Restarted GMRES on distributed vectors (left preconditioning).
+
+    An attached :class:`~repro.core.context.ExecutionContext` reformats
+    the distributed operator on entry (``MPIAIJ -> MPISELL`` when the
+    context's choice is SELL), mirroring the sequential solvers.
+    """
 
     rtol: float = 1.0e-8
     atol: float = 1.0e-50
@@ -108,6 +116,7 @@ class ParallelGMRES:
     restart: int = 30
     pc: object = field(default_factory=ParallelIdentityPC)
     monitor: Callable[[int, float], None] | None = None
+    context: "ExecutionContext | None" = None
 
     def solve(
         self, op: MPIAij, b: MPIVec, x0: MPIVec | None = None
@@ -120,6 +129,8 @@ class ParallelGMRES:
         """
         if self.restart < 1:
             raise ValueError("restart length must be positive")
+        if self.context is not None:
+            op = self.context.reformat_parallel(op)
         x = b.duplicate() if x0 is None else x0.copy()
         self.pc.setup(op)
 
@@ -218,11 +229,14 @@ class ParallelRichardson:
     rtol: float = 1.0e-8
     atol: float = 1.0e-50
     pc: object = field(default_factory=ParallelIdentityPC)
+    context: "ExecutionContext | None" = None
 
     def solve(
         self, op: MPIAij, b: MPIVec, x0: MPIVec | None = None
     ) -> KSPResult:
         """Run up to ``max_it`` preconditioned Richardson sweeps."""
+        if self.context is not None:
+            op = self.context.reformat_parallel(op)
         x = b.duplicate() if x0 is None else x0.copy()
         self.pc.setup(op)
         norms: list[float] = []

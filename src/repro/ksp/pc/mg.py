@@ -21,13 +21,16 @@ Pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ...mat.aij import AijMat
 from ...pde.grid import Grid2D
 from ..base import CountingOperator, LinearOperator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...core.context import ExecutionContext
 
 
 def csr_matmul(a: AijMat, b: AijMat) -> AijMat:
@@ -160,6 +163,13 @@ class MGPC:
         ``-mg_coarse_pc_type jacobi``).
     cycle:
         ``"v"`` or ``"w"``.
+    context:
+        Optional :class:`~repro.core.context.ExecutionContext`.  When
+        attached, every *coarse* level's assembled operator is reformatted
+        (and, absent a default variant, autotuned) through the context —
+        each level gets its own format decision, memoized per that level's
+        sparsity signature.  The finest level keeps the caller's operator
+        untouched, exactly like the caller-configured ``-dm_mat_type``.
     """
 
     def __init__(
@@ -171,6 +181,7 @@ class MGPC:
         omega: float = 2.0 / 3.0,
         coarse_sweeps: int = 8,
         cycle: str = "v",
+        context: "ExecutionContext | None" = None,
     ):
         if cycle not in ("v", "w"):
             raise ValueError("cycle must be 'v' or 'w'")
@@ -183,6 +194,7 @@ class MGPC:
         self.omega = omega
         self.coarse_sweeps = coarse_sweeps
         self.cycle = cycle
+        self.context = context
         self.levels: list[MGLevel] = []
 
     # -- setup ----------------------------------------------------------
@@ -217,8 +229,14 @@ class MGPC:
         # with whatever format (CSR or SELL) the caller configured.
         self.levels.append(self._make_level(op, None, None))
         for lvl in range(1, len(self.grids)):
+            # Coarse operators stay CSR through the Galerkin products
+            # above; only the *level* operator the smoother applies is
+            # reformatted, each level tuned on its own sparsity.
+            level_op: LinearOperator = ops[lvl]
+            if self.context is not None:
+                level_op = self.context.reformat(ops[lvl])
             self.levels.append(
-                self._make_level(ops[lvl], prolongations[lvl], restrictions[lvl])
+                self._make_level(level_op, prolongations[lvl], restrictions[lvl])
             )
 
     def _make_level(

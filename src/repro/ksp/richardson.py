@@ -28,6 +28,7 @@ class Richardson(KSP):
         self, op: LinearOperator, b: np.ndarray, x0: np.ndarray | None = None
     ) -> KSPResult:
         """Run up to ``max_it`` sweeps (smoothers run a fixed count)."""
+        op = self._resolve_operator(op)
         self._check_system(op, b)
         n = b.shape[0]
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)

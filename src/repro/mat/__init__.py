@@ -10,7 +10,14 @@ from .aij import AijMat
 from .aij_perm import AijPermMat
 from .assembly import AssemblyStats, InsertMode, MatAssembler, PreallocationError
 from .baij import BaijMat
-from .base import Mat, MatrixShapeError
+from .base import (
+    Mat,
+    MatrixShapeError,
+    UnknownFormatError,
+    converter_for,
+    register_format,
+    registered_formats,
+)
 from .coo import CooMat
 from .ellpack import EllpackMat
 from .hybrid import HybridMat
@@ -28,6 +35,7 @@ from .sparsity import (
     locality_span,
     padding_ratio,
     profile,
+    signature,
     sliced_padding,
 )
 
@@ -50,6 +58,8 @@ __all__ = [
     "MatrixShapeError",
     "PreallocationError",
     "SparsityProfile",
+    "UnknownFormatError",
+    "converter_for",
     "dumps",
     "ellpack_padding",
     "loads",
@@ -57,6 +67,9 @@ __all__ = [
     "padding_ratio",
     "profile",
     "read_matrix_market",
+    "register_format",
+    "registered_formats",
+    "signature",
     "sliced_padding",
     "split_local_rows",
     "write_matrix_market",

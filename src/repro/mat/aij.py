@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..memory.spaces import aligned_alloc
-from .base import Mat
+from .base import Mat, register_format
 
 
 class AijMat(Mat):
@@ -199,3 +199,11 @@ class AijMat(Mat):
         ):
             return bool(np.allclose(a.val, b.val, rtol=0.0, atol=tol))
         return bool(np.allclose(a.to_dense(), b.to_dense(), rtol=0.0, atol=tol))
+
+
+# CSR is the assembled format, so conversion is the identity.  "AIJ" is the
+# PETSc spelling; "MKL" runs the inspector-executor path on the same CSR
+# arrays (the library never reformats, it only re-schedules).
+@register_format("CSR", "AIJ", "MKL")
+def _csr_identity(csr: AijMat, *, slice_height: int = 8, sigma: int = 1) -> AijMat:
+    return csr

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from .aij import AijMat
-from .base import Mat
+from .base import Mat, register_format
 
 
 class AijPermMat(Mat):
@@ -89,3 +89,10 @@ class AijPermMat(Mat):
             + self.group_starts.shape[0] * 8
             + self.group_lengths.shape[0] * 8
         )
+
+
+@register_format("CSRPerm")
+def _csrperm_from_csr(
+    csr: AijMat, *, slice_height: int = 8, sigma: int = 1
+) -> AijPermMat:
+    return AijPermMat.from_csr(csr)

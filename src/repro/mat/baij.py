@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from .aij import AijMat
-from .base import Mat
+from .base import Mat, register_format
 
 
 class BaijMat(Mat):
@@ -144,3 +144,9 @@ class BaijMat(Mat):
     def memory_bytes(self) -> int:
         # Dense blocks (8B/entry) + one 4B index per block + 8B per block row.
         return int(self.val.size * 8 + self.nblocks * 4 + self.browptr.shape[0] * 8)
+
+
+# Block size 2: the Gray-Scott Jacobian's natural (u, v) blocks.
+@register_format("BAIJ")
+def _baij_from_csr(csr: AijMat, *, slice_height: int = 8, sigma: int = 1) -> BaijMat:
+    return BaijMat.from_csr(csr, 2)

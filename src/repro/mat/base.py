@@ -17,16 +17,72 @@ into an unchanged application).  This base class is that contract:
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .aij import AijMat
 
+#: A format converter: assembled CSR in, format-specific Mat out.  The two
+#: keyword parameters are the SELL-C-sigma tuning knobs; converters for
+#: formats without those knobs simply ignore them.
+FormatConverter = Callable[..., "Mat"]
+
+_FORMAT_CONVERTERS: dict[str, FormatConverter] = {}
+
 
 class MatrixShapeError(ValueError):
     """A vector did not conform to the matrix dimensions."""
+
+
+class UnknownFormatError(KeyError):
+    """No converter is registered under the requested format name."""
+
+
+def register_format(*names: str) -> Callable[[FormatConverter], FormatConverter]:
+    """Register a CSR-to-format converter under one or more format names.
+
+    This is PETSc's ``MatConvert`` dispatch table in miniature: the
+    :meth:`KernelVariant.prepare` step looks converters up by the variant's
+    ``fmt`` string instead of hard-coding an if-chain, so adding a format is
+    one decorated definition next to the Mat subclass it builds::
+
+        @register_format("SELL")
+        def _sell_from_csr(csr, *, slice_height=8, sigma=1):
+            return SellMat.from_csr(csr, slice_height=slice_height, sigma=sigma)
+
+    Converters take the assembled CSR operator plus the keyword tuning
+    knobs ``slice_height`` and ``sigma`` (ignored by formats without them)
+    and return the converted :class:`Mat`.
+    """
+    if not names:
+        raise ValueError("register_format needs at least one format name")
+
+    def deco(converter: FormatConverter) -> FormatConverter:
+        for name in names:
+            existing = _FORMAT_CONVERTERS.get(name)
+            if existing is not None and existing is not converter:
+                raise ValueError(f"format {name!r} is already registered")
+            _FORMAT_CONVERTERS[name] = converter
+        return converter
+
+    return deco
+
+
+def converter_for(fmt: str) -> FormatConverter:
+    """Look up the registered converter for a format name."""
+    try:
+        return _FORMAT_CONVERTERS[fmt]
+    except KeyError:
+        raise UnknownFormatError(
+            f"unknown format {fmt!r}; registered: {sorted(_FORMAT_CONVERTERS)}"
+        ) from None
+
+
+def registered_formats() -> tuple[str, ...]:
+    """The format names currently in the converter registry, sorted."""
+    return tuple(sorted(_FORMAT_CONVERTERS))
 
 
 class Mat(abc.ABC):

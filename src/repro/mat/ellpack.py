@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from .aij import AijMat
-from .base import Mat
+from .base import Mat, register_format
 
 
 class EllpackMat(Mat):
@@ -133,3 +133,13 @@ class EllpackMat(Mat):
     def memory_bytes(self) -> int:
         # Padded val (8B) + colidx (4B) slots, plus the rlen array (8B/row).
         return int(self.val.size * 12 + self.rlen.shape[0] * 8)
+
+
+# ELLPACK and ELLPACK-R share the storage (EllpackMat always carries the
+# rlen array); the two registrations exist because the *kernels* differ —
+# ELLPACK multiplies padding, ELLPACK-R masks it off per rlen.
+@register_format("ELLPACK", "ELLPACK-R")
+def _ellpack_from_csr(
+    csr: AijMat, *, slice_height: int = 8, sigma: int = 1
+) -> EllpackMat:
+    return EllpackMat.from_csr(csr)

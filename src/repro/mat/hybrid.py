@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .aij import AijMat
-from .base import Mat
+from .base import Mat, register_format
 from .coo import CooMat
 from .ellpack import EllpackMat
 
@@ -109,3 +109,10 @@ class HybridMat(Mat):
 
     def memory_bytes(self) -> int:
         return self.ell.memory_bytes() + self.coo.memory_bytes()
+
+
+@register_format("HYB")
+def _hybrid_from_csr(
+    csr: AijMat, *, slice_height: int = 8, sigma: int = 1
+) -> HybridMat:
+    return HybridMat.from_csr(csr)

@@ -9,6 +9,7 @@ quantities so the ablation benchmarks can report them alongside timing.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,6 +50,30 @@ def profile(csr: AijMat) -> SparsityProfile:
         mean_row=float(lengths.mean()),
         std_row=float(lengths.std()),
     )
+
+
+def signature(csr: AijMat, include_values: bool = False) -> str:
+    """Stable hash of the sparsity structure (optionally the values too).
+
+    Two matrices share a signature exactly when they have the same shape,
+    row pointer, and column indices — the quantities every instruction
+    count, padding figure, and traffic estimate in this package is a pure
+    function of.  That makes the signature the natural memoization key for
+    autotuning: an operator reassembled with new coefficients on the same
+    stencil keeps its signature, so repeated solves never re-sweep.
+
+    ``include_values=True`` additionally hashes the stored values, for
+    caches whose payload depends on the numbers (e.g. matvec results).
+    """
+    h = hashlib.sha1()
+    m, n = csr.shape
+    h.update(f"{m}x{n}:".encode())
+    h.update(np.ascontiguousarray(csr.rowptr).tobytes())
+    h.update(np.ascontiguousarray(csr.colidx).tobytes())
+    if include_values:
+        h.update(b"+vals:")
+        h.update(np.ascontiguousarray(csr.val).tobytes())
+    return h.hexdigest()
 
 
 def ellpack_padding(csr: AijMat) -> int:

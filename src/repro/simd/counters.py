@@ -79,8 +79,13 @@ class KernelCounters:
     bytes_stored: int = 0
 
     # -- arithmetic work --------------------------------------------------
-    flops: int = 0                #: useful double-precision flops (2 per nnz)
+    flops: int = 0                #: double-precision flops of the SpMV products
     padded_flops: int = 0         #: flops spent on SELL padding zeros
+    # Horizontal-reduction arithmetic (the log2(lanes) shuffle+add steps of
+    # a ``reduce_add``) is real work the core performs but not useful SpMV
+    # arithmetic in PETSc's flop-logging sense; it is accounted separately
+    # so ``flops - padded_flops`` is exactly the useful 2*nnz quantity.
+    reduction_flops: int = 0      #: flops spent in horizontal reductions
 
     def __add__(self, other: "KernelCounters") -> "KernelCounters":
         if not isinstance(other, KernelCounters):

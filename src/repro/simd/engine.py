@@ -340,9 +340,14 @@ class SimdEngine:
         return self.mul_add(a, b, c)
 
     def reduce_add(self, reg: VectorRegister) -> float:
-        """Horizontal sum of all lanes (log2(lanes) shuffle+add steps)."""
+        """Horizontal sum of all lanes (log2(lanes) shuffle+add steps).
+
+        The lanes-1 adds are charged to ``reduction_flops``, not ``flops``:
+        they are auxiliary arithmetic the kernel structure imposes, not
+        useful SpMV work (PETSc's flop logging counts 2 per nonzero only).
+        """
         self.counters.vector_reduce += 1
-        self.counters.flops += max(reg.lanes - 1, 0)
+        self.counters.reduction_flops += max(reg.lanes - 1, 0)
         return float(np.sum(reg.data))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""Figure values pinned against the pre-ExecutionContext harness.
+
+The context refactor rewired how the figures build their machine models
+and measurements; these tests assert bit-identical series values against
+a fixture captured before the refactor, so any numerical drift in the
+dispatch/measure/predict plumbing is caught immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import fig8, fig9, fig11
+
+FIXTURE = Path(__file__).parent / "data" / "pre_refactor_series.json"
+
+
+@pytest.fixture(scope="module")
+def pinned() -> dict:
+    with FIXTURE.open() as f:
+        return json.load(f)
+
+
+def test_fig8_series_identical(pinned):
+    current = {
+        name: [[int(nprocs), gflops] for nprocs, gflops in points]
+        for name, points in fig8.run().items()
+    }
+    assert current == pinned["fig8"]
+
+
+def test_fig9_points_identical(pinned):
+    current = [
+        {"label": pt.label, "intensity": pt.intensity, "gflops": pt.gflops}
+        for pt in fig9.run()
+    ]
+    assert current == pinned["fig9"]
+
+
+def test_fig11_table_identical(pinned):
+    assert fig11.run() == pinned["fig11"]

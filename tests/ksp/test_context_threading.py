@@ -1,0 +1,107 @@
+"""ExecutionContext threaded through the solver stack (ksp + MG).
+
+The context is the ``-mat_type``/``-dm_mat_type`` seam: sequential Krylov
+solvers reformat a bare CSR operator on entry, the multigrid
+preconditioner reformats (and autotunes) each coarse level's Galerkin
+operator, and repeated setups on the same stencil never re-sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.core.dispatch import CSR_BASELINE, SELL_AVX512
+from repro.core.sell import SellMat
+from repro.ksp.cg import CG
+from repro.ksp.gmres import GMRES
+from repro.ksp.pc.mg import MGPC
+from repro.ksp.richardson import Richardson
+from repro.mat.aij import AijMat
+from repro.pde.grid import Grid2D
+from repro.pde.problems import gray_scott_jacobian, spd_laplacian
+
+from .test_mg import shifted_laplacian
+
+
+@pytest.fixture
+def system():
+    a = gray_scott_jacobian(8)
+    rng = np.random.default_rng(3)
+    b = rng.standard_normal(a.shape[0])
+    return a, b
+
+
+class TestSequentialSolvers:
+    def test_gmres_reformats_and_matches_plain_solve(self, system):
+        a, b = system
+        plain = GMRES(rtol=1e-10).solve(a, b)
+        ctx = ExecutionContext(default_variant=SELL_AVX512)
+        reformatted = GMRES(rtol=1e-10, context=ctx).solve(a, b)
+        assert reformatted.iterations == plain.iterations
+        np.testing.assert_allclose(reformatted.x, plain.x, rtol=1e-8)
+
+    def test_autotuning_context_solves_correctly(self, system):
+        a, b = system
+        ctx = ExecutionContext()
+        result = GMRES(rtol=1e-10, context=ctx).solve(a, b)
+        assert ctx.autotune_sweeps == 1
+        np.testing.assert_allclose(a.multiply(result.x), b, atol=1e-6)
+
+    def test_cg_and_richardson_accept_a_context(self):
+        a = spd_laplacian(8)
+        b = np.ones(a.shape[0])
+        ctx = ExecutionContext(default_variant=SELL_AVX512)
+        x_cg = CG(rtol=1e-10, max_it=500, context=ctx).solve(a, b).x
+        np.testing.assert_allclose(a.multiply(x_cg), b, atol=1e-6)
+        plain = Richardson(scale=0.2, max_it=5).solve(a, b)
+        with_ctx = Richardson(scale=0.2, max_it=5, context=ctx).solve(a, b)
+        np.testing.assert_allclose(with_ctx.x, plain.x, rtol=1e-12)
+
+    def test_no_context_leaves_the_operator_alone(self, system):
+        a, _ = system
+        assert GMRES()._resolve_operator(a) is a
+
+
+class TestMultigridThreading:
+    def make_hierarchy(self, n: int = 16, levels: int = 3):
+        grid = Grid2D(n, n)
+        return shifted_laplacian(grid), grid.hierarchy(levels)
+
+    def test_coarse_levels_reformatted_finest_untouched(self):
+        a, grids = self.make_hierarchy()
+        ctx = ExecutionContext(default_variant=SELL_AVX512)
+        mg = MGPC(grids=grids, context=ctx)
+        mg.setup(a)
+        assert isinstance(mg.levels[0].op.inner, AijMat)
+        for level in mg.levels[1:]:
+            assert isinstance(level.op.inner, SellMat)
+
+    def test_each_level_tunes_once_and_resetup_hits_the_cache(self):
+        a, grids = self.make_hierarchy()
+        ctx = ExecutionContext()
+        mg = MGPC(grids=grids, context=ctx)
+        mg.setup(a)
+        sweeps = ctx.autotune_sweeps
+        assert sweeps == len(grids) - 1  # one per coarse-level signature
+        mg.setup(a)  # Newton reassembly: same structure, no new sweeps
+        assert ctx.autotune_sweeps == sweeps
+
+    def test_context_mg_preserves_the_solve(self):
+        a, grids = self.make_hierarchy()
+        b = np.ones(a.shape[0])
+        plain = GMRES(pc=MGPC(grids=grids), rtol=1e-10).solve(a, b)
+        ctx = ExecutionContext(default_variant=SELL_AVX512)
+        threaded = GMRES(pc=MGPC(grids=grids, context=ctx), rtol=1e-10).solve(
+            a, b
+        )
+        assert threaded.iterations == plain.iterations
+        np.testing.assert_allclose(threaded.x, plain.x, rtol=1e-8)
+
+    def test_mg_without_context_stays_csr(self):
+        a, grids = self.make_hierarchy()
+        mg = MGPC(grids=grids)
+        mg.setup(a)
+        for level in mg.levels:
+            assert isinstance(level.op.inner, AijMat)
