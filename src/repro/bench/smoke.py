@@ -1,0 +1,143 @@
+"""Benchmark smoke run: interpreted vs. replayed ``measure()`` wall time.
+
+``python -m repro.bench.smoke`` times one full :func:`repro.core.spmv`
+measurement of the default variant sweep on a reference 64x64-grid
+Gray-Scott operator twice — once forcing interpreted execution
+(``use_traces=False``) and once through the record/replay path with a warm
+trace cache — and writes ``BENCH_spmv_measure.json`` with the wall seconds
+and the speedup.  CI runs it on every push, seeding the performance
+trajectory; the job fails if replay is not at least ``MIN_SPEEDUP`` times
+faster, so a regression that silently falls back to interpretation (e.g. a
+kernel change the trace layer cannot represent) turns the build red.
+
+The replayed timing measures steady-state replays: the trace is recorded
+(and its cost excluded) before the timed loop, matching how the figure
+harnesses amortize recording across a variant sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.context import ExecutionContext
+from ..core.dispatch import get_variant
+from ..pde.problems import gray_scott_jacobian
+
+#: Grid edge for the smoke matrix: big enough that interpretation visibly
+#: hurts (81920 rows x 10 nnz), small enough for a CI smoke job.
+SMOKE_GRID = 64
+
+#: The variant the smoke job times (the paper's headline kernel).
+SMOKE_VARIANT = "SELL using AVX512"
+
+#: Replays per timing loop; the reported seconds are per measurement.
+REPEATS = 3
+
+#: Acceptance floor on the replay speedup (the ISSUE's >= 10x criterion).
+MIN_SPEEDUP = 10.0
+
+
+@dataclass(frozen=True)
+class SmokeResult:
+    """One interpreted-vs-replayed timing comparison."""
+
+    grid: int
+    variant: str
+    rows: int
+    nnz: int
+    interpreted_seconds: float
+    replayed_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.replayed_seconds <= 0:
+            return float("inf")
+        return self.interpreted_seconds / self.replayed_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "bench": "spmv_measure",
+            "grid": self.grid,
+            "variant": self.variant,
+            "rows": self.rows,
+            "nnz": self.nnz,
+            "interpreted_seconds": self.interpreted_seconds,
+            "replayed_seconds": self.replayed_seconds,
+            "speedup": self.speedup,
+            "min_speedup": MIN_SPEEDUP,
+        }
+
+
+def run_smoke(
+    grid: int = SMOKE_GRID, variant_name: str = SMOKE_VARIANT
+) -> SmokeResult:
+    """Time ``measure()`` interpreted vs. replayed on one reference matrix.
+
+    Both paths run identical measurements (same matrix, same fresh input
+    vector per call, results verified equal) — only the execution engine
+    differs.  Distinct input vectors per call keep the context's
+    default-input memo from short-circuiting the work being timed.
+    """
+    csr = gray_scott_jacobian(grid)
+    variant = get_variant(variant_name)
+    rng = np.random.default_rng(99)
+    inputs = [rng.standard_normal(csr.shape[1]) for _ in range(REPEATS + 1)]
+
+    interpreted = ExecutionContext(use_traces=False)
+    replayed = ExecutionContext(use_traces=True)
+    # Warm both contexts outside the timed loops: format conversion is
+    # shared bookkeeping, and the replay path's warm-up also records the
+    # trace (amortized across every later measurement of the structure).
+    interpreted.measure(variant, csr, x=inputs[0])
+    replayed.measure(variant, csr, x=inputs[0])
+
+    t0 = time.perf_counter()
+    for x in inputs[1:]:
+        meas_i = interpreted.measure(variant, csr, x=x)
+    interpreted_seconds = (time.perf_counter() - t0) / REPEATS
+
+    t0 = time.perf_counter()
+    for x in inputs[1:]:
+        meas_r = replayed.measure(variant, csr, x=x)
+    replayed_seconds = (time.perf_counter() - t0) / REPEATS
+
+    if not np.array_equal(meas_i.y, meas_r.y):
+        raise AssertionError("replayed measurement diverged from interpreted")
+    if meas_i.counters.as_dict() != meas_r.counters.as_dict():
+        raise AssertionError("replayed counters diverged from interpreted")
+
+    return SmokeResult(
+        grid=grid,
+        variant=variant_name,
+        rows=csr.shape[0],
+        nnz=csr.nnz,
+        interpreted_seconds=interpreted_seconds,
+        replayed_seconds=replayed_seconds,
+    )
+
+
+def main(path: str = "BENCH_spmv_measure.json") -> int:
+    """Run the smoke comparison, write the JSON record, gate the speedup."""
+    result = run_smoke()
+    with open(path, "w") as fh:
+        json.dump(result.as_dict(), fh, indent=2)
+        fh.write("\n")
+    print(
+        f"spmv measure on {result.grid}^2 grid ({result.rows} rows, "
+        f"{result.nnz} nnz), {result.variant}:"
+    )
+    print(f"  interpreted: {result.interpreted_seconds:.3f} s")
+    print(f"  replayed:    {result.replayed_seconds:.3f} s")
+    print(f"  speedup:     {result.speedup:.1f}x (floor {MIN_SPEEDUP:.0f}x)")
+    if result.speedup < MIN_SPEEDUP:
+        print("FAIL: replay speedup below the acceptance floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,12 +42,15 @@ from ..mat.aij import AijMat
 from ..mat.base import Mat
 from ..mat.sparsity import signature
 from ..simd.engine import SimdEngine
-from ..simd.isa import ISAS, Isa, get_isa
+from ..simd.isa import Isa, get_isa
+from ..simd.counters import KernelCounters
+from ..simd.trace import TraceError
 from .autotune import TuneResult, tune_sell
 from .dispatch import ALL_VARIANTS, KernelVariant, get_variant
 from .spmv import SpmvMeasurement
-from .spmv import measure as _measure
+from .spmv import default_x as spmv_default_x
 from .spmv import predict as _predict
+from .traffic import traffic_for
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..mat.mpi_aij import MPIAij
@@ -90,6 +93,12 @@ class ExecutionContext:
         When set (a variant or legend name), :meth:`reformat` uses it
         unconditionally; when ``None`` the autotuned
         :meth:`best_variant` decides.
+    use_traces:
+        When true (the default), each (variant, structure) pair records
+        its instruction stream once and replays it for subsequent
+        measurements — bit-identical results, 1-2 orders of magnitude
+        faster (see ``docs/performance.md``).  Set false to force full
+        interpreted execution on every call.
     """
 
     model: PerfModel = field(default_factory=lambda: make_model(KNL_7230))
@@ -99,6 +108,7 @@ class ExecutionContext:
     slice_height: int = 8
     sigma: int = 1
     default_variant: KernelVariant | str | None = None
+    use_traces: bool = True
 
     #: Autotune sweeps actually executed (cache misses); tests assert this
     #: stays at one per sparsity signature across repeated solves.
@@ -109,6 +119,16 @@ class ExecutionContext:
     )
     _tune_cache: dict = field(default_factory=dict, repr=False, compare=False)
     _best_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    # Traces are valid per sparsity *structure* (value-independent), so
+    # they survive operator reassembly; prepared formats and default input
+    # vectors are value-dependent and keyed accordingly.
+    _trace_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _prepare_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _default_x_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.nprocs is None:
@@ -196,15 +216,101 @@ class ExecutionContext:
         slice_height: int,
         sigma: int,
     ) -> SpmvMeasurement:
-        return _measure(
-            variant,
-            csr,
-            x,
-            slice_height=slice_height,
-            sigma=sigma,
-            strict_alignment=self.strict_alignment,
-            engine=self.engine(variant.isa),
+        mat = self._prepared(variant, csr, slice_height, sigma)
+        if x is None:
+            x = self._default_x(csr.shape[1])
+        if self.use_traces:
+            y, counters = self._traced_run(
+                variant, csr, mat, x, slice_height, sigma
+            )
+        else:
+            y, counters = variant.run(
+                mat,
+                x,
+                strict_alignment=self.strict_alignment,
+                engine=self.engine(variant.isa),
+            )
+        return SpmvMeasurement(
+            variant=variant,
+            mat=mat,
+            y=y,
+            counters=counters,
+            traffic=traffic_for(mat),
         )
+
+    def _prepared(
+        self,
+        variant: KernelVariant,
+        csr: AijMat,
+        slice_height: int,
+        sigma: int,
+    ) -> Mat:
+        """Format conversion, memoized per (format, knobs, matrix values).
+
+        Repeated measurements of one operator — tuner sweeps, figure
+        harnesses iterating variants of one format — share a single
+        conversion instead of re-running it per call.
+        """
+        key = (
+            variant.fmt,
+            slice_height,
+            sigma,
+            signature(csr, include_values=True),
+        )
+        hit = self._prepare_cache.get(key)
+        if hit is None:
+            hit = variant.prepare(csr, slice_height=slice_height, sigma=sigma)
+            self._prepare_cache[key] = hit
+        return hit
+
+    def _default_x(self, n: int) -> np.ndarray:
+        """The reproducible default input vector, built once per size."""
+        hit = self._default_x_cache.get(n)
+        if hit is None:
+            hit = spmv_default_x(n)
+            self._default_x_cache[n] = hit
+        return hit
+
+    def _traced_run(
+        self,
+        variant: KernelVariant,
+        csr: AijMat,
+        mat: Mat,
+        x: np.ndarray,
+        slice_height: int,
+        sigma: int,
+    ) -> tuple[np.ndarray, "KernelCounters"]:
+        """Record-once/replay-many execution of one variant on one structure.
+
+        The trace cache is keyed by the *structural* signature: the
+        instruction stream is value-independent, so a reassembled operator
+        (same stencil, new coefficients) replays the existing trace.  A
+        kernel the trace layer cannot represent falls back to interpreted
+        execution transparently.
+        """
+        key = (
+            variant.name,
+            slice_height,
+            sigma,
+            self.strict_alignment,
+            signature(csr),
+        )
+        trace = self._trace_cache.get(key)
+        if trace is None:
+            try:
+                trace, y, counters = variant.record(
+                    mat, x, strict_alignment=self.strict_alignment
+                )
+            except TraceError:
+                return variant.run(
+                    mat,
+                    x,
+                    strict_alignment=self.strict_alignment,
+                    engine=self.engine(variant.isa),
+                )
+            self._trace_cache[key] = trace
+            return y, counters
+        return variant.replay(trace, mat, x)
 
     def predict(
         self,
@@ -355,6 +461,13 @@ class ExecutionContext:
             slice_height=self.slice_height,
             sigma=self.sigma,
             default_variant=self.default_variant,
+            use_traces=self.use_traces,
         )
-        derived._measure_cache = self._measure_cache  # shared by design
+        # Shared by design: engine measurements, recorded traces, prepared
+        # formats, and default inputs depend only on the kernel and the
+        # matrix, never on the machine model being priced.
+        derived._measure_cache = self._measure_cache
+        derived._trace_cache = self._trace_cache
+        derived._prepare_cache = self._prepare_cache
+        derived._default_x_cache = self._default_x_cache
         return derived

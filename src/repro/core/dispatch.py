@@ -74,15 +74,21 @@ class KernelVariant:
         x: np.ndarray,
         strict_alignment: bool = False,
         engine: SimdEngine | None = None,
+        trace=None,
     ) -> tuple[np.ndarray, KernelCounters]:
         """Execute the instruction-level kernel; return (y, counters).
 
         ``engine`` lets an :class:`~repro.core.context.ExecutionContext`
         supply its own (policy-carrying) engine; by default a fresh one is
-        built for this variant's ISA.
+        built for this variant's ISA.  Passing a ``trace`` (a
+        :class:`~repro.simd.replay.KernelTrace` recorded on a matrix with
+        the same sparsity structure) replays it instead of interpreting —
+        bit-identical y and counters, 1-2 orders of magnitude faster.
         """
         from ..memory.spaces import aligned_alloc
 
+        if trace is not None:
+            return self.replay(trace, mat, x)
         if engine is None:
             engine = SimdEngine(self.isa, strict_alignment=strict_alignment)
         # The output vector must sit on a cache-line boundary like every
@@ -90,6 +96,25 @@ class KernelVariant:
         y = aligned_alloc(mat.shape[0], np.float64, 64)
         self.kernel(engine, mat, x, y)
         return y, engine.counters
+
+    def record(self, mat: Mat, x: np.ndarray, strict_alignment: bool = False):
+        """Record one traced execution: (trace, y, counters).
+
+        The recording run is a full interpreted execution (same numerics,
+        same counters), so it doubles as the first measurement; the
+        returned trace replays for any same-structure matrix.
+        """
+        from .traced import record_trace
+
+        return record_trace(self, mat, x, strict_alignment=strict_alignment)
+
+    def replay(
+        self, trace, mat: Mat, x: np.ndarray
+    ) -> tuple[np.ndarray, KernelCounters]:
+        """Replay a recorded trace against this prepared matrix and x."""
+        from .traced import replay_trace
+
+        return replay_trace(self, trace, mat, x)
 
     def traffic(self, mat: Mat) -> TrafficEstimate:
         """The Section 6 minimum-traffic estimate for this variant."""

@@ -26,6 +26,10 @@ class EsbMat(SellMat):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.bits = self._build_bits()
+        # Packed mask bytes, precomputed once at conversion: the kernel
+        # reads one byte per column strip, so packing in the inner loop
+        # would allocate per strip (and did, before this cache).
+        self.packed = np.packbits(self.bits)
 
     @classmethod
     def from_csr(
@@ -76,7 +80,7 @@ class EsbMat(SellMat):
 
     def packed_bits(self) -> np.ndarray:
         """The bit array as packed bytes (what the real format stores)."""
-        return np.packbits(self.bits)
+        return self.packed
 
     def memory_bytes(self) -> int:
         return super().memory_bytes() + self.bit_array_bytes

@@ -85,17 +85,18 @@ def spmv_baij(engine: SimdEngine, a: BaijMat, x: np.ndarray, y: np.ndarray) -> N
                         v = engine.scalar_load_indep(val_flat, 4 * kk + 2 * oi + oj)
                         xv = engine.scalar_load_indep(x, 2 * bj + oj)
                         partial = engine.scalar_fma_indep(v, xv, 0.0)
-                        data = acc.data.copy()
-                        data[2 * oi + oj] += partial
-                        acc = VectorRegister(data)
+                        acc = engine.lane_add(acc, 2 * oi + oj, partial)
             counters.remainder_iterations += 1
         # Pairwise horizontal reduction.  Within each block's four lanes,
         # lanes (0, 1) hold output-row-0 products and (2, 3) row 1; one
         # shuffle + add per halving step (counted as insert + add), then
         # two scalar stores.
-        data = acc.data
-        row0 = float(data[0::4].sum() + data[1::4].sum())
-        row1 = float(data[2::4].sum() + data[3::4].sum())
+        row0 = engine.reduce_select(
+            acc, (tuple(range(0, lanes, 4)), tuple(range(1, lanes, 4)))
+        )
+        row1 = engine.reduce_select(
+            acc, (tuple(range(2, lanes, 4)), tuple(range(3, lanes, 4)))
+        )
         steps = max(int(np.log2(max(blocks_per_reg, 1))) + 1, 1)
         counters.vector_insert += steps
         counters.vector_add += steps

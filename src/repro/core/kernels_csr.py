@@ -92,7 +92,7 @@ def spmv_csr_vectorized(
             vec_idx = engine.masked_load_index(colidx, idx, mask)
             vec_x = engine.masked_gather(x, vec_idx, mask)
             tail = engine.masked_fmadd(vec_vals, vec_x, engine.setzero(), mask)
-            total += engine.reduce_add(tail)
+            total = engine.reduce_add(tail, base=total)
         else:
             for k in range(idx, end):
                 v = engine.scalar_load_indep(val, k)
@@ -152,7 +152,7 @@ def spmv_csr_compiler(
                 tail = engine.masked_fmadd(
                     vec_vals, vec_x, engine.setzero(), mask
                 )
-                total += engine.reduce_add(tail)
+                total = engine.reduce_add(tail, base=total)
                 c.remainder_iterations += rem
             else:
                 for k in range(idx, end):
@@ -206,15 +206,13 @@ def spmv_csr_perm(
                         np.asarray(starts + j, dtype=np.int64)
                     )
                     vec_vals = engine.gather_auto(val, slot_idx)
-                    vec_cols = engine.gather_auto(
-                        colidx.astype(np.float64), slot_idx
-                    )
+                    vec_cols = engine.gather_auto(a.colidx_f64, slot_idx)
                     col_reg = VectorRegister(vec_cols.data.astype(np.int64))
                     vec_x = engine.gather_auto(x, col_reg)
                     acc = engine.fmadd_auto(vec_vals, vec_x, acc)
                     c.body_iterations += 1
                 for lane, r in enumerate(rows):
-                    engine.scalar_store(y, int(r), float(acc.data[lane]))
+                    engine.scalar_store(y, int(r), engine.extract_lane(acc, lane))
             else:
                 # Short trailing block of the group: scalar.
                 for r in rows:

@@ -38,12 +38,13 @@ def _spmv_ellpack_scalar(
     """Scalar traversal of the padded layout (full width, padding included)."""
     m = ell.shape[0]
     width = ell.width
+    valf, colf = ell.val_f, ell.colidx_f
     counters = engine.counters
     for i in range(m):
         acc = 0.0
         for j in range(width):
-            v = engine.scalar_load(ell.val[:, j], i)
-            col = int(engine.scalar_load(ell.colidx[:, j], i))
+            v = engine.scalar_load(valf, j * m + i)
+            col = int(engine.scalar_load(colf, j * m + i))
             xv = engine.scalar_load(x, col)
             acc = engine.scalar_fma(v, xv, acc)
         engine.scalar_store(y, i, acc)
@@ -66,9 +67,8 @@ def spmv_ellpack(
     m = ell.shape[0]
     lanes = engine.lanes
     width = ell.width
-    # Fortran ravel is a contiguous view of the column-major storage.
-    valf = ell.val.ravel(order="F")
-    colf = ell.colidx.ravel(order="F")
+    # Flat Fortran views of the column-major storage (cached on the mat).
+    valf, colf = ell.val_f, ell.colidx_f
     counters = engine.counters
     tail = m % lanes
     full = m - tail
@@ -98,8 +98,8 @@ def spmv_ellpack(
             for i in range(full, m):
                 acc = 0.0
                 for j in range(width):
-                    v = engine.scalar_load(ell.val[:, j], i)
-                    col = int(engine.scalar_load(ell.colidx[:, j], i))
+                    v = engine.scalar_load(valf, j * m + i)
+                    col = int(engine.scalar_load(colf, j * m + i))
                     xv = engine.scalar_load(x, col)
                     acc = engine.scalar_fma(v, xv, acc)
                 engine.scalar_store(y, i, acc)
@@ -121,8 +121,7 @@ def spmv_ellpack_r(
     engine.isa.require("masks")
     m = ell.shape[0]
     lanes = engine.lanes
-    valf = ell.val.ravel(order="F")
-    colf = ell.colidx.ravel(order="F")
+    valf, colf = ell.val_f, ell.colidx_f
     rlen = ell.rlen
     counters = engine.counters
     for r0 in range(0, m, lanes):

@@ -50,7 +50,7 @@ def _store_rows(
     if sell.perm is not None:
         for lane in range(active):
             row = int(sell.perm[first_storage_row + lane])
-            engine.scalar_store(y, row, float(acc.data[lane]))
+            engine.scalar_store(y, row, engine.extract_lane(acc, lane))
         return
     if active == lanes:
         engine.store_aligned(y, first_storage_row, acc)
@@ -59,7 +59,9 @@ def _store_rows(
         engine.masked_store(y, first_storage_row, acc, mask)
     else:
         for lane in range(active):
-            engine.scalar_store(y, first_storage_row + lane, float(acc.data[lane]))
+            engine.scalar_store(
+                y, first_storage_row + lane, engine.extract_lane(acc, lane)
+            )
 
 
 def _spmv_sell_scalar(
@@ -140,6 +142,7 @@ def spmv_sell_esb(
             f"slice height {c} must be a multiple of the vector length {lanes}"
         )
     val, colidx, bits = esb.val, esb.colidx, esb.bits
+    packed = esb.packed
     counters = engine.counters
     m = esb.shape[0]
     for s in range(esb.nslices):
@@ -150,16 +153,18 @@ def spmv_sell_esb(
             acc = engine.setzero()
             idx = base + strip
             for _ in range(width):
-                # Load the mask byte for this column strip and materialize
-                # a mask register from it.
-                engine.scalar_load(np.packbits(bits[idx : idx + lanes]), 0)
+                # Load the precomputed mask byte for this column strip and
+                # materialize a mask register from it.  Strips start on
+                # 8-slot boundaries (C is a multiple of lanes == 8 wherever
+                # masks exist), so the byte is simply packed[idx >> 3].
+                engine.scalar_load(packed, idx >> 3)
                 lane_bits = bits[idx : idx + lanes]
                 counters.mask_setup += 1
                 mask = MaskRegister(np.asarray(lane_bits, dtype=bool))
                 # Unaligned: skipping padding breaks the alignment
                 # guarantee of the padded layout.
                 vec_vals = engine.masked_load(val, idx, _full_prefix(mask))
-                vec_vals = _apply_mask(vec_vals, mask)
+                vec_vals = engine.blend_zero(vec_vals, mask)
                 vec_idx = engine.masked_load_index(colidx, idx, _full_prefix(mask))
                 vec_x = engine.masked_gather(x, vec_idx, mask)
                 acc = engine.masked_fmadd(vec_vals, vec_x, acc, mask)
@@ -177,11 +182,3 @@ def _full_prefix(mask: MaskRegister) -> MaskRegister:
     (unaligned) word, which this prefix mask expresses.
     """
     return MaskRegister(np.ones(mask.lanes, dtype=bool))
-
-
-def _apply_mask(reg, mask: MaskRegister):
-    """Zero inactive lanes of a register (vblend after the masked load)."""
-    from ..simd.register import VectorRegister
-
-    data = np.where(mask.bits, reg.data, 0.0)
-    return VectorRegister(data)

@@ -49,6 +49,11 @@ class SpmvMeasurement:
         return self.counters.flops - self.counters.padded_flops
 
 
+def default_x(n: int) -> np.ndarray:
+    """The reproducible default input vector of :func:`measure`."""
+    return np.random.default_rng(12345).standard_normal(n)
+
+
 def measure(
     variant: KernelVariant | str,
     csr: AijMat,
@@ -57,6 +62,8 @@ def measure(
     sigma: int = 1,
     strict_alignment: bool = False,
     engine: "SimdEngine | None" = None,
+    mat: Mat | None = None,
+    trace=None,
 ) -> SpmvMeasurement:
     """Convert, execute, and account one kernel variant on one matrix.
 
@@ -65,14 +72,20 @@ def measure(
     against ``csr.multiply(x)`` — the measurement doubles as a test.
     ``engine`` lets an :class:`~repro.core.context.ExecutionContext` supply
     a policy-carrying engine instead of the default per-call one.
+
+    ``mat`` supplies an already-prepared format (skipping the conversion),
+    and ``trace`` a recorded :class:`~repro.simd.replay.KernelTrace` to
+    replay instead of interpreting — both are how the context's caches
+    avoid redundant work on repeated measurements of one structure.
     """
     if isinstance(variant, str):
         variant = get_variant(variant)
     if x is None:
-        x = np.random.default_rng(12345).standard_normal(csr.shape[1])
-    mat = variant.prepare(csr, slice_height=slice_height, sigma=sigma)
+        x = default_x(csr.shape[1])
+    if mat is None:
+        mat = variant.prepare(csr, slice_height=slice_height, sigma=sigma)
     y, counters = variant.run(
-        mat, x, strict_alignment=strict_alignment, engine=engine
+        mat, x, strict_alignment=strict_alignment, engine=engine, trace=trace
     )
     return SpmvMeasurement(
         variant=variant,

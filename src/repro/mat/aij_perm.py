@@ -61,6 +61,21 @@ class AijPermMat(Mat):
         """Number of equal-row-length groups."""
         return int(self.group_starts.shape[0] - 1)
 
+    @property
+    def colidx_f64(self) -> np.ndarray:
+        """The column indices as doubles, for the kernel's strided gathers.
+
+        The permuted kernel gathers column indices through the *float*
+        gather unit (there is no integer gather on the modeled ISAs), so it
+        needs a float view of ``colidx``.  Cached: converting per column
+        position allocated O(nnz) every inner iteration.
+        """
+        cached = getattr(self, "_colidx_f64", None)
+        if cached is None:
+            cached = self.csr.colidx.astype(np.float64)
+            self._colidx_f64 = cached
+        return cached
+
     def multiply(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
         """Grouped matvec: vectorized across rows within each group."""
         x, y = self._check_multiply_args(x, y)

@@ -86,6 +86,28 @@ class EllpackMat(Mat):
         return int(self.val.shape[1]) if self.val.ndim == 2 else 0
 
     @property
+    def val_f(self) -> np.ndarray:
+        """Flat (Fortran-order) view of the values: offset ``j*m + i``.
+
+        A *view*, not a copy: kernels address the value storage through it,
+        and the trace layer identifies buffers by base address.
+        """
+        cached = getattr(self, "_val_f", None)
+        if cached is None:
+            cached = self.val.reshape(-1, order="F")
+            self._val_f = cached
+        return cached
+
+    @property
+    def colidx_f(self) -> np.ndarray:
+        """Flat (Fortran-order) view of the column indices."""
+        cached = getattr(self, "_colidx_f", None)
+        if cached is None:
+            cached = self.colidx.reshape(-1, order="F")
+            self._colidx_f = cached
+        return cached
+
+    @property
     def padded_entries(self) -> int:
         """Stored slots that are padding, the ELLPACK storage penalty."""
         return int(self.val.size - self.nnz)

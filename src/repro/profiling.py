@@ -19,6 +19,7 @@ manager or the decorator::
 
 from __future__ import annotations
 
+import functools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -90,12 +91,11 @@ class EventLog:
         """Decorator form of :meth:`event`."""
 
         def wrap(fn: Callable[..., T]) -> Callable[..., T]:
+            @functools.wraps(fn)
             def inner(*args, **kwargs) -> T:
                 with self.event(name, flops=flops):
                     return fn(*args, **kwargs)
 
-            inner.__name__ = fn.__name__
-            inner.__doc__ = fn.__doc__
             return inner
 
         return wrap

@@ -339,16 +339,72 @@ class SimdEngine:
             return self.fmadd(a, b, c)
         return self.mul_add(a, b, c)
 
-    def reduce_add(self, reg: VectorRegister) -> float:
+    def reduce_add(self, reg: VectorRegister, base: float = 0.0) -> float:
         """Horizontal sum of all lanes (log2(lanes) shuffle+add steps).
 
         The lanes-1 adds are charged to ``reduction_flops``, not ``flops``:
         they are auxiliary arithmetic the kernel structure imposes, not
         useful SpMV work (PETSc's flop logging counts 2 per nonzero only).
+
+        ``base`` folds a running scalar total into the result (the
+        ``total += reduce`` idiom of the CSR remainder paths); passing it
+        through the instruction keeps the scalar dataflow visible to the
+        trace recorder.  A literal 0.0 base reproduces the plain sum
+        bit-for-bit.
         """
         self.counters.vector_reduce += 1
         self.counters.reduction_flops += max(reg.lanes - 1, 0)
-        return float(np.sum(reg.data))
+        s = float(np.sum(reg.data))
+        if type(base) is float and base == 0.0:
+            return s
+        return base + s
+
+    def extract_lane(self, reg: VectorRegister, lane: int) -> float:
+        """Read one lane of a register into a scalar (``vpextrq``-style).
+
+        Free in the counter model, as the raw ``reg.data[lane]`` access it
+        replaces was; it exists so lane extraction stays inside the
+        instruction stream for the trace recorder.
+        """
+        return float(reg.data[lane])
+
+    def blend_zero(self, reg: VectorRegister, mask: MaskRegister) -> VectorRegister:
+        """Zero the inactive lanes of a register (a vblend against zero).
+
+        Counted nowhere, matching the register-manipulation idiom it
+        replaces; the surrounding kernel charges its own mask overhead.
+        """
+        return VectorRegister(np.where(mask.bits, reg.data, 0.0))
+
+    def lane_add(
+        self, reg: VectorRegister, lane: int, value: float
+    ) -> VectorRegister:
+        """Accumulate a scalar into one lane, returning a new register.
+
+        The in-register merge of a scalar remainder contribution (the BAIJ
+        odd-block tail); free in the counter model like the data copy it
+        replaces.
+        """
+        data = reg.data.copy()
+        data[lane] += value
+        return VectorRegister(data)
+
+    def reduce_select(
+        self, reg: VectorRegister, groups: tuple[tuple[int, ...], ...]
+    ) -> float:
+        """Sum selected lane groups: ``sum_g(sum(reg[g]))`` in group order.
+
+        The pairwise horizontal reduction of the BAIJ kernel expressed as
+        one instruction-stream op.  Each group is summed with NumPy's
+        reduction and the group sums are added left to right, reproducing
+        ``data[0::4].sum() + data[1::4].sum()`` exactly.  Counted nowhere;
+        callers charge the shuffle/add sequence themselves as before.
+        """
+        total: float | None = None
+        for g in groups:
+            part = float(np.sum(reg.data[list(g)]))
+            total = part if total is None else total + part
+        return float(total) if total is not None else 0.0
 
     # ------------------------------------------------------------------
     # scalar fallback (remainder loops, novec builds)

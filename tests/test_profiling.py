@@ -96,6 +96,18 @@ class TestReporting:
         assert work(1, b=2) == 3
         assert log.record("work").calls == 1
 
+    def test_decorator_preserves_function_metadata(self):
+        log = EventLog()
+
+        @log.timed("work")
+        def work(a, b):
+            """Add two numbers."""
+            return a + b
+
+        assert work.__name__ == "work"
+        assert work.__doc__ == "Add two numbers."
+        assert work.__wrapped__(1, 2) == 3
+
     def test_reset(self):
         log = EventLog()
         with log.event("x"):
