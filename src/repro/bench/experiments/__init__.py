@@ -14,6 +14,7 @@ module             reproduces
 ``fig11``          Figure 11 — Haswell/Broadwell/Skylake/KNL comparison
 ``ablations``      Section 5 design-decision studies (bit array, sigma, C)
 ``headline``       the paper's headline quantitative claims in one table
+``resilience``     seeded fault campaigns (not a figure; robustness sweep)
 =================  =======================================================
 
 Every module exposes ``run()`` returning structured data and ``render()``
@@ -21,7 +22,18 @@ returning the paper-style table; ``python -m repro.bench.experiments.figN``
 prints it.
 """
 
-from . import ablations, fig4, fig7, fig8, fig9, fig10, fig11, headline, table1
+from . import (
+    ablations,
+    fig4,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    headline,
+    resilience,
+    table1,
+)
 
 __all__ = [
     "ablations",
@@ -32,5 +44,6 @@ __all__ = [
     "fig10",
     "fig11",
     "headline",
+    "resilience",
     "table1",
 ]

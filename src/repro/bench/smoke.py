@@ -13,6 +13,13 @@ kernel change the trace layer cannot represent) turns the build red.
 The replayed timing measures steady-state replays: the trace is recorded
 (and its cost excluded) before the timed loop, matching how the figure
 harnesses amortize recording across a variant sweep.
+
+The job also times the ABFT row-checksum verification
+(:class:`repro.faults.abft.AbftOperator`) against the raw product on the
+same operator and writes ``BENCH_abft_overhead.json``; the build fails if
+the per-multiply overhead exceeds ``MAX_ABFT_OVERHEAD`` — the check is
+three O(n) reductions against an O(nnz) product and must stay cheap
+enough to leave on in production solves.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import numpy as np
 
 from ..core.context import ExecutionContext
 from ..core.dispatch import get_variant
+from ..faults.abft import AbftOperator
 from ..pde.problems import gray_scott_jacobian
 
 #: Grid edge for the smoke matrix: big enough that interpretation visibly
@@ -39,6 +47,16 @@ REPEATS = 3
 
 #: Acceptance floor on the replay speedup (the ISSUE's >= 10x criterion).
 MIN_SPEEDUP = 10.0
+
+#: Multiplies per ABFT timing pass (BLAS-level work; cheap to repeat).
+ABFT_REPEATS = 20
+
+#: Timing passes per path; the reported time is the fastest pass, the
+#: standard estimator when scheduler noise rivals the effect measured.
+ABFT_PASSES = 5
+
+#: Acceptance ceiling on the per-multiply ABFT verification overhead.
+MAX_ABFT_OVERHEAD = 0.15
 
 
 @dataclass(frozen=True)
@@ -120,8 +138,77 @@ def run_smoke(
     )
 
 
-def main(path: str = "BENCH_spmv_measure.json") -> int:
-    """Run the smoke comparison, write the JSON record, gate the speedup."""
+@dataclass(frozen=True)
+class AbftOverheadResult:
+    """Raw-vs-verified multiply timing on one reference operator."""
+
+    grid: int
+    rows: int
+    nnz: int
+    raw_seconds: float
+    checked_seconds: float
+
+    @property
+    def overhead(self) -> float:
+        """Fractional slowdown of the verified product over the raw one."""
+        if self.raw_seconds <= 0:
+            return float("inf")
+        return self.checked_seconds / self.raw_seconds - 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "bench": "abft_overhead",
+            "grid": self.grid,
+            "rows": self.rows,
+            "nnz": self.nnz,
+            "raw_seconds": self.raw_seconds,
+            "checked_seconds": self.checked_seconds,
+            "overhead": self.overhead,
+            "max_overhead": MAX_ABFT_OVERHEAD,
+        }
+
+
+def run_abft_overhead(grid: int = SMOKE_GRID) -> AbftOverheadResult:
+    """Time raw ``multiply`` vs ABFT-verified ``multiply`` on one operator.
+
+    Checksum construction happens once at wrap time (the assembly-time
+    cost the design amortizes) and is excluded; the timed loops measure
+    the steady-state per-product cost the solvers actually pay.
+    """
+    csr = gray_scott_jacobian(grid)
+    checked = AbftOperator(csr)
+    rng = np.random.default_rng(7)
+    inputs = [rng.standard_normal(csr.shape[1]) for _ in range(ABFT_REPEATS)]
+    # Warm both paths (allocation, cache residency) outside the timing.
+    csr.multiply(inputs[0])
+    checked.multiply(inputs[0])
+
+    def best_pass(fn) -> float:
+        best = float("inf")
+        for _ in range(ABFT_PASSES):
+            t0 = time.perf_counter()
+            for x in inputs:
+                fn(x)
+            best = min(best, (time.perf_counter() - t0) / ABFT_REPEATS)
+        return best
+
+    raw_seconds = best_pass(csr.multiply)
+    checked_seconds = best_pass(checked.multiply)
+
+    return AbftOverheadResult(
+        grid=grid,
+        rows=csr.shape[0],
+        nnz=csr.nnz,
+        raw_seconds=raw_seconds,
+        checked_seconds=checked_seconds,
+    )
+
+
+def main(
+    path: str = "BENCH_spmv_measure.json",
+    abft_path: str = "BENCH_abft_overhead.json",
+) -> int:
+    """Run both smoke comparisons, write JSON records, gate the thresholds."""
     result = run_smoke()
     with open(path, "w") as fh:
         json.dump(result.as_dict(), fh, indent=2)
@@ -133,10 +220,27 @@ def main(path: str = "BENCH_spmv_measure.json") -> int:
     print(f"  interpreted: {result.interpreted_seconds:.3f} s")
     print(f"  replayed:    {result.replayed_seconds:.3f} s")
     print(f"  speedup:     {result.speedup:.1f}x (floor {MIN_SPEEDUP:.0f}x)")
+
+    abft = run_abft_overhead()
+    with open(abft_path, "w") as fh:
+        json.dump(abft.as_dict(), fh, indent=2)
+        fh.write("\n")
+    print(f"abft verification on the same {abft.grid}^2 grid operator:")
+    print(f"  raw multiply:     {1e6 * abft.raw_seconds:.1f} us")
+    print(f"  checked multiply: {1e6 * abft.checked_seconds:.1f} us")
+    print(
+        f"  overhead:         {100 * abft.overhead:.1f}% "
+        f"(ceiling {100 * MAX_ABFT_OVERHEAD:.0f}%)"
+    )
+
+    failed = False
     if result.speedup < MIN_SPEEDUP:
         print("FAIL: replay speedup below the acceptance floor")
-        return 1
-    return 0
+        failed = True
+    if abft.overhead > MAX_ABFT_OVERHEAD:
+        print("FAIL: ABFT verification overhead above the ceiling")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

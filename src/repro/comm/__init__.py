@@ -7,7 +7,14 @@ façade, :func:`run_spmd` plays the role of ``mpiexec``, and
 overlapped parallel SpMV (paper Section 2.2).
 """
 
-from .communicator import ANY_TAG, Comm, CommunicatorError, TrafficStats, World
+from .communicator import (
+    ANY_TAG,
+    Comm,
+    CommunicatorError,
+    RankDeath,
+    TrafficStats,
+    World,
+)
 from .partition import RowLayout
 from .request import CompletedRequest, DeferredRequest, Request, wait_all
 from .scatter import VecScatter
@@ -19,6 +26,7 @@ __all__ = [
     "CommunicatorError",
     "CompletedRequest",
     "DeferredRequest",
+    "RankDeath",
     "Request",
     "RowLayout",
     "SpmdError",

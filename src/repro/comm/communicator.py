@@ -30,13 +30,22 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..faults.events import emit as emit_fault_event
+from ..faults.plan import fire as fire_fault
 from .request import CompletedRequest, DeferredRequest, Request
 
 ANY_TAG = -1
 
+#: Retransmissions attempted for a dropped message before giving up.
+MAX_SEND_RETRIES = 8
+
 
 class CommunicatorError(RuntimeError):
     """Misuse of the communicator (bad rank, mismatched collective, ...)."""
+
+
+class RankDeath(CommunicatorError):
+    """A rank died mid-job (fault injection or a fatal rank-local error)."""
 
 
 def _snapshot(payload: Any) -> Any:
@@ -106,6 +115,22 @@ class World:
             raise CommunicatorError(
                 f"a peer rank failed: {self._aborted!r}"
             ) from self._aborted
+
+    def kill(self, rank: int, where: str = "") -> None:
+        """Terminate ``rank`` abruptly, poisoning the whole world.
+
+        Models fail-stop rank death: peers blocked in waits or collectives
+        observe the poisoned world and raise
+        :class:`CommunicatorError` instead of hanging —
+        :func:`repro.comm.spmd.run_spmd` then surfaces the job failure.
+        """
+        suffix = f" during {where}" if where else ""
+        exc = RankDeath(f"rank {rank} died{suffix}")
+        emit_fault_event(
+            "detected", "comm.world", "kill", detail=f"rank {rank}{suffix}"
+        )
+        self.abort(exc)
+        raise exc
 
     # -- point to point ---------------------------------------------------
     def push(self, src: int, dst: int, tag: int, payload: Any) -> None:
@@ -203,14 +228,69 @@ class Comm:
         """Number of ranks in the world."""
         return self.world.size
 
-    def _check_peer(self, peer: int) -> None:
+    def _check_peer(self, peer: int, op: str = "point-to-point") -> None:
         if not 0 <= peer < self.size:
-            raise CommunicatorError(f"peer rank {peer} out of range")
+            raise CommunicatorError(
+                f"rank {self.rank}: peer rank {peer} out of range for "
+                f"world size {self.size} during {op}"
+            )
 
     # -- point to point ---------------------------------------------------
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
-        """Buffered blocking send (completes immediately)."""
-        self._check_peer(dest)
+        """Buffered blocking send (completes immediately).
+
+        This is the per-rank comm fault site (``comm.send@<rank>``): an
+        armed injector can drop the message in flight (recovered by
+        retransmission with modeled exponential backoff), delay it (a
+        benign straggler — the simulated transport is in-order anyway), or
+        kill this rank outright (fail-stop, poisoning the world).
+        """
+        self._check_peer(dest, f"send(tag={tag})")
+        site = f"comm.send@{self.rank}"
+        where = f"send(dest={dest}, tag={tag})"
+        spec = fire_fault(site)
+        attempts = 0
+        backoff = 1
+        while spec is not None and spec.kind == "drop":
+            # The message was lost; each retransmission is a fresh send
+            # attempt against the injector, so consecutive scheduled drops
+            # cost consecutive retries — deterministically.
+            attempts += 1
+            if attempts > MAX_SEND_RETRIES:
+                raise CommunicatorError(
+                    f"rank {self.rank}: {where} still dropped after "
+                    f"{MAX_SEND_RETRIES} retransmissions"
+                )
+            emit_fault_event(
+                "recovered",
+                site,
+                "retry",
+                detail=f"rank {self.rank} {where}: resend {attempts} "
+                f"after backoff {backoff}",
+            )
+            backoff *= 2
+            spec = fire_fault(site)
+        if spec is not None:
+            if spec.kind == "straggle":
+                emit_fault_event(
+                    "benign",
+                    site,
+                    "straggle",
+                    detail=f"rank {self.rank} {where}: delivery delayed "
+                    f"{spec.magnitude:g}x (in-order transport)",
+                )
+            elif spec.kind == "kill":
+                self.world.kill(self.rank, where)
+            else:
+                # Payload-corruption kinds don't apply here: the modeled
+                # link layer is CRC-protected, so a corrupted frame is
+                # equivalent to a drop already handled above.
+                emit_fault_event(
+                    "benign",
+                    site,
+                    spec.kind,
+                    detail=f"rank {self.rank} {where}: caught by link CRC",
+                )
         self.world.push(self.rank, dest, tag, payload)
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
@@ -220,7 +300,7 @@ class Comm:
 
     def irecv(self, source: int, tag: int = 0) -> Request:
         """Non-blocking receive returning a waitable request."""
-        self._check_peer(source)
+        self._check_peer(source, f"irecv(tag={tag})")
         src, dst = source, self.rank
 
         def poll() -> tuple[bool, Any]:
@@ -239,7 +319,7 @@ class Comm:
 
     def bcast(self, payload: Any, root: int = 0) -> Any:
         """Broadcast ``payload`` from ``root``; returns it on every rank."""
-        self._check_peer(root)
+        self._check_peer(root, "bcast")
         return self.world.collective(
             self.rank, f"bcast:{root}", payload if self.rank == root else None,
             lambda c: c[root],
@@ -259,7 +339,9 @@ class Comm:
                 return max(ordered)
             if op == "min":
                 return min(ordered)
-            raise CommunicatorError(f"unknown reduction op {op!r}")
+            raise CommunicatorError(
+                f"rank {self.rank}: unknown reduction op {op!r} in allreduce"
+            )
 
         return self.world.collective(self.rank, f"allreduce:{op}", value, combine)
 
@@ -274,7 +356,7 @@ class Comm:
 
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         """Gather to ``root``; other ranks receive None."""
-        self._check_peer(root)
+        self._check_peer(root, "gather")
         gathered = self.world.collective(
             self.rank,
             f"gather:{root}",
@@ -285,11 +367,12 @@ class Comm:
 
     def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
         """Scatter a list from ``root``, one element per rank."""
-        self._check_peer(root)
+        self._check_peer(root, "scatter")
         if self.rank == root:
             if values is None or len(values) != self.size:
                 raise CommunicatorError(
-                    "scatter requires one value per rank at the root"
+                    f"rank {self.rank}: scatter from root {root} requires "
+                    f"one value per rank ({self.size})"
                 )
         gathered = self.world.collective(
             self.rank,

@@ -82,9 +82,13 @@ def run_spmd(
     if errors:
         # Prefer the originating failure: once one rank dies, its peers
         # fail with secondary CommunicatorErrors from the poisoned world.
-        from .communicator import CommunicatorError
+        from .communicator import CommunicatorError, RankDeath
 
         primary = [r for r, e in errors.items() if not isinstance(e, CommunicatorError)]
+        if not primary:
+            # An injected rank death outranks the secondary errors its
+            # peers raise out of the poisoned world.
+            primary = [r for r, e in errors.items() if isinstance(e, RankDeath)]
         rank = min(primary) if primary else min(errors)
         raise SpmdError(rank, errors[rank]) from errors[rank]
     return results

@@ -31,6 +31,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..faults.abft import AbftChecker, SdcDetected, corrupt_product
+from ..faults.events import emit as emit_fault_event
+from ..faults.plan import CORRUPTION_KINDS
+from ..faults.plan import fire as fire_fault
 from ..machine.perf_model import (
     KernelPerformance,
     MemoryMode,
@@ -41,7 +45,7 @@ from ..machine.specs import KNL_7230, ProcessorSpec
 from ..mat.aij import AijMat
 from ..mat.base import Mat
 from ..mat.sparsity import signature
-from ..simd.engine import SimdEngine
+from ..simd.engine import AlignmentFault, SimdEngine
 from ..simd.isa import Isa, get_isa
 from ..simd.counters import KernelCounters
 from ..simd.trace import TraceError
@@ -99,6 +103,20 @@ class ExecutionContext:
         measurements — bit-identical results, 1-2 orders of magnitude
         faster (see ``docs/performance.md``).  Set false to force full
         interpreted execution on every call.
+    abft / abft_rtol:
+        When ``abft`` is true, every product run through the context is
+        ABFT-verified (checksum cross-check, :mod:`repro.faults.abft`)
+        and a detected corruption degrades down the recovery ladder:
+        traced replay → interpreted kernel → scalar CSR reference.  Off
+        by default — results are then bit-identical to a context without
+        the feature.  Solvers attached to the context also inherit the
+        toggle (their operators are wrapped in
+        :class:`~repro.faults.abft.AbftOperator`).
+    audit_interval:
+        When positive, every ``audit_interval``-th replay of a cached
+        trace is cross-checked bit-exactly against a fresh interpreted
+        execution; a mismatch invalidates the cached trace and returns
+        the interpreted result.  Zero (default) disables auditing.
     """
 
     model: PerfModel = field(default_factory=lambda: make_model(KNL_7230))
@@ -109,6 +127,9 @@ class ExecutionContext:
     sigma: int = 1
     default_variant: KernelVariant | str | None = None
     use_traces: bool = True
+    abft: bool = False
+    abft_rtol: float = 1.0e-9
+    audit_interval: int = 0
 
     #: Autotune sweeps actually executed (cache misses); tests assert this
     #: stays at one per sparsity signature across repeated solves.
@@ -127,6 +148,9 @@ class ExecutionContext:
         default_factory=dict, repr=False, compare=False
     )
     _default_x_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _replay_counts: dict = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -219,17 +243,7 @@ class ExecutionContext:
         mat = self._prepared(variant, csr, slice_height, sigma)
         if x is None:
             x = self._default_x(csr.shape[1])
-        if self.use_traces:
-            y, counters = self._traced_run(
-                variant, csr, mat, x, slice_height, sigma
-            )
-        else:
-            y, counters = variant.run(
-                mat,
-                x,
-                strict_alignment=self.strict_alignment,
-                engine=self.engine(variant.isa),
-            )
+        y, counters = self._execute(variant, csr, mat, x, slice_height, sigma)
         return SpmvMeasurement(
             variant=variant,
             mat=mat,
@@ -271,6 +285,110 @@ class ExecutionContext:
             self._default_x_cache[n] = hit
         return hit
 
+    def _execute(
+        self,
+        variant: KernelVariant,
+        csr: AijMat,
+        mat: Mat,
+        x: np.ndarray,
+        slice_height: int,
+        sigma: int,
+    ) -> tuple[np.ndarray, "KernelCounters"]:
+        """Run one kernel down the graceful-degradation ladder.
+
+        Rung 1 is the normal path (traced replay, or interpreted when
+        traces are off); its output passes through the ``engine.output``
+        fault-injection site and, with :attr:`abft` on, the checksum
+        verification.  A detected corruption invalidates any cached trace
+        and retries on rung 2 (fresh interpreted execution); if that also
+        fails verification — or faults on alignment — rung 3 runs the
+        trusted scalar CSR reference kernel, which is never injected.
+        With ABFT off the ladder collapses to rung 1 exactly as before.
+        """
+        checker = AbftChecker(mat, rtol=self.abft_rtol) if self.abft else None
+        try:
+            if self.use_traces:
+                y, counters = self._traced_run(
+                    variant, csr, mat, x, slice_height, sigma
+                )
+            else:
+                y, counters = self._interpreted_run(variant, mat, x)
+            spec = fire_fault("engine.output")
+            if spec is not None and spec.kind in CORRUPTION_KINDS:
+                corrupt_product(spec, y, x, checker, site="engine.output")
+            if checker is not None:
+                checker.verify(x, y, site="engine.output")
+            return y, counters
+        except SdcDetected:
+            self._invalidate_trace(variant, csr, slice_height, sigma)
+        emit_fault_event(
+            "degraded", "dispatch", "interpreted", detail=variant.name
+        )
+        try:
+            y, counters = self._interpreted_run(variant, mat, x)
+            if checker is not None:
+                checker.verify(x, y, site="engine.output")
+            emit_fault_event(
+                "recovered", "dispatch", "interpreted", detail=variant.name
+            )
+            return y, counters
+        except (SdcDetected, AlignmentFault):
+            pass
+        emit_fault_event(
+            "degraded", "dispatch", "reference", detail=variant.name
+        )
+        reference = get_variant("CSR using novec")
+        y, counters = reference.run(
+            csr,
+            x,
+            strict_alignment=False,
+            engine=SimdEngine(reference.isa, strict_alignment=False),
+        )
+        emit_fault_event(
+            "recovered", "dispatch", "reference", detail=variant.name
+        )
+        return y, counters
+
+    def _interpreted_run(
+        self, variant: KernelVariant, mat: Mat, x: np.ndarray
+    ) -> tuple[np.ndarray, "KernelCounters"]:
+        return variant.run(
+            mat,
+            x,
+            strict_alignment=self.strict_alignment,
+            engine=self.engine(variant.isa),
+        )
+
+    def _trace_key(
+        self,
+        variant: KernelVariant,
+        csr: AijMat,
+        slice_height: int,
+        sigma: int,
+    ) -> tuple:
+        return (
+            variant.name,
+            slice_height,
+            sigma,
+            self.strict_alignment,
+            signature(csr),
+        )
+
+    def _invalidate_trace(
+        self,
+        variant: KernelVariant,
+        csr: AijMat,
+        slice_height: int,
+        sigma: int,
+    ) -> None:
+        """Drop a cached trace whose output failed verification."""
+        key = self._trace_key(variant, csr, slice_height, sigma)
+        if self._trace_cache.pop(key, None) is not None:
+            self._replay_counts.pop(key, None)
+            emit_fault_event(
+                "recovered", "trace.cache", "invalidated", detail=variant.name
+            )
+
     def _traced_run(
         self,
         variant: KernelVariant,
@@ -287,14 +405,14 @@ class ExecutionContext:
         (same stencil, new coefficients) replays the existing trace.  A
         kernel the trace layer cannot represent falls back to interpreted
         execution transparently.
+
+        A cache hit is the ``trace.replay`` fault-injection site (a stale
+        or corrupted cached trace); with :attr:`audit_interval` set, every
+        Nth replay is additionally cross-checked bit-exactly against a
+        fresh interpreted run, and a mismatch invalidates the trace and
+        returns the interpreted result.
         """
-        key = (
-            variant.name,
-            slice_height,
-            sigma,
-            self.strict_alignment,
-            signature(csr),
-        )
+        key = self._trace_key(variant, csr, slice_height, sigma)
         trace = self._trace_cache.get(key)
         if trace is None:
             try:
@@ -302,15 +420,36 @@ class ExecutionContext:
                     mat, x, strict_alignment=self.strict_alignment
                 )
             except TraceError:
-                return variant.run(
-                    mat,
-                    x,
-                    strict_alignment=self.strict_alignment,
-                    engine=self.engine(variant.isa),
-                )
+                return self._interpreted_run(variant, mat, x)
             self._trace_cache[key] = trace
             return y, counters
-        return variant.replay(trace, mat, x)
+        y, counters = variant.replay(trace, mat, x)
+        spec = fire_fault("trace.replay")
+        if spec is not None and spec.kind in CORRUPTION_KINDS:
+            checker = (
+                AbftChecker(csr, rtol=self.abft_rtol) if self.abft else None
+            )
+            corrupt_product(spec, y, x, checker, site="trace.replay")
+        if self.audit_interval > 0:
+            count = self._replay_counts.get(key, 0) + 1
+            self._replay_counts[key] = count
+            if count % self.audit_interval == 0:
+                audited, audited_counters = self._interpreted_run(
+                    variant, mat, x
+                )
+                if not np.array_equal(y, audited):
+                    emit_fault_event(
+                        "detected", "trace.audit", "mismatch",
+                        detail=variant.name,
+                    )
+                    del self._trace_cache[key]
+                    self._replay_counts.pop(key, None)
+                    emit_fault_event(
+                        "recovered", "trace.cache", "invalidated",
+                        detail=variant.name,
+                    )
+                    return audited, audited_counters
+        return y, counters
 
     def predict(
         self,
@@ -462,6 +601,9 @@ class ExecutionContext:
             sigma=self.sigma,
             default_variant=self.default_variant,
             use_traces=self.use_traces,
+            abft=self.abft,
+            abft_rtol=self.abft_rtol,
+            audit_interval=self.audit_interval,
         )
         # Shared by design: engine measurements, recorded traces, prepared
         # formats, and default inputs depend only on the kernel and the
@@ -470,4 +612,5 @@ class ExecutionContext:
         derived._trace_cache = self._trace_cache
         derived._prepare_cache = self._prepare_cache
         derived._default_x_cache = self._default_x_cache
+        derived._replay_counts = self._replay_counts
         return derived

@@ -1,0 +1,65 @@
+"""Solver health monitoring: the shared residual-sanity guard for KSP.
+
+Before this module every Krylov loop carried its own ``np.isnan(rnorm)``
+check — and only that check, so an ``Inf`` residual (overflow rather than
+0/0) iterated until ``max_it``.  :class:`HealthMonitor` subsumes those
+guards with ``np.isfinite`` and additionally flags residual *explosions*:
+a finite residual that has grown orders of magnitude past the initial one
+will never recover in exact arithmetic for these methods, so burning the
+remaining iterations is pure waste.
+
+The monitor is deliberately dumb — it looks at two floats — so it can sit
+in the innermost solver loop.  Detections are emitted to the resilience
+event stream; the mapping to a :class:`~repro.ksp.base.ConvergedReason`
+is imported lazily to keep ``repro.faults`` importable without ``ksp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .events import emit
+
+
+@dataclass
+class HealthMonitor:
+    """Classify a residual norm as healthy, non-finite, or exploded.
+
+    Parameters
+    ----------
+    divergence_factor:
+        A residual more than this factor above the initial residual is
+        declared an explosion (PETSc's ``KSPConvergedDefault`` uses 1e5
+        on the *unpreconditioned* norm; 1e8 is conservative enough to
+        never trip on legitimately stagnating solves in the test suite).
+    """
+
+    divergence_factor: float = 1.0e8
+
+    def check(self, rnorm: float, rnorm0: float):
+        """Return a diverged ``ConvergedReason`` or None if healthy."""
+        from ..ksp.base import ConvergedReason
+
+        if not np.isfinite(rnorm):
+            emit(
+                "detected",
+                "ksp.residual",
+                "nonfinite",
+                detail=f"rnorm = {rnorm!r}",
+            )
+            return ConvergedReason.NAN
+        if (
+            np.isfinite(rnorm0)
+            and rnorm0 > 0.0
+            and rnorm > self.divergence_factor * rnorm0
+        ):
+            emit(
+                "detected",
+                "ksp.residual",
+                "explosion",
+                detail=f"rnorm {rnorm:.3e} > {self.divergence_factor:.0e} * {rnorm0:.3e}",
+            )
+            return ConvergedReason.BREAKDOWN
+        return None

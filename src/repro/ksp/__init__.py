@@ -10,6 +10,7 @@ from .base import (
     ConvergedReason,
     CountingOperator,
     IdentityPC,
+    KrylovBreakdown,
     KSP,
     KSPResult,
     LinearOperator,
@@ -52,6 +53,7 @@ __all__ = [
     "JacobiPC",
     "KSP",
     "KSPResult",
+    "KrylovBreakdown",
     "LinearOperator",
     "MGPC",
     "NewtonSolver",

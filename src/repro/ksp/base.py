@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
 
+from ..faults.monitor import HealthMonitor
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.context import ExecutionContext
 
@@ -49,6 +51,15 @@ class ConvergedReason(enum.Enum):
     def converged(self) -> bool:
         """True for successful outcomes."""
         return self in (ConvergedReason.RTOL, ConvergedReason.ATOL)
+
+
+class KrylovBreakdown(RuntimeError):
+    """A zero denominator in a Krylov recurrence (Givens, rᵀz, pᵀAp).
+
+    Raised by the numerical core and mapped by each solver to
+    :attr:`ConvergedReason.BREAKDOWN` — distinct from the non-finite
+    residuals the :class:`~repro.faults.monitor.HealthMonitor` flags.
+    """
 
 
 @dataclass
@@ -128,6 +139,10 @@ class KSP:
     max_it: int = 10000
     monitor: Callable[[int, float], None] | None = None
     context: "ExecutionContext | None" = None
+    health: HealthMonitor = field(default_factory=HealthMonitor)
+    #: Detected-corruption rollbacks tolerated before giving up with
+    #: BREAKDOWN (only consulted when the context enables ABFT).
+    max_sdc_restarts: int = 8
 
     def _resolve_operator(self, op: LinearOperator) -> LinearOperator:
         """Reformat a bare CSR operator through the attached context.
@@ -136,13 +151,21 @@ class KSP:
         wrapped or already-converted operators pass through untouched (a
         caller who wrapped an operator in a
         :class:`CountingOperator` keeps exactly that object's counters).
+        With the context's :attr:`~repro.core.context.ExecutionContext.abft`
+        toggle on, the resolved matrix is wrapped in an
+        :class:`~repro.faults.abft.AbftOperator` so every product the
+        solver applies is checksum-verified.
         """
         if self.context is None:
             return op
         from ..mat.aij import AijMat
 
         if isinstance(op, AijMat):
-            return self.context.reformat(op)
+            op = self.context.reformat(op)
+        if self.context.abft and hasattr(op, "abft_checksums"):
+            from ..faults.abft import AbftOperator
+
+            op = AbftOperator(op, rtol=self.context.abft_rtol)
         return op
 
     def _check_system(self, op: LinearOperator, b: np.ndarray) -> None:
@@ -160,8 +183,9 @@ class KSP:
     def _converged(
         self, rnorm: float, rnorm0: float
     ) -> ConvergedReason | None:
-        if np.isnan(rnorm):
-            return ConvergedReason.NAN
+        unhealthy = self.health.check(rnorm, rnorm0)
+        if unhealthy is not None:
+            return unhealthy
         if rnorm <= self.atol:
             return ConvergedReason.ATOL
         if rnorm <= self.rtol * rnorm0:

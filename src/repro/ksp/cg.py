@@ -11,6 +11,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.abft import SdcDetected
+from ..faults.events import emit
 from .base import KSP, ConvergedReason, IdentityPC, KSPResult, LinearOperator
 
 
@@ -30,37 +32,65 @@ class CG(KSP):
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
         self.pc.setup(op)
 
-        r = b - op.multiply(x)
-        z = self.pc.apply(r)
-        p = z.copy()
-        rz = float(r @ z)
-        rnorm0 = float(np.linalg.norm(r)) or 1.0
         norms: list[float] = []
-        self._record(norms, 0, rnorm0)
-        reason = self._converged(rnorm0, rnorm0)
-        if reason is not None:
-            return KSPResult(x, reason, 0, norms)
-
+        rnorm0: float | None = None
         reason = ConvergedReason.ITS
         it = 0
-        for it in range(1, self.max_it + 1):
-            ap = op.multiply(p)
-            pap = float(p @ ap)
-            if pap <= 0.0:
-                reason = ConvergedReason.BREAKDOWN
-                break
-            alpha = rz / pap
-            x += alpha * p
-            r -= alpha * ap
-            rnorm = float(np.linalg.norm(r))
-            self._record(norms, it, rnorm)
-            stop = self._converged(rnorm, rnorm0)
-            if stop is not None:
-                reason = stop
-                break
-            z = self.pc.apply(r)
-            rz_new = float(r @ z)
-            beta = rz_new / rz
-            rz = rz_new
-            p = z + beta * p
+        sdc_restarts = 0
+        # The three-term recurrence (r, z, p, rz) restarts from the current
+        # iterate after any detected corruption; x itself is only advanced
+        # with vectors produced by verified products, so recomputing
+        # r = b - A x rolls back to the last consistent state.
+        needs_restart = True
+        r = z = p = None
+        rz = 0.0
+        while it < self.max_it:
+            try:
+                if needs_restart:
+                    r = b - op.multiply(x)
+                    z = self.pc.apply(r)
+                    p = z.copy()
+                    rz = float(r @ z)
+                    needs_restart = False
+                    if rnorm0 is None:
+                        rnorm0 = float(np.linalg.norm(r)) or 1.0
+                        self._record(norms, 0, rnorm0)
+                        early = self._converged(rnorm0, rnorm0)
+                        if early is not None:
+                            return KSPResult(x, early, 0, norms)
+                it += 1
+                ap = op.multiply(p)
+                pap = float(p @ ap)
+                if pap <= 0.0:
+                    reason = ConvergedReason.BREAKDOWN
+                    break
+                alpha = rz / pap
+                x += alpha * p
+                r -= alpha * ap
+                rnorm = float(np.linalg.norm(r))
+                self._record(norms, it, rnorm)
+                stop = self._converged(rnorm, rnorm0)
+                if stop is not None:
+                    reason = stop
+                    break
+                z = self.pc.apply(r)
+                rz_new = float(r @ z)
+                if rz == 0.0:
+                    # rᵀz vanished with r nonzero: the recurrence has no
+                    # next direction (indefinite preconditioner).
+                    reason = ConvergedReason.BREAKDOWN
+                    break
+                beta = rz_new / rz
+                rz = rz_new
+                p = z + beta * p
+            except SdcDetected:
+                sdc_restarts += 1
+                if sdc_restarts > self.max_sdc_restarts:
+                    reason = ConvergedReason.BREAKDOWN
+                    break
+                emit(
+                    "recovered", "ksp.cg", "rollback",
+                    detail=f"recurrence restart {sdc_restarts}",
+                )
+                needs_restart = True
         return KSPResult(x, reason, it, norms)

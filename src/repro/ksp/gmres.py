@@ -14,7 +14,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .base import KSP, ConvergedReason, IdentityPC, KSPResult, LinearOperator
+from ..faults.abft import SdcDetected
+from ..faults.events import emit
+from .base import (
+    KSP,
+    ConvergedReason,
+    IdentityPC,
+    KrylovBreakdown,
+    KSPResult,
+    LinearOperator,
+)
 
 
 @dataclass
@@ -40,67 +49,89 @@ class GMRES(KSP):
         total_it = 0
         reason = ConvergedReason.ITS
         rnorm0: float | None = None
+        sdc_restarts = 0
 
         while total_it < self.max_it:
-            # (Preconditioned) initial residual for this cycle.
-            r = b - op.multiply(x)
-            z = self.pc.apply(r)
-            beta = float(np.linalg.norm(z))
-            if rnorm0 is None:
-                rnorm0 = beta if beta > 0 else 1.0
-                self._record(norms, 0, beta)
-                early = self._converged(beta, rnorm0)
-                if early is not None:
-                    return KSPResult(x, early, 0, norms)
+            # The iterate x only changes at the end of a cycle, so a
+            # corruption detected anywhere inside one (SdcDetected from an
+            # ABFT-wrapped operator) can simply abandon the cycle: x is
+            # still the last verified iterate, and the retry recomputes the
+            # residual from it.  The injector's call counters advanced, so
+            # a scheduled fault never re-fires on the retry.
+            try:
+                # (Preconditioned) initial residual for this cycle.
+                r = b - op.multiply(x)
+                z = self.pc.apply(r)
+                beta = float(np.linalg.norm(z))
+                if rnorm0 is None:
+                    rnorm0 = beta if beta > 0 else 1.0
+                    self._record(norms, 0, beta)
+                    early = self._converged(beta, rnorm0)
+                    if early is not None:
+                        return KSPResult(x, early, 0, norms)
 
-            if beta == 0.0:
-                reason = ConvergedReason.ATOL
-                break
-
-            m = self.restart
-            v = np.zeros((m + 1, n))
-            h = np.zeros((m + 1, m))
-            cs = np.zeros(m)
-            sn = np.zeros(m)
-            g = np.zeros(m + 1)
-            v[0] = z / beta
-            g[0] = beta
-
-            k_used = 0
-            cycle_reason: ConvergedReason | None = None
-            for k in range(m):
-                if total_it >= self.max_it:
+                if beta == 0.0:
+                    reason = ConvergedReason.ATOL
                     break
-                w = self.pc.apply(op.multiply(v[k]))
-                # Modified Gram-Schmidt
-                for i in range(k + 1):
-                    h[i, k] = float(w @ v[i])
-                    w -= h[i, k] * v[i]
-                h[k + 1, k] = float(np.linalg.norm(w))
-                if h[k + 1, k] <= 1e-300:
-                    # Happy breakdown: exact solution in the current space.
+
+                m = self.restart
+                v = np.zeros((m + 1, n))
+                h = np.zeros((m + 1, m))
+                cs = np.zeros(m)
+                sn = np.zeros(m)
+                g = np.zeros(m + 1)
+                v[0] = z / beta
+                g[0] = beta
+
+                k_used = 0
+                cycle_reason: ConvergedReason | None = None
+                for k in range(m):
+                    if total_it >= self.max_it:
+                        break
+                    w = self.pc.apply(op.multiply(v[k]))
+                    # Modified Gram-Schmidt
+                    for i in range(k + 1):
+                        h[i, k] = float(w @ v[i])
+                        w -= h[i, k] * v[i]
+                    h[k + 1, k] = float(np.linalg.norm(w))
+                    if h[k + 1, k] <= 1e-300:
+                        # Happy breakdown: exact solution in the current space.
+                        k_used = k + 1
+                        total_it += 1
+                        g_k = abs(_apply_givens(h, g, cs, sn, k))
+                        self._record(norms, total_it, g_k)
+                        cycle_reason = (
+                            self._converged(g_k, rnorm0) or ConvergedReason.ATOL
+                        )
+                        break
+                    v[k + 1] = w / h[k + 1, k]
+                    rnorm = abs(_apply_givens(h, g, cs, sn, k))
                     k_used = k + 1
                     total_it += 1
-                    g_k = abs(_apply_givens(h, g, cs, sn, k))
-                    self._record(norms, total_it, g_k)
-                    cycle_reason = self._converged(g_k, rnorm0) or ConvergedReason.ATOL
-                    break
-                v[k + 1] = w / h[k + 1, k]
-                rnorm = abs(_apply_givens(h, g, cs, sn, k))
-                k_used = k + 1
-                total_it += 1
-                self._record(norms, total_it, rnorm)
-                cycle_reason = self._converged(rnorm, rnorm0)
+                    self._record(norms, total_it, rnorm)
+                    cycle_reason = self._converged(rnorm, rnorm0)
+                    if cycle_reason is not None:
+                        break
+
+                # Solve the k_used x k_used triangular system and update x.
+                if k_used > 0:
+                    y = _back_substitute(h, g, k_used)
+                    x += v[:k_used].T @ y
+
                 if cycle_reason is not None:
+                    reason = cycle_reason
                     break
-
-            # Solve the k_used x k_used triangular system and update x.
-            if k_used > 0:
-                y = _back_substitute(h, g, k_used)
-                x += v[:k_used].T @ y
-
-            if cycle_reason is not None:
-                reason = cycle_reason
+            except SdcDetected:
+                sdc_restarts += 1
+                if sdc_restarts > self.max_sdc_restarts:
+                    reason = ConvergedReason.BREAKDOWN
+                    break
+                emit(
+                    "recovered", "ksp.gmres", "rollback",
+                    detail=f"cycle retry {sdc_restarts}",
+                )
+            except KrylovBreakdown:
+                reason = ConvergedReason.BREAKDOWN
                 break
 
         return KSPResult(x, reason, total_it, norms)
@@ -119,10 +150,11 @@ def _apply_givens(
         h[i, k] = temp
     denom = np.hypot(h[k, k], h[k + 1, k])
     if denom == 0.0:
-        cs[k], sn[k] = 1.0, 0.0
-    else:
-        cs[k] = h[k, k] / denom
-        sn[k] = h[k + 1, k] / denom
+        raise KrylovBreakdown(
+            f"zero Givens denominator at Krylov column {k}"
+        )
+    cs[k] = h[k, k] / denom
+    sn[k] = h[k + 1, k] / denom
     h[k, k] = cs[k] * h[k, k] + sn[k] * h[k + 1, k]
     h[k + 1, k] = 0.0
     g[k + 1] = -sn[k] * g[k]

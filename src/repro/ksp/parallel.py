@@ -26,9 +26,10 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..faults.monitor import HealthMonitor
 from ..mat.mpi_aij import MPIAij
 from ..vec.mpi_vec import MPIVec
-from .base import ConvergedReason, KSPResult
+from .base import ConvergedReason, KrylovBreakdown, KSPResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.context import ExecutionContext
@@ -117,6 +118,7 @@ class ParallelGMRES:
     pc: object = field(default_factory=ParallelIdentityPC)
     monitor: Callable[[int, float], None] | None = None
     context: "ExecutionContext | None" = None
+    health: HealthMonitor = field(default_factory=HealthMonitor)
 
     def solve(
         self, op: MPIAij, b: MPIVec, x0: MPIVec | None = None
@@ -145,8 +147,11 @@ class ParallelGMRES:
                 self.monitor(it, rnorm)
 
         def converged(rnorm: float) -> ConvergedReason | None:
-            if np.isnan(rnorm):
-                return ConvergedReason.NAN
+            unhealthy = self.health.check(
+                rnorm, rnorm0 if rnorm0 is not None else rnorm
+            )
+            if unhealthy is not None:
+                return unhealthy
             if rnorm <= self.atol:
                 return ConvergedReason.ATOL
             if rnorm0 is not None and rnorm <= self.rtol * rnorm0:
@@ -181,32 +186,37 @@ class ParallelGMRES:
 
             k_used = 0
             cycle_reason: ConvergedReason | None = None
-            for k in range(m):
-                if total_it >= self.max_it:
-                    break
-                w = self.pc.apply(op.multiply(basis[k]))
-                # Modified Gram-Schmidt: one global reduction per basis
-                # vector (the allreduce cost the Figure 10 model charges).
-                for i in range(k + 1):
-                    h[i, k] = w.dot(basis[i])
-                    w.axpy(-h[i, k], basis[i])
-                h[k + 1, k] = w.norm("2")
-                if h[k + 1, k] <= 1e-300:
+            try:
+                for k in range(m):
+                    if total_it >= self.max_it:
+                        break
+                    w = self.pc.apply(op.multiply(basis[k]))
+                    # Modified Gram-Schmidt: one global reduction per basis
+                    # vector (the allreduce cost the Figure 10 model charges).
+                    for i in range(k + 1):
+                        h[i, k] = w.dot(basis[i])
+                        w.axpy(-h[i, k], basis[i])
+                    h[k + 1, k] = w.norm("2")
+                    if h[k + 1, k] <= 1e-300:
+                        k_used = k + 1
+                        total_it += 1
+                        rnorm = abs(_givens(h, g, cs, sn, k))
+                        record(total_it, rnorm)
+                        cycle_reason = converged(rnorm) or ConvergedReason.ATOL
+                        break
+                    w.scale(1.0 / h[k + 1, k])
+                    basis.append(w)
+                    rnorm = abs(_givens(h, g, cs, sn, k))
                     k_used = k + 1
                     total_it += 1
-                    rnorm = abs(_givens(h, g, cs, sn, k))
                     record(total_it, rnorm)
-                    cycle_reason = converged(rnorm) or ConvergedReason.ATOL
-                    break
-                w.scale(1.0 / h[k + 1, k])
-                basis.append(w)
-                rnorm = abs(_givens(h, g, cs, sn, k))
-                k_used = k + 1
-                total_it += 1
-                record(total_it, rnorm)
-                cycle_reason = converged(rnorm)
-                if cycle_reason is not None:
-                    break
+                    cycle_reason = converged(rnorm)
+                    if cycle_reason is not None:
+                        break
+            except KrylovBreakdown:
+                # Partial columns up to k_used are still consistent; fall
+                # through to the update so the best iterate is returned.
+                cycle_reason = ConvergedReason.BREAKDOWN
 
             if k_used > 0:
                 y = _back_substitute(h, g, k_used)
@@ -230,6 +240,7 @@ class ParallelRichardson:
     atol: float = 1.0e-50
     pc: object = field(default_factory=ParallelIdentityPC)
     context: "ExecutionContext | None" = None
+    health: HealthMonitor = field(default_factory=HealthMonitor)
 
     def solve(
         self, op: MPIAij, b: MPIVec, x0: MPIVec | None = None
@@ -251,8 +262,9 @@ class ParallelRichardson:
             if rnorm0 is None:
                 rnorm0 = rnorm or 1.0
             norms.append(rnorm)
-            if np.isnan(rnorm):
-                reason = ConvergedReason.NAN
+            unhealthy = self.health.check(rnorm, rnorm0)
+            if unhealthy is not None:
+                reason = unhealthy
                 break
             if rnorm <= self.atol:
                 reason = ConvergedReason.ATOL

@@ -21,6 +21,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..faults.events import emit as emit_fault_event
+from ..faults.plan import fire as fire_fault
+
 
 @dataclass(frozen=True)
 class NetworkModel:
@@ -32,10 +35,31 @@ class NetworkModel:
     overhead_s: float = 5.0e-7
 
     def message_time(self, nbytes: int) -> float:
-        """Point-to-point time for one message of ``nbytes``."""
+        """Point-to-point time for one message of ``nbytes``.
+
+        The ``network.message`` fault site lives here: a scheduled
+        straggler multiplies the priced time for this one message — a
+        latency spike that slows the modeled job but never corrupts it,
+        hence a *benign* resilience event.
+        """
         if nbytes < 0:
             raise ValueError("message size must be non-negative")
-        return self.latency_s + self.overhead_s + nbytes / (self.bandwidth_gbs * 1e9)
+        base = (
+            self.latency_s
+            + self.overhead_s
+            + nbytes / (self.bandwidth_gbs * 1e9)
+        )
+        spec = fire_fault("network.message")
+        if spec is not None:
+            factor = spec.magnitude if spec.kind == "straggle" else 1.0
+            emit_fault_event(
+                "benign",
+                "network.message",
+                spec.kind,
+                detail=f"message of {nbytes} B priced {factor:g}x",
+            )
+            return base * factor
+        return base
 
     def halo_exchange_time(self, neighbor_count: int, bytes_per_neighbor: int) -> float:
         """Time for one rank's ghost update (messages proceed concurrently).

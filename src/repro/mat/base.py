@@ -119,6 +119,29 @@ class Mat(abc.ABC):
         """The main diagonal (zero where no entry is stored)."""
         return self.to_csr().diagonal()
 
+    # -- ABFT checksums ------------------------------------------------------
+    def abft_checksums(self) -> tuple[np.ndarray, np.ndarray]:
+        """(w, wabs) = (Aᵀ·1, |A|ᵀ·1), computed once per matrix and cached.
+
+        These are the row-checksum vectors of the ABFT verification
+        (:mod:`repro.faults.abft`): ``w·x = Σ(A·x)`` exactly in real
+        arithmetic, and ``wabs`` bounds the rounding of that identity.
+        Formats whose storage permits it override
+        :meth:`_compute_abft_checksums` to avoid the CSR round-trip.
+        """
+        cached = getattr(self, "_abft_checksum_cache", None)
+        if cached is None:
+            cached = self._compute_abft_checksums()
+            self._abft_checksum_cache = cached
+        return cached
+
+    def _compute_abft_checksums(self) -> tuple[np.ndarray, np.ndarray]:
+        csr = self.to_csr()
+        n = self.shape[1]
+        w = np.bincount(csr.colidx, weights=csr.val, minlength=n)[:n]
+        wabs = np.bincount(csr.colidx, weights=np.abs(csr.val), minlength=n)[:n]
+        return w, wabs
+
     # -- helpers for subclasses ---------------------------------------------
     def _check_multiply_args(
         self, x: np.ndarray, y: np.ndarray | None

@@ -28,6 +28,7 @@ from .spaces import (
     MemoryKind,
     MemoryKindExhausted,
     aligned_alloc,
+    misaligned_alloc,
 )
 from .stream import StreamResult, figure4_series, run_all, triad
 
@@ -53,6 +54,7 @@ __all__ = [
     "StreamResult",
     "aligned_alloc",
     "figure4_series",
+    "misaligned_alloc",
     "run_all",
     "sustained_fraction",
     "triad",

@@ -80,6 +80,40 @@ def aligned_alloc(
     return view
 
 
+def misaligned_alloc(
+    n: int,
+    dtype: np.dtype | type = np.float64,
+    alignment: int = 64,
+    offset: int = 8,
+) -> np.ndarray:
+    """Allocate ``n`` elements whose base address is deliberately misaligned.
+
+    The returned view's data pointer satisfies
+    ``ptr % alignment == offset`` (``offset`` must be a nonzero multiple of
+    the element size below ``alignment``).  This is the deterministic
+    fault-injection counterpart of :func:`aligned_alloc`: tests that need
+    an engine to take an :class:`~repro.simd.alignment.AlignmentFault`
+    build their arrays here instead of re-allocating in a loop and hoping
+    the heap misaligns one.
+    """
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError("alignment must be a positive power of two")
+    dt = np.dtype(dtype)
+    if not 0 < offset < alignment:
+        raise ValueError(f"offset must lie in (0, {alignment})")
+    if offset % dt.itemsize:
+        raise ValueError(
+            f"offset {offset} is not a multiple of the {dt.itemsize}-byte "
+            "element size"
+        )
+    nbytes = n * dt.itemsize
+    raw = np.zeros(nbytes + 2 * alignment, dtype=np.uint8)
+    start = (-raw.ctypes.data) % alignment + offset
+    view = raw[start : start + nbytes].view(dt)
+    assert nbytes == 0 or view.ctypes.data % alignment == offset
+    return view
+
+
 @dataclass
 class Allocation:
     """One tracked allocation: its kind, size, and optional real buffer."""

@@ -87,6 +87,18 @@ class EventLog:
                     parent_children + elapsed,
                 )
 
+    def bump(self, name: str, count: int = 1) -> EventRecord:
+        """Count an occurrence of ``name`` without timing it.
+
+        Resilience events (fault injections, detections, recoveries) are
+        instantaneous from the profiler's point of view; they show up in
+        the summary with call counts and zero time, the way PETSc logs
+        stage markers.
+        """
+        rec = self.record(name)
+        rec.calls += count
+        return rec
+
     def timed(self, name: str, flops: int = 0) -> Callable[[Callable[..., T]], Callable[..., T]]:
         """Decorator form of :meth:`event`."""
 

@@ -1,0 +1,54 @@
+"""CommunicatorError messages carry rank, peer, tag, and operation context.
+
+A four-rank job dying with "peer out of range" is undiagnosable without
+knowing *which* rank tried to talk to *whom* in *which* operation; these
+tests pin the context the communicator now includes.
+"""
+
+import pytest
+
+from repro.comm.communicator import Comm, CommunicatorError, World
+
+
+@pytest.fixture
+def comm():
+    return Comm(World(2), 0)
+
+
+class TestPointToPointContext:
+    def test_send_names_rank_peer_and_tag(self, comm):
+        with pytest.raises(CommunicatorError) as excinfo:
+            comm.send(1.0, dest=5, tag=42)
+        message = str(excinfo.value)
+        assert "rank 0" in message
+        assert "peer rank 5" in message
+        assert "world size 2" in message
+        assert "send(tag=42)" in message
+
+    def test_irecv_names_the_operation_and_tag(self, comm):
+        with pytest.raises(CommunicatorError, match=r"irecv\(tag=3\)"):
+            comm.irecv(source=-1, tag=3)
+
+
+class TestCollectiveContext:
+    def test_bcast_names_the_operation(self, comm):
+        with pytest.raises(CommunicatorError, match="bcast"):
+            comm.bcast(1.0, root=9)
+
+    def test_gather_names_the_operation(self, comm):
+        with pytest.raises(CommunicatorError, match="gather"):
+            comm.gather(1.0, root=9)
+
+    def test_scatter_length_error_names_rank_and_root(self, comm):
+        with pytest.raises(
+            CommunicatorError, match="rank 0: scatter from root 0"
+        ):
+            comm.scatter([1.0], root=0)  # needs one value per rank (2)
+
+    def test_allreduce_unknown_op_names_rank_and_op(self):
+        # A one-rank world so the collective completes (and fails) inline.
+        solo = Comm(World(1), 0)
+        with pytest.raises(
+            CommunicatorError, match="rank 0: unknown reduction op 'median'"
+        ):
+            solo.allreduce(1.0, op="median")

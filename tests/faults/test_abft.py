@@ -1,0 +1,141 @@
+"""ABFT row checksums: no false positives, every scheduled corruption caught.
+
+The detection sweep runs the full 16-variant kernel panel over the
+record/replay structure panel (the same fixtures as
+``tests/core/test_trace_replay.py``): the clean product of every variant
+must verify, and a NaN or exponent bit-flip injected into any of those
+products must raise :class:`SdcDetected`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.core.dispatch import ALL_VARIANTS
+from repro.core.sell import SellMat
+from repro.faults.abft import (
+    AbftChecker,
+    AbftOperator,
+    SdcDetected,
+    checksum_vectors,
+    corrupt_product,
+)
+from repro.faults.events import ResilienceLog, capture
+from repro.faults.plan import FaultInjector, FaultPlan, FaultSpec, apply_corruption, inject
+from repro.mat.aij import AijMat
+from repro.pde.problems import gray_scott_jacobian
+
+from ..core.test_trace_replay import STRUCTURES
+
+
+class TestChecksumVectors:
+    def test_known_small_matrix(self):
+        # [[1, -2], [0, 3]]: w = A^T.1 = (1, 1), wabs = |A|^T.1 = (1, 5)
+        csr = AijMat(
+            (2, 2),
+            np.array([0, 2, 3]),
+            np.array([0, 1, 1], dtype=np.int32),
+            np.array([1.0, -2.0, 3.0]),
+        )
+        w, wabs = checksum_vectors(csr)
+        assert np.array_equal(w, [1.0, 1.0])
+        assert np.array_equal(wabs, [1.0, 5.0])
+
+    def test_sell_override_matches_the_csr_checksums(self):
+        csr = gray_scott_jacobian(6)
+        sell = SellMat.from_csr(csr, slice_height=8, sigma=16)
+        w_csr, wabs_csr = csr.abft_checksums()
+        w_sell, wabs_sell = sell.abft_checksums()
+        assert np.allclose(w_csr, w_sell)
+        assert np.allclose(wabs_csr, wabs_sell)
+
+
+@pytest.mark.parametrize("variant_name", sorted(ALL_VARIANTS))
+@pytest.mark.parametrize("structure", sorted(STRUCTURES))
+def test_panel_clean_products_verify_and_corrupted_ones_are_caught(
+    variant_name, structure
+):
+    factory, c, s = STRUCTURES[structure]
+    csr = factory()
+    if ALL_VARIANTS[variant_name].fmt == "BAIJ" and (
+        csr.shape[0] % 2 or csr.shape[1] % 2
+    ):
+        pytest.skip("BAIJ(bs=2) needs even dimensions")
+    x = np.random.default_rng(11).standard_normal(csr.shape[1])
+    # An ABFT-enabled context verifies the product inline: a clean run
+    # completing without SdcDetected is the zero-false-positive half.
+    ctx = ExecutionContext(abft=True)
+    meas = ctx.measure(variant_name, csr, x=x, slice_height=c, sigma=s)
+    checker = AbftChecker(csr)
+    checker.verify(x, meas.y)
+    # The detection half: poison the largest element (whose perturbation
+    # is necessarily far above the rounding-scale tolerance).
+    i = int(np.argmax(np.abs(meas.y)))
+    for kind in ("nan", "bitflip"):
+        y = meas.y.copy()
+        apply_corruption(
+            FaultSpec("spmv.output", 0, kind, index=i, bit=62), y
+        )
+        with capture(), pytest.raises(SdcDetected):
+            checker.verify(x, y)
+
+
+class TestVerifyEdges:
+    def test_abstains_when_the_input_is_nonfinite(self):
+        csr = gray_scott_jacobian(4)
+        checker = AbftChecker(csr)
+        x = np.full(csr.shape[1], np.inf)
+        checker.verify(x, np.full(csr.shape[0], np.nan))  # must not raise
+
+    def test_subtolerance_flip_is_classified_provably_benign(self):
+        csr = gray_scott_jacobian(4)
+        checker = AbftChecker(csr)
+        x = np.zeros(csr.shape[1])
+        y = csr.multiply(x)  # exactly zero
+        spec = FaultSpec("spmv.output", 0, "bitflip", index=0, bit=52)
+        log = ResilienceLog()
+        with capture(log):
+            corrupt_product(spec, y, x, checker, site="spmv.output")
+        assert y[0] != 0.0  # the flip did land...
+        assert log.counts()["benign"] == 1  # ...but is roundoff-scale
+        checker.verify(x, y)  # and indeed passes the checksum test
+
+    def test_detection_emits_a_detected_event(self):
+        csr = gray_scott_jacobian(4)
+        checker = AbftChecker(csr)
+        x = np.ones(csr.shape[1])
+        y = csr.multiply(x)
+        y[3] = np.nan
+        log = ResilienceLog()
+        with capture(log), pytest.raises(SdcDetected):
+            checker.verify(x, y)
+        (event,) = log.of("detected")
+        assert (event.site, event.kind) == ("spmv.output", "abft")
+
+
+class TestAbftOperator:
+    def test_clean_multiply_matches_and_passes_through(self):
+        csr = gray_scott_jacobian(4)
+        op = AbftOperator(csr)
+        x = np.ones(csr.shape[1])
+        assert np.array_equal(op.multiply(x), csr.multiply(x))
+        assert np.array_equal(op.diagonal(), csr.diagonal())
+        assert op.to_csr() is csr.to_csr()
+        assert op.shape == csr.shape
+
+    def test_armed_injector_corruption_is_caught_in_flight(self):
+        csr = gray_scott_jacobian(4)
+        op = AbftOperator(csr)
+        plan = FaultPlan([FaultSpec("spmv.output", 1, "nan")])
+        x = np.ones(csr.shape[1])
+        with capture() as log, inject(FaultInjector(plan)):
+            op.multiply(x)  # call 0: clean
+            with pytest.raises(SdcDetected):
+                op.multiply(x)  # call 1: poisoned, caught
+        assert log.counts() == {
+            "injected": 1,
+            "detected": 1,
+            "recovered": 0,
+            "degraded": 0,
+            "benign": 0,
+        }

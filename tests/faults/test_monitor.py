@@ -1,0 +1,35 @@
+"""HealthMonitor: the solvers' shared non-finite and divergence sentinel."""
+
+import numpy as np
+
+from repro.faults.events import ResilienceLog, capture
+from repro.faults.monitor import HealthMonitor
+from repro.ksp.base import ConvergedReason
+
+
+class TestHealthMonitor:
+    def test_healthy_residual_passes(self):
+        assert HealthMonitor().check(0.5, 1.0) is None
+
+    def test_nan_residual_is_flagged(self):
+        assert HealthMonitor().check(np.nan, 1.0) is ConvergedReason.NAN
+
+    def test_inf_residual_is_flagged(self):
+        assert HealthMonitor().check(np.inf, 1.0) is ConvergedReason.NAN
+
+    def test_explosion_past_the_divergence_factor_is_breakdown(self):
+        monitor = HealthMonitor(divergence_factor=1e3)
+        assert monitor.check(999.0, 1.0) is None
+        assert monitor.check(1.0e4, 1.0) is ConvergedReason.BREAKDOWN
+
+    def test_zero_initial_residual_never_divides(self):
+        assert HealthMonitor().check(1.0, 0.0) is None
+
+    def test_flags_emit_detected_events(self):
+        log = ResilienceLog()
+        with capture(log):
+            HealthMonitor(divergence_factor=10.0).check(np.nan, 1.0)
+            HealthMonitor(divergence_factor=10.0).check(100.0, 1.0)
+        events = log.of("detected")
+        assert len(events) == 2
+        assert all(e.site == "ksp.residual" for e in events)

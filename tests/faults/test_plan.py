@@ -1,0 +1,126 @@
+"""Fault plans and the injector: schedules, determinism, firing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.faults.events import ResilienceLog, capture
+from repro.faults.plan import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    apply_corruption,
+    fire,
+    inject,
+)
+
+BUDGETS = {"spmv.output": 3, "comm.send@0": 2, "network.message": 1}
+KINDS = {
+    "spmv.output": ("bitflip", "nan"),
+    "comm.send@0": ("drop", "straggle"),
+    "network.message": ("straggle",),
+}
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("spmv.output", 0, "gamma-ray")
+
+    def test_negative_call_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSpec("spmv.output", -1, "nan")
+
+
+class TestApplyCorruption:
+    def test_nan_poisons_the_indexed_element(self):
+        y = np.arange(4.0)
+        apply_corruption(FaultSpec("s", 0, "nan", index=6), y)  # 6 % 4 == 2
+        assert np.isnan(y[2]) and np.isfinite(y[[0, 1, 3]]).all()
+
+    def test_zero_clears_the_indexed_element(self):
+        y = np.arange(1.0, 5.0)
+        apply_corruption(FaultSpec("s", 0, "zero", index=1), y)
+        assert y[1] == 0.0
+
+    def test_bitflip_is_a_self_inverse_large_perturbation(self):
+        y = np.full(3, 1.5)
+        spec = FaultSpec("s", 0, "bitflip", index=0, bit=62)
+        apply_corruption(spec, y)
+        # 1.5 with its top exponent bit flipped is NaN — still "far from"
+        # the true value in the sense the checksum tolerance measures.
+        assert not abs(y[0] - 1.5) <= 1.0
+        apply_corruption(spec, y)  # XOR twice restores the value exactly
+        assert y[0] == 1.5
+
+    def test_comm_kind_is_not_a_corruption(self):
+        with pytest.raises(ValueError, match="not a corruption kind"):
+            apply_corruption(FaultSpec("s", 0, "drop"), np.ones(2))
+
+
+class TestFaultPlan:
+    def test_duplicate_site_call_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(
+                [FaultSpec("a", 1, "nan"), FaultSpec("a", 1, "bitflip")]
+            )
+
+    def test_generate_is_a_pure_function_of_the_seed(self):
+        p1 = FaultPlan.generate(42, BUDGETS, kinds=KINDS)
+        p2 = FaultPlan.generate(42, BUDGETS, kinds=KINDS)
+        assert p1.as_tuples() == p2.as_tuples()
+        assert p1.as_tuples() != FaultPlan.generate(43, BUDGETS, kinds=KINDS).as_tuples()
+
+    def test_generate_honors_budgets_and_kind_restrictions(self):
+        plan = FaultPlan.generate(7, BUDGETS, kinds=KINDS, max_call=10)
+        assert len(plan) == sum(BUDGETS.values())
+        for spec in plan:
+            assert 0 <= spec.call < 10
+            assert spec.kind in KINDS[spec.site]
+
+    def test_generate_rejects_overfull_sites(self):
+        with pytest.raises(ValueError, match="cannot schedule"):
+            FaultPlan.generate(1, {"s": 5}, max_call=4)
+
+
+class TestFaultInjector:
+    def test_fires_exactly_on_the_scheduled_call(self):
+        plan = FaultPlan([FaultSpec("site", 2, "nan")])
+        injector = FaultInjector(plan)
+        with capture(), inject(injector):
+            assert fire("site") is None          # call 0
+            assert fire("site") is None          # call 1
+            spec = fire("site")                  # call 2: strikes
+            assert spec is not None and spec.kind == "nan"
+            assert fire("site") is None          # call 3
+        assert injector.pending() == 0
+        assert injector.calls("site") == 4
+        assert [s.call for s in injector.fired] == [2]
+
+    def test_sites_have_independent_counters(self):
+        plan = FaultPlan(
+            [FaultSpec("a", 0, "nan"), FaultSpec("b", 1, "nan")]
+        )
+        with capture(), inject(FaultInjector(plan)) as injector:
+            assert fire("b") is None
+            assert fire("a") is not None
+            assert injector.pending("b") == 1
+            assert fire("b") is not None
+
+    def test_fire_without_an_armed_injector_is_a_noop(self):
+        assert fire("anything") is None
+
+    def test_nested_arming_is_rejected(self):
+        plan = FaultPlan([])
+        with inject(FaultInjector(plan)):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with inject(FaultInjector(plan)):
+                    pass  # pragma: no cover
+
+    def test_firing_emits_an_injected_event(self):
+        plan = FaultPlan([FaultSpec("site", 0, "bitflip")])
+        log = ResilienceLog()
+        with capture(log), inject(FaultInjector(plan)):
+            fire("site")
+        assert log.counts()["injected"] == 1
+        (event,) = log.of("injected")
+        assert (event.site, event.kind) == ("site", "bitflip")

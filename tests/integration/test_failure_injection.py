@@ -17,17 +17,19 @@ class TestAlignmentFaults:
         from repro.simd.engine import SimdEngine
         from repro.simd.isa import AVX512
         from repro.core.kernels_sell import spmv_sell
+        from repro.memory.spaces import misaligned_alloc
 
         csr = gray_scott_jacobian(4)
-        # Deliberately build with the old 16-byte default.  The first slice
-        # base may land anywhere; try a few constructions until one is
-        # genuinely misaligned for 64-byte loads (the usual case).
-        for attempt in range(8):
-            sell = SellMat.from_csr(csr, alignment=16)
-            if sell.val.ctypes.data % 64 != 0:
-                break
-        else:
-            pytest.skip("allocator kept returning 64-byte-aligned buffers")
+        sell = SellMat.from_csr(csr, alignment=16)
+        # Deterministically reproduce the old 16-byte default: place the
+        # value array at a 16-byte-but-not-64-byte boundary, exactly the
+        # misalignment the paper's hang traced back to.
+        val = misaligned_alloc(
+            sell.val.shape[0], np.float64, alignment=64, offset=16
+        )
+        val[:] = sell.val
+        sell.val = val
+        assert sell.val.ctypes.data % 64 == 16
         engine = SimdEngine(AVX512, strict_alignment=True)
         with pytest.raises(AlignmentFault):
             spmv_sell(engine, sell, np.ones(csr.shape[1]),
