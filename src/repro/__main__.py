@@ -14,6 +14,7 @@ Commands:
 ``ablations``   the Section 5 design-decision studies
 ``headline``    the headline-claim checklist
 ``calibrate``   re-run the KNL cost-table fit
+``analyze``     static kernel verifier (see ``analyze --help``)
 ``info``        version, module inventory, and test entry points
 ==============  =========================================================
 """
@@ -58,6 +59,10 @@ def main(argv: list[str] | None = None) -> int:
 
         calibrate_main()
         return 0
+    if command == "analyze":
+        from .analysis.cli import main as analyze_main
+
+        return analyze_main(args[1:])
     if command == "all":
         from .bench.run_all import main as run_all_main
 
@@ -79,7 +84,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     if command not in modules:
         print(f"unknown command {command!r}; choose from: "
-              f"{', '.join(['all', *modules, 'calibrate', 'info'])}",
+              f"{', '.join(['all', *modules, 'analyze', 'calibrate', 'info'])}",
               file=sys.stderr)
         return 2
     print(modules[command].render())

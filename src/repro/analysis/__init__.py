@@ -1,0 +1,61 @@
+"""Static kernel verifier: trace lint, comm-schedule checks, mutation corpus.
+
+The package turns the recorded trace IR (:mod:`repro.simd.trace`) and the
+vector-clocked communication log (:mod:`repro.comm.schedule`) into coded
+diagnostics — ``VEC0xx`` for kernel traces, ``COMM0xx`` for SPMD
+schedules — without executing anything on the machine model.  See
+``docs/analysis.md`` for the code catalogue and ``python -m repro
+analyze`` for the CLI entry point.
+"""
+
+from .comm_check import (
+    ANY,
+    Coll,
+    Recv,
+    Send,
+    check_log,
+    check_schedule,
+    solver_iteration_schedule,
+)
+from .corpus import CASES, CorpusCase, run_case, run_corpus
+from .diagnostics import CODES, AnalysisReport, Diagnostic
+from .kernel import analyze_all, analyze_variant, default_structures, summarize
+from .trace_lint import (
+    BufferInfo,
+    TraceSubject,
+    coverage_pass,
+    dataflow_pass,
+    isa_pass,
+    lint_recorder,
+    lint_trace,
+    memory_pass,
+)
+
+__all__ = [
+    "ANY",
+    "AnalysisReport",
+    "BufferInfo",
+    "CASES",
+    "CODES",
+    "Coll",
+    "CorpusCase",
+    "Diagnostic",
+    "Recv",
+    "Send",
+    "TraceSubject",
+    "analyze_all",
+    "analyze_variant",
+    "check_log",
+    "check_schedule",
+    "coverage_pass",
+    "dataflow_pass",
+    "default_structures",
+    "isa_pass",
+    "lint_recorder",
+    "lint_trace",
+    "memory_pass",
+    "run_case",
+    "run_corpus",
+    "solver_iteration_schedule",
+    "summarize",
+]

@@ -1,0 +1,291 @@
+"""Mutation corpus: deliberately broken kernels the analyzer must catch.
+
+Each :class:`CorpusCase` records (or hand-builds) a small SpMV-shaped
+kernel trace carrying one seeded defect and names the ``VEC0xx`` codes the
+linter is required to emit for it.  The corpus is the analyzer's negative
+test bed: the shipped kernels prove the passes are quiet on correct code,
+these prove they are *loud* on broken code — a pass that stops firing on
+its mutant is a regression even if every real kernel still comes back
+clean.
+
+The mutants mirror real porting accidents: an off-by-one remainder mask,
+a gather reading the wrong index buffer, AVX-512 tail handling left in an
+AVX build, an accumulator dropped between ``reduce_add`` and the store,
+a misaligned streaming load, a double-written or skipped output row.
+
+Cases record under whichever ISA lets the broken trace exist.  The
+ISA-conformance mutants record under a capable ISA and then re-lint the
+same trace against the ISA the kernel *claims* — exactly the situation a
+static checker exists for, since the interpreting engine can only reject
+what it executes (and ``blend_zero`` it does not gate at all).
+
+:func:`run_corpus` checks every case and reports, per mutant, the codes
+expected, the codes found, and whether all expected codes surfaced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..memory.spaces import aligned_alloc
+from ..simd.isa import AVX, AVX2, AVX512, Isa
+from ..simd.register import MaskRegister
+from ..simd.trace import TraceRecorder
+from .diagnostics import AnalysisReport
+from .trace_lint import BufferInfo, TraceSubject, lint_trace
+
+#: Logical row/column counts shared by the recorded mutants.  The physical
+#: buffers are padded past these so the *recording* always succeeds; the
+#: defects are caught statically against the logical bounds.
+_M, _N = 6, 8
+
+
+def _recorder(isa: Isa) -> tuple[TraceRecorder, np.ndarray, np.ndarray, np.ndarray]:
+    """A bound recorder plus (val, x, y) buffers for a tiny dense-row SpMV."""
+    eng = TraceRecorder(isa)
+    val = aligned_alloc(_M * _N, np.float64, 64)
+    val[:] = np.arange(_M * _N, dtype=np.float64) * 0.25
+    x = aligned_alloc(2 * _N, np.float64, 64)  # padded: logical bound is _N
+    x[:_N] = 1.0
+    y = aligned_alloc(2 * _M, np.float64, 64)  # padded: logical bound is _M
+    eng.bind("val", val)
+    eng.bind("x", x)
+    eng.bind("y", y)
+    return eng, val, x, y
+
+
+def _dense_rows(eng, val, x, y, rows) -> None:
+    """Correct scalar row loop — the baseline every mutant perturbs."""
+    for r in rows:
+        acc = 0.0
+        for c in range(_N):
+            acc = eng.scalar_fma(eng.scalar_load(val, r * _N + c),
+                                 eng.scalar_load(x, c), acc)
+        eng.scalar_store(y, r, acc)
+
+
+def _lint(eng: TraceRecorder, claimed_isa: Isa | None = None) -> list:
+    subject = TraceSubject.from_recorder(eng, bounds={"x": _N, "y": _M})
+    if claimed_isa is not None:
+        subject = dataclasses.replace(subject, isa=claimed_isa)
+    return lint_trace(subject)
+
+
+# ---------------------------------------------------------------------------
+# the mutants
+# ---------------------------------------------------------------------------
+
+
+def tail_mask_off_by_one() -> list:
+    """Remainder mask covers one lane too many: the masked store runs off
+    the logical end of ``y`` into its padding."""
+    eng, val, x, y = _recorder(AVX512)
+    lanes = eng.lanes
+    _dense_rows(eng, val, x, y, range(lanes, _M))  # rows the vector part misses
+    acc = eng.setzero()
+    for c in range(_M):
+        acc = eng.fmadd(eng.load(val, c * lanes), eng.set1(1.0), acc)
+    tail = _M % lanes if _M % lanes else lanes
+    eng.masked_store(y, 0, acc, eng.make_mask(tail + 1))  # off by one
+    return _lint(eng)
+
+
+def swapped_gather_index() -> list:
+    """Gather fed the row-extent buffer instead of the column indices:
+    the lengths land outside ``x``'s logical bound."""
+    eng, val, x, y = _recorder(AVX512)
+    lanes = eng.lanes
+    colidx = np.arange(lanes, dtype=np.int32)          # the right buffer
+    rowlen = np.full(lanes, _N + 3, dtype=np.int32)    # the wrong one
+    eng.bind("colidx", colidx)
+    eng.bind("rowlen", rowlen)
+    idx = eng.load_index(rowlen, 0)                    # should be colidx
+    acc = eng.fmadd(eng.load(val, 0), eng.gather(x, idx), eng.setzero())
+    eng.store(y, 0, acc)
+    return _lint(eng)
+
+
+def masked_tail_on_avx() -> list:
+    """AVX-512 tail masking left in the AVX build.  ``blend_zero`` takes a
+    hand-built predicate without an ISA gate, so the engine records it
+    happily — only the static pass catches the maskless-ISA violation."""
+    eng, val, x, y = _recorder(AVX)
+    lanes = eng.lanes
+    mask = MaskRegister(np.array([True] * (lanes - 1) + [False]))
+    acc = eng.blend_zero(eng.load(val, 0), mask)
+    for r in range(_M):
+        eng.scalar_store(y, r, eng.reduce_add(acc))
+    return _lint(eng)
+
+
+def hardware_gather_on_avx() -> list:
+    """Kernel registered for AVX emits ``vgatherdpd``.  Recorded under
+    AVX2 (where it executes), linted against the claimed ISA."""
+    eng, val, x, y = _recorder(AVX2)
+    idx = eng.load_index(np.arange(eng.lanes, dtype=np.int32), 0)
+    acc = eng.mul(eng.load(val, 0), eng.gather(x, idx))
+    eng.store(y, 0, acc)
+    _dense_rows(eng, val, x, y, range(eng.lanes, _M))
+    return _lint(eng, claimed_isa=AVX)
+
+
+def fmadd_on_avx() -> list:
+    """Kernel registered for AVX uses fused multiply-add (FMA3 arrived
+    with AVX2 here); mul+add is the legal lowering."""
+    eng, val, x, y = _recorder(AVX2)
+    acc = eng.fmadd(eng.load(val, 0), eng.load(x, 0), eng.setzero())
+    eng.store(y, 0, acc)
+    _dense_rows(eng, val, x, y, range(eng.lanes, _M))
+    return _lint(eng, claimed_isa=AVX)
+
+
+def dropped_accumulator() -> list:
+    """The horizontal sum lands in a scalar that is never consumed — the
+    store writes a stray zero instead of the reduced accumulator."""
+    eng, val, x, y = _recorder(AVX512)
+    for r in range(_M):
+        acc = eng.setzero()
+        acc = eng.fmadd(eng.load(val, r * _N), eng.load(x, 0), acc)
+        eng.reduce_add(acc)           # the sum is dropped on the floor
+        eng.scalar_store(y, r, 0.0)   # should store the reduced total
+    return _lint(eng)
+
+
+def skipped_row() -> list:
+    """The row loop stops one short: the last output row is never written."""
+    eng, val, x, y = _recorder(AVX512)
+    _dense_rows(eng, val, x, y, range(_M - 1))
+    return _lint(eng)
+
+
+def double_store() -> list:
+    """Two stores hit row 0 with no intervening load — the first result
+    is silently overwritten (a symptom of a mis-slotted slice base)."""
+    eng, val, x, y = _recorder(AVX512)
+    _dense_rows(eng, val, x, y, range(_M))
+    eng.scalar_store(y, 0, eng.scalar_load(val, 0))
+    return _lint(eng)
+
+
+def misaligned_stream() -> list:
+    """``load_aligned`` used at an offset that is not a vector-width
+    multiple; only faults on hardware, so the recording sails through."""
+    eng, val, x, y = _recorder(AVX512)
+    acc = eng.load_aligned(val, 1)  # 8-byte offset vs 64-byte contract
+    eng.store(y, 0, acc)
+    _dense_rows(eng, val, x, y, range(eng.lanes, _M))
+    return _lint(eng)
+
+
+def stale_output_read() -> list:
+    """The kernel accumulates into ``y`` (``y += A@x``) without the
+    documented initialization pass: it reads rows it never stored."""
+    eng, val, x, y = _recorder(AVX512)
+    for r in range(_M):
+        stale = eng.scalar_load(y, r)  # read before any store
+        eng.scalar_store(y, r, eng.scalar_fma(eng.scalar_load(val, r * _N),
+                                              eng.scalar_load(x, 0), stale))
+    return _lint(eng)
+
+
+def lane_width_mismatch() -> list:
+    """Hand-built trace: a 4-wide index vector feeds an 8-lane gather
+    (the SSE port's half-width index slipped into the AVX-512 build)."""
+    ops = (
+        ("gather", 0, 1, np.arange(4, dtype=np.int64)),  # 4 idx, 8 lanes
+        ("vstore", 2, 0, ("r", 0)),
+    )
+    buffers = (
+        BufferInfo("val", _M * _N, 8),
+        BufferInfo("x", _N, 8),
+        BufferInfo("y", 8, 8),
+    )
+    return lint_trace(TraceSubject(
+        ops=ops, lanes=8, isa=AVX512, buffers=buffers, outputs=("y",),
+    ))
+
+
+def read_before_write() -> list:
+    """Hand-built trace: an fmadd consumes a register no op ever defined
+    (the unrolled prologue that should set it was deleted)."""
+    ops = (
+        ("vload", 0, 0, 0),
+        ("fmadd", 1, ("r", 0), ("r", 7), ("r", 0)),  # r7 never defined
+        ("vstore", 2, 0, ("r", 1)),
+    )
+    buffers = (
+        BufferInfo("val", _M * _N, 8),
+        BufferInfo("x", _N, 8),
+        BufferInfo("y", 8, 8),
+    )
+    return lint_trace(TraceSubject(
+        ops=ops, lanes=8, isa=AVX512, buffers=buffers, outputs=("y",),
+    ))
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One seeded-defect kernel and the codes the linter must raise."""
+
+    name: str
+    expect: tuple[str, ...]
+    build: Callable[[], list]
+
+    @property
+    def description(self) -> str:
+        return (self.build.__doc__ or "").split("\n")[0].rstrip(".")
+
+
+CASES: tuple[CorpusCase, ...] = (
+    CorpusCase("tail-mask-off-by-one", ("VEC031",), tail_mask_off_by_one),
+    CorpusCase("swapped-gather-index", ("VEC030",), swapped_gather_index),
+    CorpusCase("masked-tail-on-avx", ("VEC010",), masked_tail_on_avx),
+    CorpusCase("hardware-gather-on-avx", ("VEC011",), hardware_gather_on_avx),
+    CorpusCase("fmadd-on-avx", ("VEC012",), fmadd_on_avx),
+    CorpusCase("dropped-accumulator", ("VEC021",), dropped_accumulator),
+    CorpusCase("skipped-row", ("VEC041",), skipped_row),
+    CorpusCase("double-store", ("VEC040",), double_store),
+    CorpusCase("misaligned-stream", ("VEC032",), misaligned_stream),
+    CorpusCase("stale-output-read", ("VEC022",), stale_output_read),
+    CorpusCase("lane-width-mismatch", ("VEC013",), lane_width_mismatch),
+    CorpusCase("read-before-write", ("VEC020",), read_before_write),
+)
+
+
+def run_case(case: CorpusCase) -> AnalysisReport:
+    """Lint one mutant; the report's subject carries the case name."""
+    report = AnalysisReport(subject=f"corpus:{case.name}")
+    report.diagnostics.extend(case.build())
+    return report
+
+
+def run_corpus(cases: tuple[CorpusCase, ...] = CASES) -> dict:
+    """Check every mutant fires its expected codes; JSON-ready summary.
+
+    A case passes when every expected code appears among the findings.
+    ``ok`` is the conjunction — any silent mutant means a lint pass has
+    lost its teeth.
+    """
+    results = []
+    for case in cases:
+        report = run_case(case)
+        found = sorted(report.codes)
+        results.append({
+            "name": case.name,
+            "description": case.description,
+            "expected": list(case.expect),
+            "found": found,
+            "diagnostics": [str(d) for d in report.diagnostics],
+            "ok": all(code in report.codes for code in case.expect),
+        })
+    return {
+        "cases": len(results),
+        "caught": sum(r["ok"] for r in results),
+        "missed": [r["name"] for r in results if not r["ok"]],
+        "ok": all(r["ok"] for r in results),
+        "results": results,
+    }

@@ -1,0 +1,105 @@
+"""Diagnostic codes the static analyzer emits.
+
+Every finding is a :class:`Diagnostic` carrying a stable code.  ``VEC0xx``
+codes come from the kernel-trace linter (:mod:`repro.analysis.trace_lint`),
+``COMM0xx`` codes from the SPMD schedule checker
+(:mod:`repro.analysis.comm_check`).  Codes are grouped by pass:
+
+* ``VEC01x`` — ISA conformance (instruction legal for the target ISA);
+* ``VEC02x`` — dataflow (defs/uses over the SSA-like trace);
+* ``VEC03x`` — memory safety (bounds and alignment contracts);
+* ``VEC04x`` — output coverage (tail lanes written exactly once);
+* ``COMM00x`` — SPMD message-schedule safety.
+
+``docs/analysis.md`` documents each code with a minimal triggering trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: code -> one-line summary; the registry the CLI and docs enumerate.
+CODES: dict[str, str] = {
+    # ISA conformance
+    "VEC010": "mask-predicated operation on an ISA without mask registers",
+    "VEC011": "hardware gather issued on an ISA without gather support",
+    "VEC012": "fused multiply-add issued on an ISA without FMA",
+    "VEC013": "operand lane width does not match the target register width",
+    # dataflow
+    "VEC020": "register or scalar read before any definition",
+    "VEC021": "value defined but never consumed (lost accumulator)",
+    "VEC022": "output cell loaded before its first store (stale read)",
+    # memory safety
+    "VEC030": "gather/scatter index outside the bound buffer",
+    "VEC031": "load/store offset outside the bound buffer",
+    "VEC032": "aligned load/store at an offset violating the ISA alignment",
+    # coverage
+    "VEC040": "output cell stored twice with no intervening load",
+    "VEC041": "output row never written by the kernel",
+    # comm schedule
+    "COMM001": "message sent but never received (leaked send)",
+    "COMM002": "receive posted with no matching send",
+    "COMM003": "send/recv pair matched on peer but not on tag",
+    "COMM004": "wait-for cycle: ranks deadlock on each other's messages",
+    "COMM005": "wildcard receive races between concurrent sends",
+    "COMM006": "ranks entered different collective operations",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding: a coded defect at a trace or schedule site.
+
+    ``where`` locates the finding (an op index like ``op 17``, a buffer
+    name, or a rank); ``detail`` is the human-readable specifics.
+    """
+
+    code: str
+    where: str
+    detail: str
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def summary(self) -> str:
+        """The registry's one-line description of this code."""
+        return CODES[self.code]
+
+    def __str__(self) -> str:
+        return f"{self.code} at {self.where}: {self.detail}"
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "where": self.where,
+            "detail": self.detail,
+            "summary": self.summary,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one analyzed subject (a kernel variant, a schedule)."""
+
+    subject: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def as_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }

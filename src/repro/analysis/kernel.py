@@ -1,0 +1,147 @@
+"""Analyze registered kernel variants by recording and linting their traces.
+
+:func:`analyze_variant` prepares a matrix in the variant's format, records
+one kernel execution under the variant's *true* ISA (so ``gather_auto`` /
+``fmadd_auto`` resolve exactly as in production), and runs every lint pass
+of :mod:`repro.analysis.trace_lint` over the recording.  Failures *during*
+recording are findings too: the interpreting engine gates most illegal
+instructions at execution time, and the analyzer maps those exceptions to
+the same ``VEC01x`` codes a static scan would emit.
+
+:func:`analyze_all` sweeps the full variant registry over a small
+structure panel chosen to exercise every kernel path the formats have —
+a regular stencil, a power-law matrix with a trailing partial slice, and
+a sigma-sorted SELL window — and is what ``python -m repro analyze
+--all-variants`` and the CI gate run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dispatch import KernelVariant, get_variant, registered_variants
+from ..core.spmv import default_x
+from ..core.traced import trace_buffers
+from ..mat.aij import AijMat
+from ..memory.spaces import aligned_alloc
+from ..pde.problems import gray_scott_jacobian, irregular_rows
+from ..simd.engine import AlignmentFault
+from ..simd.isa import UnsupportedInstructionError
+from ..simd.register import LaneMismatchError
+from ..simd.trace import TraceRecorder
+from .diagnostics import AnalysisReport, Diagnostic
+from .trace_lint import lint_recorder
+
+
+def default_structures() -> tuple[tuple[str, AijMat, int, int], ...]:
+    """The analysis panel: (label, csr, slice_height, sigma) per entry.
+
+    Mirrors the trace-equivalence test panel: a regular stencil, a
+    power-law structure whose 19 rows leave a trailing partial slice
+    (masked/scalarized store paths), and a sigma-sorted window (the SELL
+    permutation store path).
+    """
+    return (
+        ("stencil", gray_scott_jacobian(6), 8, 1),
+        ("partial-slice", irregular_rows(19, max_len=9, seed=5), 8, 1),
+        ("sorted-sell", irregular_rows(26, max_len=9, seed=8), 8, 16),
+    )
+
+
+def _record_error(exc: Exception) -> Diagnostic:
+    """Map a record-time engine rejection to its diagnostic code."""
+    msg = str(exc)
+    if isinstance(exc, UnsupportedInstructionError):
+        if "masks" in msg:
+            return Diagnostic("VEC010", "record", msg)
+        if "gather" in msg:
+            return Diagnostic("VEC011", "record", msg)
+        if "fma" in msg:
+            return Diagnostic("VEC012", "record", msg)
+        return Diagnostic("VEC013", "record", msg)
+    if isinstance(exc, LaneMismatchError):
+        return Diagnostic("VEC013", "record", msg)
+    if isinstance(exc, AlignmentFault):
+        return Diagnostic("VEC032", "record", msg)
+    raise exc
+
+
+def analyze_variant(
+    variant: KernelVariant | str,
+    csr: AijMat | None = None,
+    slice_height: int = 8,
+    sigma: int = 1,
+    strict_alignment: bool = False,
+    label: str | None = None,
+) -> AnalysisReport:
+    """Record one execution of ``variant`` and lint the trace.
+
+    The output/input bounds handed to the memory and coverage passes are
+    the *logical* matrix dimensions; value buffers keep their physical
+    (possibly padded) lengths, because reading format padding is the
+    design, not a defect.
+    """
+    if isinstance(variant, str):
+        variant = get_variant(variant)
+    if csr is None:
+        csr = gray_scott_jacobian(6)
+    subject = f"{variant.name} on {label or 'matrix'}"
+    report = AnalysisReport(subject=subject)
+
+    mat = variant.prepare(csr, slice_height=slice_height, sigma=sigma)
+    m, n = mat.shape
+    x = default_x(n)
+    y = aligned_alloc(m, np.float64, 64)
+    recorder = TraceRecorder(variant.isa, strict_alignment=strict_alignment)
+    recorder.bind_buffers(trace_buffers(variant.fmt, mat))
+    recorder.bind("x", x)
+    recorder.bind("y", y)
+    try:
+        variant.kernel(recorder, mat, x, y)
+    except (UnsupportedInstructionError, LaneMismatchError, AlignmentFault) as exc:
+        report.diagnostics.append(_record_error(exc))
+        return report
+    report.extend(lint_recorder(recorder, bounds={"x": n, "y": m}))
+    return report
+
+
+def analyze_all(
+    variants: tuple[KernelVariant, ...] | None = None,
+    structures: tuple[tuple[str, AijMat, int, int], ...] | None = None,
+    strict_alignment: bool = False,
+) -> list[AnalysisReport]:
+    """Every variant x every panel structure; one report per pair.
+
+    Variants whose format conversion rejects a structure (e.g. BAIJ on
+    dimensions that don't block evenly) are skipped for that structure,
+    matching :meth:`ExecutionContext.best_variant`'s sweep semantics.
+    """
+    if variants is None:
+        variants = registered_variants()
+    if structures is None:
+        structures = default_structures()
+    reports: list[AnalysisReport] = []
+    for label, csr, slice_height, sigma in structures:
+        for variant in variants:
+            try:
+                reports.append(analyze_variant(
+                    variant,
+                    csr,
+                    slice_height=slice_height,
+                    sigma=sigma,
+                    strict_alignment=strict_alignment,
+                    label=label,
+                ))
+            except (ValueError, NotImplementedError):
+                continue  # format constraint, same skip rule as tuning
+    return reports
+
+
+def summarize(reports: list[AnalysisReport]) -> dict:
+    """Aggregate reports into the JSON document the CLI writes."""
+    return {
+        "analyzed": len(reports),
+        "clean": sum(r.ok for r in reports),
+        "dirty": sum(not r.ok for r in reports),
+        "reports": [r.as_dict() for r in reports],
+    }

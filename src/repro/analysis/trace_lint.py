@@ -1,0 +1,364 @@
+"""Static lint passes over a recorded kernel trace.
+
+The linter walks the linear op list a
+:class:`~repro.simd.trace.TraceRecorder` captured — decoding every op
+through the canonical :mod:`repro.simd.trace_ir` helpers, the same path
+the replay compiler uses — and emits ``VEC0xx``
+:class:`~repro.analysis.diagnostics.Diagnostic` findings from four passes:
+
+* **ISA conformance** (``VEC01x``): every op must be legal for the ISA the
+  variant targets.  The interpreting engine gates most instructions with
+  ``isa.require`` at execution time, but a handful are ungated (e.g.
+  ``blend``, whose :class:`~repro.simd.register.MaskRegister` argument can
+  be constructed directly, bypassing ``make_mask``) — the static pass
+  catches those, plus anything recorded under a permissive engine.
+* **dataflow** (``VEC02x``): the trace is SSA-like (every op defines a
+  fresh register/scalar id), so use-before-def and dead values are exact,
+  not conservative.  Dead-value accounting applies to the *scalar*
+  dataflow — the lost-accumulator class, a ``reduce_add`` result that
+  never reaches a store.  Dead vector registers are deliberately not
+  flagged: padded formats compute and drop whole accumulator strips by
+  design (a SELL trailing slice whose rows are all padding), and
+  structure-derived gathers (AIJPERM's float column indices) are consumed
+  as indices outside the float dataflow; a genuinely dropped vector
+  accumulator still surfaces as its row's missing store (``VEC041``).
+* **memory safety** (``VEC03x``): every load/store/gather/scatter cell is
+  checked against the *logical* bound of its buffer.  Logical bounds
+  default to the physical buffer lengths but can be overridden — that is
+  how padding bugs are caught: a SELL-padded physical buffer survives the
+  recording run while the analyzer still flags cells past the logical
+  matrix dimension.  Aligned-tagged ops are checked against the ISA's
+  vector alignment (base buffers are 64-byte allocated per
+  ``repro.memory.spaces``, so the offset decides).
+* **coverage** (``VEC04x``): mask-union accounting over the output
+  buffer(s) — every row written exactly once, with read-modify-write
+  (store, load, store) recognized as legal accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simd.isa import Isa
+from ..simd.trace import TraceRecorder
+from ..simd.trace_ir import (
+    op_mask,
+    op_reads,
+    op_reg_defs,
+    op_reg_uses,
+    op_scalar_defs,
+    op_scalar_uses,
+    op_writes,
+)
+from .diagnostics import Diagnostic
+
+#: Op kinds whose engine entry points are mask-predicated; all but
+#: ``blend`` are gated by ``isa.require("masks")`` at record time, but the
+#: static check covers permissively-recorded traces and the ungated ops.
+_MASK_REQUIRED = ("vstore_mask", "gather_mask", "fmadd_mask", "vload_prefix",
+                  "scatter", "blend")
+
+#: Indexed memory ops (bounds findings are VEC030, not VEC031).
+_INDEXED = ("gather", "gather_mask", "scatter")
+
+
+@dataclass(frozen=True)
+class BufferInfo:
+    """What the linter knows about one trace buffer slot."""
+
+    name: str | None      #: bound name, or None for a const snapshot
+    length: int           #: physical length in elements
+    itemsize: int         #: element size in bytes
+
+    @property
+    def label(self) -> str:
+        return self.name if self.name is not None else "<const>"
+
+
+@dataclass(frozen=True)
+class TraceSubject:
+    """A trace plus the metadata the lint passes need.
+
+    ``bounds`` maps buffer names to their *logical* element counts; any
+    buffer without an entry is bounded by its physical length.  ``outputs``
+    names the buffers the coverage pass accounts for (each logical cell
+    written exactly once).
+    """
+
+    ops: tuple
+    lanes: int
+    isa: Isa
+    buffers: tuple[BufferInfo, ...]
+    aligned_ops: frozenset[int] = frozenset()
+    emulated_ops: frozenset[int] = frozenset()
+    bounds: dict[str, int] = field(default_factory=dict)
+    outputs: tuple[str, ...] = ("y",)
+
+    def bound_of(self, b: int) -> int:
+        info = self.buffers[b]
+        if info.name is not None and info.name in self.bounds:
+            return self.bounds[info.name]
+        return info.length
+
+    @classmethod
+    def from_recorder(
+        cls,
+        recorder: TraceRecorder,
+        bounds: dict[str, int] | None = None,
+        outputs: tuple[str, ...] = ("y",),
+    ) -> "TraceSubject":
+        infos = tuple(
+            BufferInfo(
+                name=slot.name,
+                length=slot.nbytes // np.dtype(slot.dtype).itemsize,
+                itemsize=np.dtype(slot.dtype).itemsize,
+            )
+            for slot in recorder.buffers
+        )
+        return cls(
+            ops=tuple(recorder.ops),
+            lanes=recorder.lanes,
+            isa=recorder.isa,
+            buffers=infos,
+            aligned_ops=frozenset(recorder.aligned_ops),
+            emulated_ops=frozenset(recorder.emulated_ops),
+            bounds=dict(bounds or {}),
+            outputs=outputs,
+        )
+
+
+def lint_trace(subject: TraceSubject) -> list[Diagnostic]:
+    """Run every lint pass; findings in pass order, op order within."""
+    diags: list[Diagnostic] = []
+    diags.extend(isa_pass(subject))
+    diags.extend(dataflow_pass(subject))
+    diags.extend(memory_pass(subject))
+    diags.extend(coverage_pass(subject))
+    return diags
+
+
+def lint_recorder(
+    recorder: TraceRecorder,
+    bounds: dict[str, int] | None = None,
+    outputs: tuple[str, ...] = ("y",),
+) -> list[Diagnostic]:
+    """Lint a finished recording (the common entry point)."""
+    return lint_trace(TraceSubject.from_recorder(recorder, bounds, outputs))
+
+
+# ---------------------------------------------------------------------------
+# pass 1: ISA conformance
+# ---------------------------------------------------------------------------
+
+
+def isa_pass(subject: TraceSubject) -> list[Diagnostic]:
+    isa, lanes = subject.isa, subject.lanes
+    diags: list[Diagnostic] = []
+    for i, op in enumerate(subject.ops):
+        kind = op[0]
+        if not isa.has_masks and kind in _MASK_REQUIRED:
+            # Unmasked scatter (bits None) still needs AVX-512 (the
+            # instruction arrived with it), so every scatter counts.
+            diags.append(Diagnostic(
+                "VEC010", f"op {i}",
+                f"{kind} is mask-predicated but ISA {isa.name} has no "
+                f"mask registers",
+            ))
+        if kind == "gather" and i not in subject.emulated_ops and not isa.has_gather:
+            diags.append(Diagnostic(
+                "VEC011", f"op {i}",
+                f"hardware gather on ISA {isa.name} (use the SSE2 "
+                f"emulation sequence instead)",
+            ))
+        if kind in ("fmadd", "fmadd_mask") and not isa.has_fma:
+            diags.append(Diagnostic(
+                "VEC012", f"op {i}",
+                f"{kind} on ISA {isa.name} (decompose into mul + add)",
+            ))
+        diags.extend(_lane_width_check(i, op, lanes))
+    return diags
+
+
+def _lane_width_check(i: int, op: tuple, lanes: int) -> list[Diagnostic]:
+    """VEC013: every baked vector operand must span exactly ``lanes``."""
+    diags: list[Diagnostic] = []
+
+    def check(what: str, n: int) -> None:
+        if n != lanes:
+            diags.append(Diagnostic(
+                "VEC013", f"op {i}",
+                f"{op[0]} {what} spans {n} lanes on a {lanes}-lane register",
+            ))
+
+    kind = op[0]
+    if kind in ("gather", "gather_mask"):
+        check("index vector", len(np.asarray(op[3]).reshape(-1)))
+    elif kind == "scatter":
+        check("index vector", len(np.asarray(op[2]).reshape(-1)))
+    bits = op_mask(op)
+    if bits is not None:
+        check("mask", len(bits))
+    for slot in range(1, len(op)):
+        operand = op[slot]
+        if isinstance(operand, tuple) and len(operand) == 2 and operand[0] == "k":
+            check("constant operand", len(np.asarray(operand[1]).reshape(-1)))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# pass 2: dataflow
+# ---------------------------------------------------------------------------
+
+
+def dataflow_pass(subject: TraceSubject) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    reg_def_at: dict[int, int] = {}   # rid -> defining op index
+    sid_def_at: dict[int, int] = {}
+    sid_used: set[int] = set()
+    for i, op in enumerate(subject.ops):
+        for rid in op_reg_uses(op):
+            if rid not in reg_def_at:
+                diags.append(Diagnostic(
+                    "VEC020", f"op {i}",
+                    f"{op[0]} reads register r{rid} before any definition",
+                ))
+        for sid in op_scalar_uses(op):
+            if sid not in sid_def_at:
+                diags.append(Diagnostic(
+                    "VEC020", f"op {i}",
+                    f"{op[0]} reads scalar s{sid} before any definition",
+                ))
+            sid_used.add(sid)
+        for rid in op_reg_defs(op):
+            reg_def_at[rid] = i
+        for sid in op_scalar_defs(op):
+            sid_def_at[sid] = i
+    for sid, i in sid_def_at.items():
+        if sid not in sid_used:
+            diags.append(Diagnostic(
+                "VEC021", f"op {i}",
+                f"scalar s{sid} ({subject.ops[i][0]}) is never consumed — "
+                f"a reduce result that reaches no store is a lost "
+                f"accumulator",
+            ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# pass 3: memory safety
+# ---------------------------------------------------------------------------
+
+
+def memory_pass(subject: TraceSubject) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    vector_bytes = subject.isa.vector_bits // 8
+    for i, op in enumerate(subject.ops):
+        kind = op[0]
+        effects = op_reads(op, subject.lanes) + op_writes(op, subject.lanes)
+        seen: set[int] = set()
+        for b, cells in effects:
+            if b in seen:  # scatter reports its cells as read and write
+                continue
+            seen.add(b)
+            cells = np.asarray(cells)
+            if cells.size == 0:
+                continue
+            bound = subject.bound_of(b)
+            bad = cells[(cells < 0) | (cells >= bound)]
+            if bad.size:
+                code = "VEC030" if kind in _INDEXED else "VEC031"
+                label = subject.buffers[b].label
+                diags.append(Diagnostic(
+                    code, f"op {i}",
+                    f"{kind} touches {label}[{int(bad[0])}] "
+                    f"(+{bad.size - 1} more) outside its logical bound "
+                    f"{bound}",
+                ))
+        if i in subject.aligned_ops and kind in ("vload", "vstore"):
+            b = op[2] if kind == "vload" else op[1]
+            off = int(op[3] if kind == "vload" else op[2])
+            byte_off = off * subject.buffers[b].itemsize
+            if byte_off % vector_bytes != 0:
+                diags.append(Diagnostic(
+                    "VEC032", f"op {i}",
+                    f"aligned {kind} of {subject.buffers[b].label} at "
+                    f"element {off} (byte {byte_off}) breaks the "
+                    f"{vector_bytes}-byte {subject.isa.name} contract",
+                ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# pass 4: output coverage
+# ---------------------------------------------------------------------------
+
+
+def coverage_pass(subject: TraceSubject) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    out_slots = {
+        b: info for b, info in enumerate(subject.buffers)
+        if info.name in subject.outputs
+    }
+    for b, info in out_slots.items():
+        bound = subject.bound_of(b)
+        # Per-cell state: 0 = never stored, 1 = stored (clean),
+        # 2 = stored then loaded (accumulation in flight).
+        state = np.zeros(info.length, dtype=np.int8)
+        for i, op in enumerate(subject.ops):
+            for rb, cells in op_reads(op, subject.lanes):
+                if rb != b:
+                    continue
+                cells = np.asarray(cells)
+                cells = cells[(cells >= 0) & (cells < info.length)]
+                fresh = cells[state[cells] == 0]
+                if fresh.size:
+                    diags.append(Diagnostic(
+                        "VEC022", f"op {i}",
+                        f"{op[0]} loads {info.label}[{int(fresh[0])}] "
+                        f"(+{fresh.size - 1} more) before any store — the "
+                        f"kernel reads stale output memory",
+                    ))
+                # A scatter-add's read half lands here too, so its write
+                # half below sees state 2 (legal read-modify-write).
+                state[cells[state[cells] == 1]] = 2
+            for wb, cells in op_writes(op, subject.lanes):
+                if wb != b:
+                    continue
+                cells = np.asarray(cells)
+                cells = cells[(cells >= 0) & (cells < info.length)]
+                doubled = cells[state[cells] == 1]
+                if doubled.size:
+                    diags.append(Diagnostic(
+                        "VEC040", f"op {i}",
+                        f"{op[0]} stores {info.label}[{int(doubled[0])}] "
+                        f"(+{doubled.size - 1} more) which was already "
+                        f"written with no intervening load — mask union "
+                        f"double-covers these lanes",
+                    ))
+                state[cells] = 1
+        unwritten = np.nonzero(state[:bound] == 0)[0]
+        if unwritten.size:
+            runs = _runs(unwritten)
+            diags.append(Diagnostic(
+                "VEC041", info.label,
+                f"rows {runs} of {info.label} (logical bound {bound}) are "
+                f"never written",
+            ))
+    return diags
+
+
+def _runs(idx: np.ndarray) -> str:
+    """Compress sorted indices into a 'a-b, c, d-e' range listing."""
+    parts = []
+    start = prev = int(idx[0])
+    for v in idx[1:]:
+        v = int(v)
+        if v == prev + 1:
+            prev = v
+            continue
+        parts.append(f"{start}-{prev}" if prev > start else f"{start}")
+        start = prev = v
+    parts.append(f"{start}-{prev}" if prev > start else f"{start}")
+    return ", ".join(parts)

@@ -20,6 +20,12 @@ same operator and writes ``BENCH_abft_overhead.json``; the build fails if
 the per-multiply overhead exceeds ``MAX_ABFT_OVERHEAD`` — the check is
 three O(n) reductions against an O(nnz) product and must stay cheap
 enough to leave on in production solves.
+
+Finally the job runs the static kernel verifier (:mod:`repro.analysis`)
+over the timed variant and the mutation corpus and writes
+``BENCH_kernel_verifier.json``: the smoke matrix is only trusted as a
+performance reference while the kernel that produced it lints clean and
+the linter demonstrably still catches its seeded mutants.
 """
 
 from __future__ import annotations
@@ -204,9 +210,33 @@ def run_abft_overhead(grid: int = SMOKE_GRID) -> AbftOverheadResult:
     )
 
 
+def run_analysis_gate(variant_name: str = SMOKE_VARIANT) -> dict:
+    """Statically verify the smoke variant and exercise the corpus.
+
+    The variant is analyzed over the full structure panel (stencil,
+    trailing partial slice, sorted SELL window) so every store path the
+    smoke timing exercises is covered; the corpus run proves the lint
+    passes would actually have fired had the kernel been broken.
+    """
+    from ..analysis import analyze_all, run_corpus, summarize
+    from ..core.dispatch import get_variant
+
+    reports = analyze_all(variants=(get_variant(variant_name),))
+    corpus = run_corpus()
+    kernels = summarize(reports)
+    return {
+        "bench": "kernel_verifier",
+        "variant": variant_name,
+        "kernels": kernels,
+        "corpus": corpus,
+        "ok": kernels["dirty"] == 0 and corpus["ok"],
+    }
+
+
 def main(
     path: str = "BENCH_spmv_measure.json",
     abft_path: str = "BENCH_abft_overhead.json",
+    verifier_path: str = "BENCH_kernel_verifier.json",
 ) -> int:
     """Run both smoke comparisons, write JSON records, gate the thresholds."""
     result = run_smoke()
@@ -233,12 +263,29 @@ def main(
         f"(ceiling {100 * MAX_ABFT_OVERHEAD:.0f}%)"
     )
 
+    verifier = run_analysis_gate()
+    with open(verifier_path, "w") as fh:
+        json.dump(verifier, fh, indent=2)
+        fh.write("\n")
+    print(f"kernel verifier on {verifier['variant']}:")
+    print(
+        f"  traces analyzed:  {verifier['kernels']['analyzed']} "
+        f"({verifier['kernels']['dirty']} dirty)"
+    )
+    print(
+        f"  corpus mutants:   {verifier['corpus']['caught']}/"
+        f"{verifier['corpus']['cases']} caught"
+    )
+
     failed = False
     if result.speedup < MIN_SPEEDUP:
         print("FAIL: replay speedup below the acceptance floor")
         failed = True
     if abft.overhead > MAX_ABFT_OVERHEAD:
         print("FAIL: ABFT verification overhead above the ceiling")
+        failed = True
+    if not verifier["ok"]:
+        print("FAIL: static kernel verifier found defects or missed mutants")
         failed = True
     return 1 if failed else 0
 

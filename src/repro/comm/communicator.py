@@ -85,12 +85,20 @@ class _Collective:
 
 
 class World:
-    """The shared state of a simulated MPI job of ``size`` ranks."""
+    """The shared state of a simulated MPI job of ``size`` ranks.
+
+    Setting :attr:`schedule_log` (a
+    :class:`~repro.comm.schedule.ScheduleLog`) records every message and
+    collective with vector clocks for post-run analysis by
+    :mod:`repro.analysis.comm_check`; the hooks run under the world lock,
+    so logging adds no new synchronization.
+    """
 
     def __init__(self, size: int):
         if size < 1:
             raise ValueError("world size must be positive")
         self.size = size
+        self.schedule_log = None
         # Reentrant: request poll closures re-enter through World.poll while
         # World.block already holds the lock.
         self._lock = threading.RLock()
@@ -140,6 +148,8 @@ class World:
             box.append((tag, _snapshot(payload)))
             self.stats.messages += 1
             self.stats.bytes += _payload_bytes(payload)
+            if self.schedule_log is not None:
+                self.schedule_log.record_send(src, dst, tag)
             self._cond.notify_all()
 
     def _try_pop(self, src: int, dst: int, tag: int) -> tuple[bool, Any]:
@@ -147,10 +157,15 @@ class World:
         if not box:
             return False, None
         if tag == ANY_TAG:
-            return True, box.popleft()[1]
+            msg_tag, payload = box.popleft()
+            if self.schedule_log is not None:
+                self.schedule_log.record_recv(src, dst, msg_tag, wildcard=True)
+            return True, payload
         for i, (msg_tag, payload) in enumerate(box):
             if msg_tag == tag:
                 del box[i]
+                if self.schedule_log is not None:
+                    self.schedule_log.record_recv(src, dst, tag)
                 return True, payload
         return False, None
 
@@ -200,6 +215,8 @@ class World:
                     f"rank {rank} entered collective {kind!r} twice"
                 )
             coll.contributions[rank] = _snapshot(contribution)
+            if self.schedule_log is not None:
+                self.schedule_log.record_collective(rank, kind)
             if len(coll.contributions) == self.size:
                 coll.result = combine(coll.contributions)
                 coll.done = True
@@ -368,12 +385,11 @@ class Comm:
     def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
         """Scatter a list from ``root``, one element per rank."""
         self._check_peer(root, "scatter")
-        if self.rank == root:
-            if values is None or len(values) != self.size:
-                raise CommunicatorError(
-                    f"rank {self.rank}: scatter from root {root} requires "
-                    f"one value per rank ({self.size})"
-                )
+        if self.rank == root and (values is None or len(values) != self.size):
+            raise CommunicatorError(
+                f"rank {self.rank}: scatter from root {root} requires "
+                f"one value per rank ({self.size})"
+            )
         gathered = self.world.collective(
             self.rank,
             f"scatter:{root}",

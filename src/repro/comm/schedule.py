@@ -1,0 +1,134 @@
+"""Communication-schedule capture: a vector-clocked log of World traffic.
+
+A :class:`ScheduleLog` attached to a :class:`~repro.comm.communicator.World`
+(``world.schedule_log = ScheduleLog(world.size)``) records every
+point-to-point message and collective rendezvous as a
+:class:`CommEvent` stamped with a per-rank **vector clock** — the standard
+happens-before partial order for message-passing programs: each rank ticks
+its own component on every event, a send carries the sender's clock, and
+the matching receive joins it into the receiver's.  Two events neither of
+whose clocks dominates the other are *concurrent*: neither could have
+observed the other, which is exactly the window a wildcard receive races
+in.
+
+The log is passive and complete: the World calls the ``record_*`` hooks
+under its own lock, in mailbox order, so the log's shadow queues mirror
+the real mailboxes exactly (the transport is non-overtaking).  After the
+SPMD job finishes, :func:`repro.analysis.comm_check.check_log` audits the
+log for leaked sends and ambiguous wildcard matches; the *static* checker
+in the same module analyzes planned schedules without running them at all
+(a run that deadlocks has no log to audit).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One logged communication action.
+
+    ``rank`` is the acting rank (sender of a send, receiver of a recv);
+    ``peer`` the other side (``-1`` for collectives).  ``clock`` is the
+    acting rank's vector clock *after* the event.  For wildcard receives,
+    ``pending_tags`` snapshots the distinct tags that were waiting in the
+    matched mailbox — more than one means the match was ambiguous.
+    """
+
+    kind: str                 #: "send" | "recv" | "collective"
+    rank: int
+    peer: int
+    tag: int
+    clock: tuple[int, ...]
+    wildcard: bool = False
+    pending_tags: tuple[int, ...] = ()
+
+
+@dataclass
+class ScheduleLog:
+    """Vector-clocked record of every message through one World.
+
+    Not locked internally: the World invokes the hooks while holding its
+    own lock, which already serializes mailbox order.
+    """
+
+    size: int
+    events: list[CommEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._clocks = [[0] * self.size for _ in range(self.size)]
+        # (src, dst) -> deque of (tag, sender clock at send); mirrors the
+        # World's mailboxes message for message.
+        self._in_flight: dict[tuple[int, int], deque] = {}
+
+    def _tick(self, rank: int) -> tuple[int, ...]:
+        self._clocks[rank][rank] += 1
+        return tuple(self._clocks[rank])
+
+    def record_send(self, src: int, dst: int, tag: int) -> None:
+        clock = self._tick(src)
+        self._in_flight.setdefault((src, dst), deque()).append((tag, clock))
+        self.events.append(CommEvent("send", src, dst, tag, clock))
+
+    def record_recv(
+        self, src: int, dst: int, tag: int, wildcard: bool = False
+    ) -> None:
+        """Log a completed receive; joins the sender's clock at send time.
+
+        The shadow queue is scanned with the mailbox's own matching rule
+        (wildcard pops the head, a tag pops its first match), so the
+        joined clock belongs to the exact message the World delivered.
+        """
+        box = self._in_flight.get((src, dst), deque())
+        pending = tuple(dict.fromkeys(t for t, _ in box))  # distinct, ordered
+        send_clock: tuple[int, ...] | None = None
+        for i, (msg_tag, clock) in enumerate(box):
+            if wildcard or msg_tag == tag:
+                send_clock = clock
+                del box[i]
+                break
+        if send_clock is not None:
+            mine = self._clocks[dst]
+            for r in range(self.size):
+                mine[r] = max(mine[r], send_clock[r])
+        clock = self._tick(dst)
+        self.events.append(CommEvent(
+            "recv", dst, src, tag, clock,
+            wildcard=wildcard,
+            pending_tags=pending if wildcard else (),
+        ))
+
+    def record_collective(self, rank: int, kind: str) -> None:
+        # The rendezvous synchronizes every rank, so each participant's
+        # clock joins all contributions when the collective completes;
+        # ticking at entry is enough for the audits this log feeds
+        # (leaked sends and wildcard races are point-to-point properties).
+        clock = self._tick(rank)
+        self.events.append(CommEvent("collective", rank, -1, 0, clock))
+
+    # -- post-run queries ----------------------------------------------
+    def unreceived(self) -> list[tuple[int, int, int]]:
+        """(src, dst, tag) of every message sent but never received."""
+        leaked = []
+        for (src, dst), box in self._in_flight.items():
+            leaked.extend((src, dst, tag) for tag, _ in box)
+        return leaked
+
+    def ambiguous_wildcards(self) -> list[CommEvent]:
+        """Wildcard receives that matched against >1 distinct pending tag."""
+        return [
+            e for e in self.events
+            if e.kind == "recv" and e.wildcard and len(e.pending_tags) > 1
+        ]
+
+
+def happens_before(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+    """Whether clock ``a`` happens-before ``b`` (a <= b and a != b)."""
+    return all(x <= y for x, y in zip(a, b, strict=True)) and a != b
+
+
+def concurrent(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+    """Neither event could have observed the other."""
+    return not happens_before(a, b) and not happens_before(b, a)

@@ -26,6 +26,7 @@ depend only on the kernel and the matrix, never on the machine model.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -117,6 +118,14 @@ class ExecutionContext:
         trace is cross-checked bit-exactly against a fresh interpreted
         execution; a mismatch invalidates the cached trace and returns
         the interpreted result.  Zero (default) disables auditing.
+    verify_variants:
+        When true, the :meth:`best_variant` sweep statically verifies
+        each candidate with :meth:`verify_variant` (the
+        :mod:`repro.analysis` trace linter) and refuses any variant with
+        findings — a kernel that lints dirty on this matrix never wins
+        tuning, however fast the model prices it.  Off by default; the
+        shipped kernels all verify clean, so enabling it only changes
+        the outcome when a registered kernel is actually broken.
     """
 
     model: PerfModel = field(default_factory=lambda: make_model(KNL_7230))
@@ -130,6 +139,7 @@ class ExecutionContext:
     abft: bool = False
     abft_rtol: float = 1.0e-9
     audit_interval: int = 0
+    verify_variants: bool = False
 
     #: Autotune sweeps actually executed (cache misses); tests assert this
     #: stays at one per sparsity signature across repeated solves.
@@ -153,6 +163,10 @@ class ExecutionContext:
     _replay_counts: dict = field(
         default_factory=dict, repr=False, compare=False
     )
+    # Static-verification verdicts are pure functions of (kernel,
+    # structure, execution policy), so they memoize on the same
+    # structural signature as traces.
+    _verify_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.nprocs is None:
@@ -324,7 +338,7 @@ class ExecutionContext:
         emit_fault_event(
             "degraded", "dispatch", "interpreted", detail=variant.name
         )
-        try:
+        with contextlib.suppress(SdcDetected, AlignmentFault):
             y, counters = self._interpreted_run(variant, mat, x)
             if checker is not None:
                 checker.verify(x, y, site="engine.output")
@@ -332,8 +346,6 @@ class ExecutionContext:
                 "recovered", "dispatch", "interpreted", detail=variant.name
             )
             return y, counters
-        except (SdcDetected, AlignmentFault):
-            pass
         emit_fault_event(
             "degraded", "dispatch", "reference", detail=variant.name
         )
@@ -466,6 +478,39 @@ class ExecutionContext:
             working_set=working_set,
         )
 
+    # -- static verification (the analyzer hook) -----------------------
+    def verify_variant(self, variant: KernelVariant | str, csr: AijMat):
+        """Statically verify ``variant`` on ``csr``; an ``AnalysisReport``.
+
+        Records one execution under the context's execution policy
+        (``slice_height``/``sigma``/``strict_alignment``) and runs the
+        full :mod:`repro.analysis` lint over the trace.  Memoized per
+        sparsity signature — like traces, the verdict depends on the
+        sparsity structure, never the coefficient values.
+        """
+        from ..analysis.kernel import analyze_variant
+
+        if isinstance(variant, str):
+            variant = get_variant(variant)
+        key = (
+            variant.name,
+            signature(csr),
+            self.slice_height,
+            self.sigma,
+            self.strict_alignment,
+        )
+        hit = self._verify_cache.get(key)
+        if hit is None:
+            hit = analyze_variant(
+                variant,
+                csr,
+                slice_height=self.slice_height,
+                sigma=self.sigma,
+                strict_alignment=self.strict_alignment,
+            )
+            self._verify_cache[key] = hit
+        return hit
+
     # -- tuning (the inspector step, memoized) -------------------------
     def tune(
         self,
@@ -508,10 +553,14 @@ class ExecutionContext:
         the winner per sparsity signature — the memoization that keeps
         repeated solver iterations from ever re-running the sweep.
         Variants whose conversion rejects the matrix (e.g. BAIJ on odd
-        dimensions) are skipped.
+        dimensions) are skipped, as is — when :attr:`verify_variants` is
+        set — any variant the static analyzer finds defects in.
         """
         pool = self.supported_variants() if candidates is None else candidates
-        key = (signature(csr), tuple(v.name for v in pool), scale)
+        key = (
+            signature(csr), tuple(v.name for v in pool), scale,
+            self.verify_variants,
+        )
         hit = self._best_cache.get(key)
         if hit is not None:
             return hit
@@ -523,6 +572,8 @@ class ExecutionContext:
                 meas = self.measure(variant, csr)
             except (ValueError, NotImplementedError):
                 continue  # format constraint (block size, mask support, ...)
+            if self.verify_variants and not self.verify_variant(variant, csr).ok:
+                continue  # statically defective; refuse however fast
             perf = self.predict(meas, scale=scale)
             if perf.gflops > best_gflops:
                 best, best_gflops = variant, perf.gflops

@@ -130,7 +130,9 @@ class MatAssembler:
         if self._assembled is not None:
             return self._assembled
         resolved: dict[tuple[int, int], float] = {}
-        for i, j, v, mode in zip(self._rows, self._cols, self._vals, self._modes):
+        for i, j, v, mode in zip(
+            self._rows, self._cols, self._vals, self._modes, strict=True
+        ):
             key = (i, j)
             if mode is InsertMode.INSERT or key not in resolved:
                 resolved[key] = v if mode is InsertMode.INSERT else resolved.get(key, 0.0) + v

@@ -62,7 +62,7 @@ class BaijMat(Mat):
         for i in range(m):
             bi, oi = divmod(i, bs)
             cols, vals = csr.get_row(i)
-            for j, v in zip(cols, vals):
+            for j, v in zip(cols, vals, strict=True):
                 bj, oj = divmod(int(j), bs)
                 block = blocks[bi].setdefault(bj, np.zeros((bs, bs)))
                 block[oi, oj] += v

@@ -107,7 +107,7 @@ def split_local_rows(
     off_vals: list[float] = []
     for i_local, i in enumerate(range(rstart, rend)):
         cols, vals = csr.get_row(i)
-        for j, v in zip(cols, vals):
+        for j, v in zip(cols, vals, strict=True):
             j = int(j)
             if cstart <= j < cend:
                 diag_rows.append(i_local)

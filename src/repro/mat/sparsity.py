@@ -136,7 +136,7 @@ def locality_span(csr: AijMat, perm: np.ndarray | None = None) -> float:
     if m < 2:
         return 0.0
     spans = []
-    for a, b in zip(order[:-1], order[1:]):
+    for a, b in zip(order[:-1], order[1:], strict=True):
         ca, _ = csr.get_row(int(a))
         cb, _ = csr.get_row(int(b))
         if ca.size == 0 and cb.size == 0:

@@ -30,6 +30,20 @@ from .isa import (
     get_isa,
 )
 from .register import LaneMismatchError, MaskRegister, VectorRegister
+from .replay import KernelTrace, TraceReplayer, compile_trace, record_kernel
+from .trace import TraceError, TraceRecorder
+from .trace_ir import (
+    TraceDecodeError,
+    flat_view,
+    mask_bits,
+    op_mask,
+    op_reads,
+    op_reg_defs,
+    op_reg_uses,
+    op_scalar_defs,
+    op_scalar_uses,
+    op_writes,
+)
 
 __all__ = [
     "AVX",
@@ -41,17 +55,33 @@ __all__ = [
     "ISAS",
     "Isa",
     "KernelCounters",
+    "KernelTrace",
     "LaneMismatchError",
     "LoopDecomposition",
     "MaskRegister",
     "SCALAR",
     "SSE2",
     "SimdEngine",
+    "TraceDecodeError",
+    "TraceError",
+    "TraceRecorder",
+    "TraceReplayer",
     "UnsupportedInstructionError",
     "VectorRegister",
+    "compile_trace",
     "cycles",
     "decompose_loop",
+    "flat_view",
     "get_isa",
+    "mask_bits",
     "misalignment_elements",
+    "op_mask",
+    "op_reads",
+    "op_reg_defs",
+    "op_reg_uses",
+    "op_scalar_defs",
+    "op_scalar_uses",
+    "op_writes",
     "pointer_is_aligned",
+    "record_kernel",
 ]

@@ -143,12 +143,13 @@ class SimdEngine:
     def store_aligned(self, buf: np.ndarray, offset: int, reg: VectorRegister) -> None:
         """Aligned store; faults or degrades like :meth:`load_aligned`."""
         addr = _address_of(buf, offset)
-        if not pointer_is_aligned(addr, self.isa.vector_bytes):
-            if self.strict_alignment:
-                raise AlignmentFault(
-                    f"aligned {self.isa.vector_bits}-bit store at address "
-                    f"0x{addr:x} (offset {offset})"
-                )
+        if self.strict_alignment and not pointer_is_aligned(
+            addr, self.isa.vector_bytes
+        ):
+            raise AlignmentFault(
+                f"aligned {self.isa.vector_bits}-bit store at address "
+                f"0x{addr:x} (offset {offset})"
+            )
         self.store(buf, offset, reg)
 
     def prefetch(self, buf: np.ndarray, offset: int) -> None:

@@ -37,7 +37,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .counters import KernelCounters
-from .trace import BufferSlot, TraceError, TraceRecorder, _flat_view
+from .trace import BufferSlot, TraceError, TraceRecorder
+from .trace_ir import flat_view, op_reads, op_writes
 
 
 @dataclass
@@ -99,7 +100,7 @@ class _Group:
         self.cols: list[list] = [[] for _ in range(ncols)]
 
     def push(self, *values) -> None:
-        for col, v in zip(self.cols, values):
+        for col, v in zip(self.cols, values, strict=True):
             col.append(v)
 
 
@@ -172,14 +173,15 @@ def compile_trace(recorder: TraceRecorder) -> KernelTrace:
         kind = op[0]
         if kind == "vload":
             _, dst, b, off = op
-            cells = range(off, off + lanes)
+            ((_, cells),) = op_reads(op, lanes)
             lvl = read_cells_lvl(b, cells) + 1
             note_read(b, lvl)
             reg_lvl[dst] = lvl
             group(lvl, ("vload", b), 2).push(dst, off)
         elif kind == "gather":
             _, dst, b, idx = op
-            lvl = read_cells_lvl(b, idx) + 1
+            ((_, cells),) = op_reads(op, lanes)
+            lvl = read_cells_lvl(b, cells) + 1
             note_read(b, lvl)
             reg_lvl[dst] = lvl
             group(lvl, ("gather", b), 2).push(dst, idx)
@@ -211,37 +213,40 @@ def compile_trace(recorder: TraceRecorder) -> KernelTrace:
             )
         elif kind == "sload":
             _, dst, b, off = op
-            lvl = read_cells_lvl(b, (off,)) + 1
+            ((_, cells),) = op_reads(op, lanes)
+            lvl = read_cells_lvl(b, cells) + 1
             note_read(b, lvl)
             s_lvl[dst] = lvl
             group(lvl, ("sload", b), 2).push(dst, off)
         elif kind == "sstore":
             _, b, off, val = op
-            lvl = write_lvl(b, (off,), sop_lvl(val)) + 1
-            note_write(b, (off,), lvl)
+            ((_, cells),) = op_writes(op, lanes)
+            lvl = write_lvl(b, cells, sop_lvl(val)) + 1
+            note_write(b, cells, lvl)
             group(lvl, ("sstore", b, val[0]), 2).push(off, val[1])
         elif kind == "vstore":
             _, b, off, src = op
-            cells = range(off, off + lanes)
+            ((_, cells),) = op_writes(op, lanes)
             lvl = write_lvl(b, cells, rop_lvl(src)) + 1
             note_write(b, cells, lvl)
             group(lvl, ("vstore", b, src[0]), 2).push(off, src[1])
         elif kind == "vstore_mask":
             _, b, off, src, bits = op
-            cells = off + np.nonzero(bits)[0]
+            ((_, cells),) = op_writes(op, lanes)
             lvl = write_lvl(b, cells, rop_lvl(src)) + 1
             note_write(b, cells, lvl)
             group(lvl, ("vstore_mask", b, src[0]), 3).push(off, src[1], bits)
         elif kind == "vload_prefix":
             _, dst, b, off, active = op
-            cells = range(off, off + active)
+            ((_, cells),) = op_reads(op, lanes)
             lvl = read_cells_lvl(b, cells) + 1
             note_read(b, lvl)
             reg_lvl[dst] = lvl
             group(lvl, ("vload_prefix", b), 3).push(dst, off, active)
         elif kind == "gather_mask":
             _, dst, b, idx, bits = op
-            lvl = read_cells_lvl(b, idx[bits]) + 1
+            ((_, cells),) = op_reads(op, lanes)
+            lvl = read_cells_lvl(b, cells) + 1
             note_read(b, lvl)
             reg_lvl[dst] = lvl
             group(lvl, ("gather_mask", b), 3).push(dst, idx, bits)
@@ -286,7 +291,7 @@ def compile_trace(recorder: TraceRecorder) -> KernelTrace:
             )
         elif kind == "scatter":
             _, b, idx, src, bits = op
-            cells = idx if bits is None else idx[bits]
+            ((_, cells),) = op_writes(op, lanes)
             lvl = write_lvl(b, cells, rop_lvl(src)) + 1
             note_read(b, lvl)  # scatter-add reads its cells too
             note_write(b, cells, lvl)
@@ -473,7 +478,7 @@ class TraceReplayer:
             arr = buffers.get(slot.name)
             if arr is None:
                 raise TraceError(f"replay is missing buffer {slot.name!r}")
-            arr = _flat_view(arr, slot.name)
+            arr = flat_view(arr, slot.name)
             if arr.nbytes != slot.nbytes or arr.dtype.str != slot.dtype:
                 raise TraceError(
                     f"buffer {slot.name!r} does not match the recording "

@@ -45,6 +45,7 @@ from .counters import KernelCounters
 from .engine import SimdEngine
 from .isa import Isa
 from .register import MaskRegister, VectorRegister
+from .trace_ir import flat_view, mask_bits
 
 
 class TraceError(RuntimeError):
@@ -92,23 +93,11 @@ class BufferSlot:
         return self.name is not None
 
 
-def _bits_of(mask: MaskRegister) -> np.ndarray:
-    """A frozen copy of a mask's lane predicate (structure-derived)."""
-    return np.array(mask.bits, dtype=bool, copy=True)
-
-
-def _flat_view(buf: np.ndarray, name: str) -> np.ndarray:
-    """The 1-D view a buffer is addressed through, never a copy.
-
-    Replays address buffers as dense flat arrays, so only C-contiguous
-    storage is bindable — a strided slice would replay against the wrong
-    cells even when NumPy can express its flattening as a view.
-    """
-    if not buf.flags["C_CONTIGUOUS"]:
-        raise TraceError(
-            f"buffer {name!r} is not C-contiguous; bind its flat view instead"
-        )
-    return buf if buf.ndim == 1 else buf.reshape(-1)
+# Canonical trace-decoding helpers live in trace_ir (shared with the replay
+# compiler and the static analyzer); these aliases keep the recorder's
+# internal vocabulary.
+_bits_of = mask_bits
+_flat_view = flat_view
 
 
 class TraceRecorder(SimdEngine):
@@ -133,6 +122,13 @@ class TraceRecorder(SimdEngine):
         self._buf_index: dict[tuple[int, int, str], int] = {}
         self.nregs = 0
         self.nscalars = 0
+        # Side metadata for the static analyzer; replay ignores both.
+        # ``aligned_ops``: indices of ops recorded through the aligned
+        # load/store entry points (their offsets carry an alignment
+        # contract).  ``emulated_ops``: indices of "gather" ops that came
+        # from the scalar emulation rather than a hardware gather.
+        self.aligned_ops: set[int] = set()
+        self.emulated_ops: set[int] = set()
 
     # ------------------------------------------------------------------
     # buffer binding
@@ -251,8 +247,21 @@ class TraceRecorder(SimdEngine):
         self.ops.append(("vload", reg.rid, self._buf(buf), int(offset)))
         return reg
 
-    # load_aligned/store_aligned/gather_auto/fmadd_auto/mul_add dispatch
-    # through the overridden primitives, so they need no overrides here.
+    # gather_auto/fmadd_auto/mul_add dispatch through the overridden
+    # primitives, so they need no overrides here.  load_aligned and
+    # store_aligned also dispatch through load/store; they are wrapped
+    # only to tag the recorded ops with the alignment contract.
+
+    def load_aligned(self, buf: np.ndarray, offset: int) -> VectorRegister:
+        start = len(self.ops)
+        reg = super().load_aligned(buf, offset)
+        self.aligned_ops.update(range(start, len(self.ops)))
+        return reg
+
+    def store_aligned(self, buf: np.ndarray, offset: int, reg: VectorRegister) -> None:
+        start = len(self.ops)
+        super().store_aligned(buf, offset, reg)
+        self.aligned_ops.update(range(start, len(self.ops)))
 
     def load_index(self, buf: np.ndarray, offset: int) -> VectorRegister:
         # Index contents are structure-derived; the consuming gather bakes
@@ -302,6 +311,7 @@ class TraceRecorder(SimdEngine):
     def emulated_gather(self, x: np.ndarray, idx: VectorRegister) -> VectorRegister:
         reg = self._new_reg(super().emulated_gather(x, idx))
         self.ops.append(("gather", reg.rid, self._buf(x), self._idx_of(idx)))
+        self.emulated_ops.add(len(self.ops) - 1)
         return reg
 
     def masked_gather(

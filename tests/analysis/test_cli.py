@@ -1,0 +1,39 @@
+"""``python -m repro analyze`` CLI contract."""
+
+import json
+
+from repro.analysis.cli import main
+
+
+class TestAnalyzeCli:
+    def test_corpus_only_exits_zero(self, capsys):
+        assert main(["--corpus-only"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"]
+        assert doc["corpus"]["caught"] == doc["corpus"]["cases"]
+        assert "kernels" not in doc
+
+    def test_single_variant_json_report(self, tmp_path):
+        out = tmp_path / "report.json"
+        code = main([
+            "--variant", "SELL using AVX512",
+            "--no-corpus",
+            "--json", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["ok"]
+        assert doc["kernels"]["dirty"] == 0
+        assert doc["kernels"]["analyzed"] >= 3  # one per panel structure
+
+    def test_all_variants_and_corpus(self, tmp_path):
+        out = tmp_path / "full.json"
+        assert main(["--all-variants", "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["kernels"]["dirty"] == 0
+        assert doc["corpus"]["ok"]
+
+    def test_dispatch_through_module_main(self):
+        from repro.__main__ import main as repro_main
+
+        assert repro_main(["analyze", "--corpus-only"]) == 0

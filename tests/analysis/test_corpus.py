@@ -1,0 +1,31 @@
+"""The mutation corpus: every seeded defect must trigger its code."""
+
+import pytest
+
+from repro.analysis import CASES, run_case, run_corpus
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+    def test_mutant_triggers_expected_codes(self, case):
+        report = run_case(case)
+        assert not report.ok, f"{case.name} produced no diagnostics at all"
+        for code in case.expect:
+            assert code in report.codes, (
+                f"{case.name}: expected {code}, found {sorted(report.codes)}"
+            )
+
+    def test_corpus_spans_the_code_space(self):
+        """The ISSUE's floor: at least six distinct codes exercised."""
+        expected = {code for case in CASES for code in case.expect}
+        assert len(expected) >= 6
+        # One mutant per lint pass family at minimum.
+        assert {"VEC010", "VEC020", "VEC030", "VEC041"} <= expected
+
+    def test_run_corpus_document(self):
+        doc = run_corpus()
+        assert doc["ok"], f"mutants slipped through: {doc['missed']}"
+        assert doc["caught"] == doc["cases"] == len(CASES)
+        for entry in doc["results"]:
+            assert entry["ok"]
+            assert entry["diagnostics"], entry["name"]

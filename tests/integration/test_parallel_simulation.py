@@ -44,7 +44,7 @@ class TestStripDecomposition:
         ranges = run_spmd(3, prog)
         assert ranges[0][0] == 0
         assert ranges[-1][1] == GRID.ny
-        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+        for (_, end), (start, _) in zip(ranges, ranges[1:], strict=False):
             assert end == start
 
     def test_halo_exchange_matches_periodic_neighbours(self):

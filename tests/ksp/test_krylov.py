@@ -81,7 +81,10 @@ class TestGMRES:
         b = rng.standard_normal(60)
         result = GMRES(rtol=1e-10, restart=60).solve(nonsym, b)
         norms = result.residual_norms
-        assert all(n2 <= n1 * (1 + 1e-12) for n1, n2 in zip(norms, norms[1:]))
+        assert all(
+            n2 <= n1 * (1 + 1e-12)
+            for n1, n2 in zip(norms, norms[1:], strict=False)
+        )
 
     def test_monitor_is_called_per_iteration(self, nonsym, rng):
         calls = []

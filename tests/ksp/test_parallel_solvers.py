@@ -55,7 +55,7 @@ class TestParallelGMRES:
 
         first = run_spmd(2, prog)
         second = run_spmd(2, prog)
-        for x1, x2 in zip(first, second):
+        for x1, x2 in zip(first, second, strict=True):
             assert np.array_equal(x1, x2)
 
     def test_sell_operator_converges_identically(self, system):

@@ -46,7 +46,7 @@ class TestNewton:
         )
         result = solver.solve(np.array([3.0, 3.0, 3.0]))
         assert all(
-            b < a for a, b in zip(result.fnorms, result.fnorms[1:])
+            b < a for a, b in zip(result.fnorms, result.fnorms[1:], strict=False)
         )
 
     def test_line_search_rescues_an_overshooting_step(self):

@@ -62,7 +62,7 @@ class TestPadding:
     def test_padding_grows_with_slice_height(self):
         csr = irregular_rows(128, seed=3)
         pads = [sliced_padding(csr, c) for c in (1, 2, 4, 8, 16)]
-        assert all(b >= a for a, b in zip(pads, pads[1:]))
+        assert all(b >= a for a, b in zip(pads, pads[1:], strict=False))
 
     def test_sigma_sorting_reduces_padding(self):
         """Paper Section 5.4: sorting shrinks padded zeros."""
@@ -74,7 +74,7 @@ class TestPadding:
     def test_larger_windows_pad_no_more(self):
         csr = irregular_rows(256, seed=4)
         pads = [sliced_padding(csr, 8, sigma) for sigma in (1, 8, 32, 128, 256)]
-        assert all(b <= a for a, b in zip(pads, pads[1:]))
+        assert all(b <= a for a, b in zip(pads, pads[1:], strict=False))
 
     def test_regular_matrix_never_pads(self):
         csr = gray_scott_jacobian(8)

@@ -23,7 +23,7 @@ class TestCurveShape:
     def test_monotonically_increasing(self):
         curve = KNL_FLAT_MCDRAM_AVX512
         values = [curve.at(p) for p in range(1, 70)]
-        assert all(b > a for a, b in zip(values, values[1:]))
+        assert all(b > a for a, b in zip(values, values[1:], strict=False))
 
     def test_never_exceeds_peak_by_much(self):
         curve = BandwidthCurve(100.0, 10)

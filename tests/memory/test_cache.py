@@ -31,7 +31,7 @@ class TestHitFraction:
         cache = DirectMappedCache()
         sizes = [cache.capacity_bytes * f // 10 for f in range(1, 30)]
         hits = [cache.hit_fraction(s) for s in sizes]
-        assert all(b <= a + 1e-12 for a, b in zip(hits, hits[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(hits, hits[1:], strict=False))
 
     def test_negative_working_set_raises(self):
         with pytest.raises(ValueError):
