@@ -38,6 +38,16 @@ from .core import (
     spmv,
 )
 from .mat import AijMat, BaijMat, EllpackMat, MPIAij, MPISell, MatAssembler
+from .obs import (
+    ChromeTrace,
+    EventLog,
+    LogStage,
+    MetricsRegistry,
+    Observer,
+    merge_rank_logs,
+    observing,
+    validate_trace,
+)
 from .pde import Grid2D, GrayScottProblem, gray_scott_jacobian
 from .simd import AVX, AVX2, AVX512, SCALAR, SimdEngine
 from .vec import MPIVec, SeqVec
@@ -50,17 +60,22 @@ __all__ = [
     "AVX512",
     "AijMat",
     "BaijMat",
+    "ChromeTrace",
     "EllpackMat",
+    "EventLog",
     "ExecutionContext",
     "FIGURE11_VARIANTS",
     "FIGURE8_VARIANTS",
     "GrayScottProblem",
     "Grid2D",
     "KernelVariant",
+    "LogStage",
     "MPIAij",
     "MPISell",
     "MPIVec",
     "MatAssembler",
+    "MetricsRegistry",
+    "Observer",
     "SCALAR",
     "SellMat",
     "SeqVec",
@@ -71,9 +86,12 @@ __all__ = [
     "get_variant",
     "gray_scott_jacobian",
     "measure",
+    "merge_rank_logs",
+    "observing",
     "predict",
     "register_variant",
     "registered_variants",
     "sell_traffic",
     "spmv",
+    "validate_trace",
 ]

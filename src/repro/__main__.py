@@ -15,6 +15,7 @@ Commands:
 ``headline``    the headline-claim checklist
 ``calibrate``   re-run the KNL cost-table fit
 ``analyze``     static kernel verifier (see ``analyze --help``)
+``profile``     observed experiment run (see ``profile --help``)
 ``info``        version, module inventory, and test entry points
 ==============  =========================================================
 """
@@ -33,7 +34,7 @@ def _info() -> str:
         "Using AVX-512\" (ICPP 2018)",
         "",
         "subsystems: simd, memory, machine, comm, vec, mat, core, ksp, pde,",
-        "            bench, profiling",
+        "            bench, obs (profiling, metrics, traces)",
         "",
         "run the evaluation : python -m repro all",
         "assert the shapes  : pytest benchmarks/ --benchmark-only",
@@ -63,6 +64,10 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.cli import main as analyze_main
 
         return analyze_main(args[1:])
+    if command == "profile":
+        from .obs.cli import main as profile_main
+
+        return profile_main(args[1:])
     if command == "all":
         from .bench.run_all import main as run_all_main
 
@@ -84,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     if command not in modules:
         print(f"unknown command {command!r}; choose from: "
-              f"{', '.join(['all', *modules, 'analyze', 'calibrate', 'info'])}",
+              f"{', '.join(['all', *modules, 'analyze', 'profile', 'calibrate', 'info'])}",
               file=sys.stderr)
         return 2
     print(modules[command].render())

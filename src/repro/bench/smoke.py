@@ -21,11 +21,17 @@ the per-multiply overhead exceeds ``MAX_ABFT_OVERHEAD`` — the check is
 three O(n) reductions against an O(nnz) product and must stay cheap
 enough to leave on in production solves.
 
-Finally the job runs the static kernel verifier (:mod:`repro.analysis`)
+The job also runs the static kernel verifier (:mod:`repro.analysis`)
 over the timed variant and the mutation corpus and writes
 ``BENCH_kernel_verifier.json``: the smoke matrix is only trusted as a
 performance reference while the kernel that produced it lints clean and
 the linter demonstrably still catches its seeded mutants.
+
+Finally an *observed* solve (:mod:`repro.obs`) exercises the
+observability layer outside the timed loops and writes
+``BENCH_observability.json``: the metrics snapshot must contain the SIMD
+namespace, the Chrome trace must validate against the trace-event schema,
+and the stage self-times must tile the wall clock.
 """
 
 from __future__ import annotations
@@ -42,7 +48,7 @@ from ..faults.abft import AbftOperator
 from ..pde.problems import gray_scott_jacobian
 
 #: Grid edge for the smoke matrix: big enough that interpretation visibly
-#: hurts (81920 rows x 10 nnz), small enough for a CI smoke job.
+#: hurts (8192 rows x ~10 nnz), small enough for a CI smoke job.
 SMOKE_GRID = 64
 
 #: The variant the smoke job times (the paper's headline kernel).
@@ -233,10 +239,58 @@ def run_analysis_gate(variant_name: str = SMOKE_VARIANT) -> dict:
     }
 
 
+def run_observability_gate(grid: int = 16) -> dict:
+    """Exercise the observability layer end to end and validate its outputs.
+
+    Runs one observed sequential solve (outside the timed loops above —
+    observability must never perturb the timing records), then checks the
+    three contracts CI cares about: the metrics snapshot contains the
+    SIMD/context namespaces, the Chrome trace validates against the
+    trace-event schema, and the per-stage self times tile the observed
+    wall clock.
+    """
+    from ..ksp import GMRES, JacobiPC
+    from ..obs import observing, validate_trace
+
+    csr = gray_scott_jacobian(grid)
+    ctx = ExecutionContext(default_variant=SMOKE_VARIANT)
+    rng = np.random.default_rng(11)
+    b = rng.standard_normal(csr.shape[0])
+    with observing() as obs:
+        with obs.stage("MatAssembly"):
+            ctx.measure(SMOKE_VARIANT, csr)
+        with obs.stage("KSPSolve"):
+            GMRES(pc=JacobiPC(), rtol=1e-8, max_it=500, context=ctx).solve(csr, b)
+    metrics = obs.metrics.snapshot()
+    problems = validate_trace({"traceEvents": obs.trace.events})
+    log = obs.log(0)
+    stages = log.stage_summary()
+    # stage_summary() snapshots the wall clock; compare against that
+    # snapshot (Main Stage total), not a later wall_seconds read.
+    stage_sum = sum(s.self_seconds for s in stages)
+    tiled = abs(stage_sum - stages[0].total_seconds) < 1e-9
+    return {
+        "bench": "observability",
+        "grid": grid,
+        "metrics": len(metrics),
+        "has_simd_metrics": any(k.startswith("simd.") for k in metrics),
+        "has_context_metrics": any(k.startswith("context.") for k in metrics),
+        "trace_events": len(obs.trace),
+        "trace_problems": problems,
+        "stages_tile_wall": tiled,
+        "ok": (
+            not problems
+            and tiled
+            and any(k.startswith("simd.") for k in metrics)
+        ),
+    }
+
+
 def main(
     path: str = "BENCH_spmv_measure.json",
     abft_path: str = "BENCH_abft_overhead.json",
     verifier_path: str = "BENCH_kernel_verifier.json",
+    obs_path: str = "BENCH_observability.json",
 ) -> int:
     """Run both smoke comparisons, write JSON records, gate the thresholds."""
     result = run_smoke()
@@ -277,6 +331,17 @@ def main(
         f"{verifier['corpus']['cases']} caught"
     )
 
+    observability = run_observability_gate()
+    with open(obs_path, "w") as fh:
+        json.dump(observability, fh, indent=2)
+        fh.write("\n")
+    print("observability gate (observed solve, schema-validated trace):")
+    print(
+        f"  metrics: {observability['metrics']}, "
+        f"trace events: {observability['trace_events']}, "
+        f"stages tile wall: {observability['stages_tile_wall']}"
+    )
+
     failed = False
     if result.speedup < MIN_SPEEDUP:
         print("FAIL: replay speedup below the acceptance floor")
@@ -286,6 +351,9 @@ def main(
         failed = True
     if not verifier["ok"]:
         print("FAIL: static kernel verifier found defects or missed mutants")
+        failed = True
+    if not observability["ok"]:
+        print("FAIL: observability gate (trace schema / stage tiling / metrics)")
         failed = True
     return 1 if failed else 0
 

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..faults.events import emit as emit_fault_event
 from ..faults.plan import fire as fire_fault
+from ..obs.observer import obs_gap, obs_instant
 from .request import CompletedRequest, DeferredRequest, Request
 
 ANY_TAG = -1
@@ -285,6 +286,15 @@ class Comm:
                 detail=f"rank {self.rank} {where}: resend {attempts} "
                 f"after backoff {backoff}",
             )
+            # The retry gap on the timeline: the modeled backoff window
+            # (in microseconds of trace time) this rank sat waiting before
+            # the retransmission.
+            obs_gap(
+                "comm.retry",
+                duration=backoff * 1e-6,
+                rank=self.rank,
+                args={"site": site, "attempt": attempts, "backoff": backoff},
+            )
             backoff *= 2
             spec = fire_fault(site)
         if spec is not None:
@@ -295,6 +305,11 @@ class Comm:
                     "straggle",
                     detail=f"rank {self.rank} {where}: delivery delayed "
                     f"{spec.magnitude:g}x (in-order transport)",
+                )
+                obs_instant(
+                    "comm.straggle",
+                    rank=self.rank,
+                    args={"site": site, "magnitude": spec.magnitude},
                 )
             elif spec.kind == "kill":
                 self.world.kill(self.rank, where)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+from ..obs.observer import active_observer, obs_rank
 from .communicator import Comm, World
 
 
@@ -63,6 +64,9 @@ def run_spmd(
     errors: dict[int, BaseException] = {}
 
     def runner(rank: int) -> None:
+        # Tag the thread so an active observer attributes this rank's
+        # events to its own log and trace track (a no-op otherwise).
+        obs_rank(rank)
         comm = Comm(world, rank)
         try:
             results[rank] = fn(comm, *args, **kwargs)
@@ -78,6 +82,10 @@ def run_spmd(
         t.start()
     for t in threads:
         t.join()
+
+    obs = active_observer()
+    if obs is not None:
+        obs.metrics.record_traffic(world.stats)
 
     if errors:
         # Prefer the originating failure: once one rank dies, its peers

@@ -46,6 +46,7 @@ from ..machine.specs import KNL_7230, ProcessorSpec
 from ..mat.aij import AijMat
 from ..mat.base import Mat
 from ..mat.sparsity import signature
+from ..obs.observer import active_observer, obs_counter, obs_event
 from ..simd.engine import AlignmentFault, SimdEngine
 from ..simd.isa import Isa, get_isa
 from ..simd.counters import KernelCounters
@@ -244,6 +245,8 @@ class ExecutionContext:
         if hit is None:
             hit = self._measure_once(variant, csr, None, c, s)
             self._measure_cache[key] = hit
+        else:
+            obs_counter("context.measure_cache_hits")
         return hit
 
     def _measure_once(
@@ -257,7 +260,14 @@ class ExecutionContext:
         mat = self._prepared(variant, csr, slice_height, sigma)
         if x is None:
             x = self._default_x(csr.shape[1])
-        y, counters = self._execute(variant, csr, mat, x, slice_height, sigma)
+        with obs_event(f"Measure:{variant.name}"):
+            y, counters = self._execute(
+                variant, csr, mat, x, slice_height, sigma
+            )
+        obs = active_observer()
+        if obs is not None:
+            obs.metrics.record_kernel_counters(counters, variant.name)
+            obs.metrics.counter("context.measurements").inc()
         return SpmvMeasurement(
             variant=variant,
             mat=mat,
@@ -530,6 +540,7 @@ class ExecutionContext:
         hit = self._tune_cache.get(key)
         if hit is None:
             self.autotune_sweeps += 1
+            obs_counter("context.tune_sweeps")
             hit = tune_sell(
                 csr,
                 slice_heights=slice_heights,
@@ -563,8 +574,10 @@ class ExecutionContext:
         )
         hit = self._best_cache.get(key)
         if hit is not None:
+            obs_counter("context.autotune_cache_hits")
             return hit
         self.autotune_sweeps += 1
+        obs_counter("context.autotune_sweeps")
         best: KernelVariant | None = None
         best_gflops = -1.0
         for variant in pool:
@@ -623,6 +636,29 @@ class ExecutionContext:
                 op, slice_height=self.slice_height, sigma=self.sigma
             )
         return op
+
+    # -- observability -------------------------------------------------
+    @contextlib.contextmanager
+    def observe(self, observer=None):
+        """Install an observer for the block; measure/tune record into it.
+
+        Yields the active :class:`~repro.obs.observer.Observer` (a fresh
+        one unless passed in).  While installed, every measurement made
+        through this context snapshots its kernel counters into the
+        observer's metrics registry (``simd.*`` labeled by variant),
+        cache hits and autotune sweeps tick ``context.*`` counters, and
+        kernel executions appear as ``Measure:<variant>`` events in the
+        staged log and trace — all passively, with zero effect on the
+        measured results::
+
+            with ctx.observe() as obs:
+                ctx.measure(variant, csr)
+            print(obs.log().render())
+        """
+        from ..obs.observer import observing
+
+        with observing(observer) as obs:
+            yield obs
 
     # -- derivation ----------------------------------------------------
     def with_nprocs(self, nprocs: int) -> "ExecutionContext":

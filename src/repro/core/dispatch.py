@@ -25,6 +25,7 @@ import numpy as np
 
 from ..mat.aij import AijMat
 from ..mat.base import Mat, converter_for
+from ..obs.observer import obs_event
 from ..simd.counters import KernelCounters
 from ..simd.engine import SimdEngine
 from ..simd.isa import AVX, AVX2, AVX512, SCALAR, Isa
@@ -94,7 +95,8 @@ class KernelVariant:
         # The output vector must sit on a cache-line boundary like every
         # PETSc Vec (Section 3.1); the SELL kernel stores to it aligned.
         y = aligned_alloc(mat.shape[0], np.float64, 64)
-        self.kernel(engine, mat, x, y)
+        with obs_event(f"Kernel:{self.name}"):
+            self.kernel(engine, mat, x, y)
         return y, engine.counters
 
     def record(self, mat: Mat, x: np.ndarray, strict_alignment: bool = False):

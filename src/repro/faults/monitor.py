@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.observer import obs_instant
 from .events import emit
 
 
@@ -49,6 +50,7 @@ class HealthMonitor:
                 "nonfinite",
                 detail=f"rnorm = {rnorm!r}",
             )
+            obs_instant("health.nonfinite", args={"rnorm": repr(rnorm)})
             return ConvergedReason.NAN
         if (
             np.isfinite(rnorm0)
@@ -61,5 +63,6 @@ class HealthMonitor:
                 "explosion",
                 detail=f"rnorm {rnorm:.3e} > {self.divergence_factor:.0e} * {rnorm0:.3e}",
             )
+            obs_instant("health.explosion", args={"rnorm": rnorm, "rnorm0": rnorm0})
             return ConvergedReason.BREAKDOWN
         return None

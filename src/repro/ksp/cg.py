@@ -13,6 +13,7 @@ import numpy as np
 
 from ..faults.abft import SdcDetected
 from ..faults.events import emit
+from ..obs.observer import obs_event
 from .base import KSP, ConvergedReason, IdentityPC, KSPResult, LinearOperator
 
 
@@ -30,8 +31,14 @@ class CG(KSP):
         self._check_system(op, b)
         n = b.shape[0]
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
-        self.pc.setup(op)
+        with obs_event("PCSetUp"):
+            self.pc.setup(op)
+        with obs_event("KSPSolve"):
+            return self._iterate(op, b, x)
 
+    def _iterate(
+        self, op: LinearOperator, b: np.ndarray, x: np.ndarray
+    ) -> KSPResult:
         norms: list[float] = []
         rnorm0: float | None = None
         reason = ConvergedReason.ITS
@@ -47,8 +54,11 @@ class CG(KSP):
         while it < self.max_it:
             try:
                 if needs_restart:
-                    r = b - op.multiply(x)
-                    z = self.pc.apply(r)
+                    with obs_event("MatMult"):
+                        ax = op.multiply(x)
+                    r = b - ax
+                    with obs_event("PCApply"):
+                        z = self.pc.apply(r)
                     p = z.copy()
                     rz = float(r @ z)
                     needs_restart = False
@@ -59,7 +69,8 @@ class CG(KSP):
                         if early is not None:
                             return KSPResult(x, early, 0, norms)
                 it += 1
-                ap = op.multiply(p)
+                with obs_event("MatMult"):
+                    ap = op.multiply(p)
                 pap = float(p @ ap)
                 if pap <= 0.0:
                     reason = ConvergedReason.BREAKDOWN
@@ -73,7 +84,8 @@ class CG(KSP):
                 if stop is not None:
                     reason = stop
                     break
-                z = self.pc.apply(r)
+                with obs_event("PCApply"):
+                    z = self.pc.apply(r)
                 rz_new = float(r @ z)
                 if rz == 0.0:
                     # rᵀz vanished with r nonzero: the recurrence has no

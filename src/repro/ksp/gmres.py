@@ -16,6 +16,7 @@ import numpy as np
 
 from ..faults.abft import SdcDetected
 from ..faults.events import emit
+from ..obs.observer import obs_event
 from .base import (
     KSP,
     ConvergedReason,
@@ -43,8 +44,15 @@ class GMRES(KSP):
             raise ValueError("restart length must be positive")
         n = b.shape[0]
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
-        self.pc.setup(op)
+        with obs_event("PCSetUp"):
+            self.pc.setup(op)
+        with obs_event("KSPSolve"):
+            return self._iterate(op, b, x)
 
+    def _iterate(
+        self, op: LinearOperator, b: np.ndarray, x: np.ndarray
+    ) -> KSPResult:
+        n = b.shape[0]
         norms: list[float] = []
         total_it = 0
         reason = ConvergedReason.ITS
@@ -60,8 +68,11 @@ class GMRES(KSP):
             # a scheduled fault never re-fires on the retry.
             try:
                 # (Preconditioned) initial residual for this cycle.
-                r = b - op.multiply(x)
-                z = self.pc.apply(r)
+                with obs_event("MatMult"):
+                    ax = op.multiply(x)
+                r = b - ax
+                with obs_event("PCApply"):
+                    z = self.pc.apply(r)
                 beta = float(np.linalg.norm(z))
                 if rnorm0 is None:
                     rnorm0 = beta if beta > 0 else 1.0
@@ -88,7 +99,10 @@ class GMRES(KSP):
                 for k in range(m):
                     if total_it >= self.max_it:
                         break
-                    w = self.pc.apply(op.multiply(v[k]))
+                    with obs_event("MatMult"):
+                        av = op.multiply(v[k])
+                    with obs_event("PCApply"):
+                        w = self.pc.apply(av)
                     # Modified Gram-Schmidt
                     for i in range(k + 1):
                         h[i, k] = float(w @ v[i])

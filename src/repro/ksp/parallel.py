@@ -28,6 +28,7 @@ import numpy as np
 
 from ..faults.monitor import HealthMonitor
 from ..mat.mpi_aij import MPIAij
+from ..obs.observer import obs_event
 from ..vec.mpi_vec import MPIVec
 from .base import ConvergedReason, KrylovBreakdown, KSPResult
 
@@ -134,8 +135,12 @@ class ParallelGMRES:
         if self.context is not None:
             op = self.context.reformat_parallel(op)
         x = b.duplicate() if x0 is None else x0.copy()
-        self.pc.setup(op)
+        with obs_event("PCSetUp"):
+            self.pc.setup(op)
+        with obs_event("KSPSolve"):
+            return self._iterate(op, b, x)
 
+    def _iterate(self, op: MPIAij, b: MPIVec, x: MPIVec) -> KSPResult:
         norms: list[float] = []
         total_it = 0
         reason = ConvergedReason.ITS
@@ -160,11 +165,14 @@ class ParallelGMRES:
 
         while total_it < self.max_it:
             # Preconditioned initial residual of the cycle.
-            r = op.multiply(x)
+            with obs_event("MatMult"):
+                r = op.multiply(x)
             r.scale(-1.0)
             r.axpy(1.0, b)
-            z = self.pc.apply(r)
-            beta = z.norm("2")
+            with obs_event("PCApply"):
+                z = self.pc.apply(r)
+            with obs_event("VecNorm"):
+                beta = z.norm("2")
             if rnorm0 is None:
                 rnorm0 = beta if beta > 0 else 1.0
                 record(0, beta)
@@ -190,13 +198,18 @@ class ParallelGMRES:
                 for k in range(m):
                     if total_it >= self.max_it:
                         break
-                    w = self.pc.apply(op.multiply(basis[k]))
+                    with obs_event("MatMult"):
+                        av = op.multiply(basis[k])
+                    with obs_event("PCApply"):
+                        w = self.pc.apply(av)
                     # Modified Gram-Schmidt: one global reduction per basis
                     # vector (the allreduce cost the Figure 10 model charges).
-                    for i in range(k + 1):
-                        h[i, k] = w.dot(basis[i])
-                        w.axpy(-h[i, k], basis[i])
-                    h[k + 1, k] = w.norm("2")
+                    with obs_event("VecMDot"):
+                        for i in range(k + 1):
+                            h[i, k] = w.dot(basis[i])
+                            w.axpy(-h[i, k], basis[i])
+                    with obs_event("VecNorm"):
+                        h[k + 1, k] = w.norm("2")
                     if h[k + 1, k] <= 1e-300:
                         k_used = k + 1
                         total_it += 1
@@ -255,7 +268,8 @@ class ParallelRichardson:
         reason = ConvergedReason.ITS
         it = 0
         for it in range(1, self.max_it + 1):
-            r = op.multiply(x)
+            with obs_event("MatMult"):
+                r = op.multiply(x)
             r.scale(-1.0)
             r.axpy(1.0, b)
             rnorm = r.norm("2")

@@ -1,0 +1,242 @@
+"""Chrome trace-event export: SPMD solves as real timelines.
+
+The Trace Event Format (the JSON consumed by ``chrome://tracing`` and
+Perfetto) models exactly what the simulated MPI runtime produces: per-rank
+tracks of nested begin/end spans, plus instants for fault markers and
+complete events for retry gaps.  Each simulated rank maps to a ``tid`` on
+one shared ``pid``, so a 4-rank parallel GMRES solve renders as four
+parallel tracks with MatMult / PCApply / allreduce spans — stragglers and
+comm-retry gaps visible as literal holes in the timeline.
+
+Timestamps are microseconds (the format's unit), taken from one shared
+clock so cross-rank ordering is meaningful.  :func:`validate_trace`
+re-checks the structural contract (keys, per-track monotonicity, nesting)
+and is what the test suite runs against exported files.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Mapping
+
+
+class ChromeTrace:
+    """An append-only trace-event collector with per-rank tracks.
+
+    Thread-safe: SPMD rank threads emit concurrently.  Events carry
+    explicit ``rank`` (mapped to ``tid``); ``pid`` is fixed per collector.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        pid: int = 1,
+        process_name: str = "repro",
+    ) -> None:
+        self.clock = clock if clock is not None else time.perf_counter
+        self.pid = pid
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._origin = self.clock()
+        self._named_ranks: set[int] = set()
+        self._process_name = process_name
+
+    def _ts(self, t: float | None = None) -> float:
+        when = self.clock() if t is None else t
+        return (when - self._origin) * 1e6
+
+    def _meta(self, rank: int) -> None:
+        # Name threads lazily so only ranks that actually emit get tracks.
+        if rank in self._named_ranks:
+            return
+        self._named_ranks.add(rank)
+        if not self._events:
+            self._events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": self.pid,
+                    "tid": 0,
+                    "args": {"name": self._process_name},
+                }
+            )
+        self._events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self.pid,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+
+    def begin(self, name: str, rank: int = 0, args: Mapping | None = None) -> None:
+        """Open a duration span (``ph: "B"``) on ``rank``'s track."""
+        with self._lock:
+            self._meta(rank)
+            ev = {
+                "name": name,
+                "ph": "B",
+                "ts": self._ts(),
+                "pid": self.pid,
+                "tid": rank,
+            }
+            if args:
+                ev["args"] = dict(args)
+            self._events.append(ev)
+
+    def end(self, name: str, rank: int = 0) -> None:
+        """Close the innermost open span named ``name`` (``ph: "E"``)."""
+        with self._lock:
+            self._events.append(
+                {
+                    "name": name,
+                    "ph": "E",
+                    "ts": self._ts(),
+                    "pid": self.pid,
+                    "tid": rank,
+                }
+            )
+
+    def complete(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        rank: int = 0,
+        args: Mapping | None = None,
+    ) -> None:
+        """Record a closed span (``ph: "X"``) from clock readings.
+
+        ``start`` is a reading of this collector's clock; ``duration`` is
+        in seconds.  Retry gaps in the comm layer use this form — the gap
+        is only known once the retry succeeds.
+        """
+        with self._lock:
+            self._meta(rank)
+            ev = {
+                "name": name,
+                "ph": "X",
+                "ts": self._ts(start),
+                "dur": max(duration, 0.0) * 1e6,
+                "pid": self.pid,
+                "tid": rank,
+            }
+            if args:
+                ev["args"] = dict(args)
+            self._events.append(ev)
+
+    def instant(self, name: str, rank: int = 0, args: Mapping | None = None) -> None:
+        """Record a zero-duration marker (``ph: "i"``, thread scope)."""
+        with self._lock:
+            self._meta(rank)
+            ev = {
+                "name": name,
+                "ph": "i",
+                "ts": self._ts(),
+                "s": "t",
+                "pid": self.pid,
+                "tid": rank,
+            }
+            if args:
+                ev["args"] = dict(args)
+            self._events.append(ev)
+
+    @property
+    def events(self) -> list[dict]:
+        """Snapshot of all events (metadata included) in emission order."""
+        with self._lock:
+            return [dict(ev) for ev in self._events]
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The ``{"traceEvents": [...]}`` JSON document."""
+        return json.dumps(
+            {"traceEvents": self.events, "displayTimeUnit": "ms"}, indent=indent
+        )
+
+    def write_json(self, path) -> None:
+        """Write the trace document to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json(indent=1) + "\n")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def validate_trace(doc: dict | list) -> list[str]:
+    """Check a trace document against the trace-event structural contract.
+
+    Accepts either the ``{"traceEvents": [...]}`` object form or a bare
+    event list.  Returns a list of problem strings (empty = valid):
+
+    * every event has the required keys for its phase;
+    * timestamps are monotonically non-decreasing per ``(pid, tid)`` track
+      (B/E/i events; X events are checked for non-negative ``dur``);
+    * B/E pairs are properly nested per track — every E matches the
+      innermost open B of the same name, and no B is left open.
+    """
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return ["document has no traceEvents list"]
+    else:
+        events = doc
+
+    problems: list[str] = []
+    last_ts: dict[tuple, float] = {}
+    open_spans: dict[tuple, list[str]] = {}
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph is None or "name" not in ev or "pid" not in ev or "tid" not in ev:
+            problems.append(f"event {i} missing required keys: {ev!r}")
+            continue
+        if ph == "M":
+            continue
+        if "ts" not in ev:
+            problems.append(f"event {i} ({ev['name']!r}) has no ts")
+            continue
+        track = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        # B/E/i must be emitted in timeline order per track; X (complete)
+        # events are written retroactively once their duration is known and
+        # the format lets viewers sort them.
+        if ph in ("B", "E", "i"):
+            if ts < last_ts.get(track, float("-inf")):
+                problems.append(
+                    f"event {i} ({ev['name']!r}) ts {ts} goes backwards "
+                    f"on track {track}"
+                )
+            last_ts[track] = ts
+        if ph == "B":
+            open_spans.setdefault(track, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_spans.get(track, [])
+            if not stack:
+                problems.append(
+                    f"event {i}: E {ev['name']!r} with no open B on track {track}"
+                )
+            elif stack[-1] != ev["name"]:
+                problems.append(
+                    f"event {i}: E {ev['name']!r} does not match innermost "
+                    f"open B {stack[-1]!r} on track {track}"
+                )
+            else:
+                stack.pop()
+        elif ph == "X":
+            if ev.get("dur", 0) < 0:
+                problems.append(f"event {i} ({ev['name']!r}) has negative dur")
+        elif ph not in ("i",):
+            problems.append(f"event {i} has unknown phase {ph!r}")
+
+    for track, stack in open_spans.items():
+        for name in stack:
+            problems.append(f"B {name!r} never closed on track {track}")
+    return problems

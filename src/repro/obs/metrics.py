@@ -1,0 +1,198 @@
+"""A labeled metrics namespace: counters, gauges, histograms.
+
+The repo's subsystems already count obsessively — the SIMD engine fills a
+:class:`~repro.simd.counters.KernelCounters`, the simulated MPI world
+tracks :class:`~repro.comm.communicator.TrafficStats`, the fault stack
+streams :class:`~repro.faults.events.ResilienceLog` events — but each in
+its own shape.  The :class:`MetricsRegistry` pulls those snapshots into
+one flat, labeled namespace (``simd.flops{variant="SELL using AVX512"}``,
+``comm.bytes``, ``faults.detected``) with deterministic JSON export, so a
+benchmark run ships a single machine-readable metrics file.
+
+Metric names are dotted (``subsystem.metric``); labels are an optional
+frozen mapping rendered Prometheus-style in :meth:`MetricsRegistry.snapshot`
+keys: ``simd.flops{variant="sell"}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..comm.communicator import TrafficStats
+    from ..faults.events import ResilienceLog
+    from ..simd.counters import KernelCounters
+
+
+def _key(name: str, labels: Mapping[str, str] | None) -> str:
+    """The canonical flat key: ``name{k="v",...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        """Shift the current value by ``amount`` (either sign)."""
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """A streaming distribution summary: count/sum/min/max.
+
+    Full bucketing is more than the deterministic simulation needs; the
+    summary statistics are what the per-rank imbalance report consumes.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-safe summary (empty histogram has no min/max)."""
+        out: dict[str, float] = {"count": self.count, "sum": self.total}
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+            out["mean"] = self.mean
+        return out
+
+
+class MetricsRegistry:
+    """A thread-safe namespace of named, labeled metrics.
+
+    Rank threads of the SPMD runtime record concurrently, so every
+    accessor takes the registry lock; metric objects themselves are only
+    mutated under it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: Mapping[str, str] | None):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name=key)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {key!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> Counter:
+        """The (auto-created) counter for ``name`` + ``labels``."""
+        with self._lock:
+            return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        """The (auto-created) gauge for ``name`` + ``labels``."""
+        with self._lock:
+            return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, labels: Mapping[str, str] | None = None) -> Histogram:
+        """The (auto-created) histogram for ``name`` + ``labels``."""
+        with self._lock:
+            return self._get(Histogram, name, labels)
+
+    # -- subsystem snapshot adapters ---------------------------------------
+    def record_kernel_counters(
+        self, counters: "KernelCounters", variant: str | None = None
+    ) -> None:
+        """Fold a SIMD :class:`KernelCounters` snapshot into ``simd.*`` counters."""
+        labels = {"variant": variant} if variant else None
+        with self._lock:
+            for name, value in counters.as_metrics("simd").items():
+                self._get(Counter, name, labels).inc(value)
+
+    def record_traffic(self, stats: "TrafficStats", rank: int | None = None) -> None:
+        """Fold comm-layer :class:`TrafficStats` into ``comm.*`` counters."""
+        labels = {"rank": str(rank)} if rank is not None else None
+        with self._lock:
+            self._get(Counter, "comm.messages", labels).inc(stats.messages)
+            self._get(Counter, "comm.bytes", labels).inc(stats.bytes)
+
+    def record_resilience(self, log: "ResilienceLog") -> None:
+        """Fold a :class:`ResilienceLog`'s per-action counts into ``faults.*``."""
+        counts = log.counts()
+        with self._lock:
+            for action, count in counts.items():
+                self._get(Counter, f"faults.{action}", None).inc(count)
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """All metrics as a flat, deterministically ordered JSON-safe dict."""
+        with self._lock:
+            out: dict[str, object] = {}
+            for key in sorted(self._metrics):
+                metric = self._metrics[key]
+                if isinstance(metric, Histogram):
+                    out[key] = metric.as_dict()
+                else:
+                    value = metric.value
+                    out[key] = int(value) if float(value).is_integer() else value
+            return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot serialized as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path) -> None:
+        """Write the snapshot to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n")
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)

@@ -1,0 +1,255 @@
+"""The active observer: one object bundling logs, metrics, and trace.
+
+Instrumented library code (context dispatch, solvers, communicators)
+must not require an observability handle threaded through every
+signature — exactly the problem :mod:`repro.faults.events` solves for the
+resilience stream with its module-level current log.  This module applies
+the same pattern: a module-level *current* :class:`Observer` (``None`` by
+default) installed for a block with :func:`observing`, and cheap ``obs_*``
+hook functions that cost one global read and a ``None`` check when no
+observer is active — so instrumentation is passive and the benchmark
+fixtures stay bit-identical.
+
+Per-rank attribution uses a thread-local rank: the SPMD driver tags each
+rank thread once, and every hook called from that thread lands in that
+rank's :class:`~repro.obs.eventlog.EventLog` and trace track.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Mapping
+
+from .chrome_trace import ChromeTrace
+from .eventlog import EventLog, EventRecord
+from .metrics import MetricsRegistry
+
+
+class Observer:
+    """Bundled observability state for one run.
+
+    Holds one :class:`EventLog` per rank (rank 0 is the default for
+    sequential code), a shared :class:`MetricsRegistry`, and a shared
+    :class:`ChromeTrace` whose tracks are the ranks.
+
+    Parameters
+    ----------
+    clock:
+        Clock for the trace and (by default) every rank log.
+    rank_clock_factory:
+        Optional ``rank -> clock`` mapping, used by tests to hand each
+        rank thread a deterministic fake clock while the trace keeps the
+        shared one.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        rank_clock_factory: Callable[[int], Callable[[], float]] | None = None,
+    ) -> None:
+        self.clock = clock if clock is not None else time.perf_counter
+        self._rank_clock_factory = rank_clock_factory
+        self.metrics = MetricsRegistry()
+        self.trace = ChromeTrace(clock=self.clock)
+        self._logs: dict[int, EventLog] = {}
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- rank plumbing -----------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """The rank attributed to the calling thread (0 unless tagged)."""
+        return getattr(self._tls, "rank", 0)
+
+    def set_rank(self, rank: int) -> None:
+        """Tag the calling thread as ``rank`` (the SPMD driver's hook)."""
+        self._tls.rank = rank
+
+    @contextmanager
+    def at_rank(self, rank: int) -> Iterator[None]:
+        """Attribute the block's hooks to ``rank`` on this thread."""
+        prev = getattr(self._tls, "rank", None)
+        self._tls.rank = rank
+        try:
+            yield
+        finally:
+            if prev is None:
+                del self._tls.rank
+            else:
+                self._tls.rank = prev
+
+    def log(self, rank: int | None = None) -> EventLog:
+        """The (auto-created) event log of ``rank`` (calling thread's by default)."""
+        r = self.rank if rank is None else rank
+        with self._lock:
+            log = self._logs.get(r)
+            if log is None:
+                clock = (
+                    self._rank_clock_factory(r)
+                    if self._rank_clock_factory is not None
+                    else self.clock
+                )
+                log = EventLog(clock=clock)
+                self._logs[r] = log
+            return log
+
+    @property
+    def rank_logs(self) -> dict[int, EventLog]:
+        """Snapshot of the per-rank logs keyed by rank."""
+        with self._lock:
+            return dict(self._logs)
+
+    # -- recording ---------------------------------------------------------
+    @contextmanager
+    def event(
+        self, name: str, flops: int = 0, trace: bool = True
+    ) -> Iterator[EventRecord]:
+        """Time a region in the current rank's log and trace track."""
+        rank = self.rank
+        log = self.log(rank)
+        if trace:
+            self.trace.begin(name, rank=rank)
+        try:
+            with log.event(name, flops=flops) as rec:
+                yield rec
+        finally:
+            if trace:
+                self.trace.end(name, rank=rank)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Run a block under log stage ``name`` (also a trace span)."""
+        rank = self.rank
+        self.trace.begin(name, rank=rank, args={"stage": True})
+        try:
+            with self.log(rank).stage(name):
+                yield
+        finally:
+            self.trace.end(name, rank=rank)
+
+    def bump(self, name: str, count: int = 1) -> None:
+        """Count an untimed occurrence in the current rank's log.
+
+        This signature makes an :class:`Observer` a valid target for
+        :meth:`repro.faults.events.ResilienceLog.attach`, so fault events
+        mirror into the observed run automatically.
+        """
+        self.log().bump(name, count)
+
+    def instant(self, name: str, args: Mapping | None = None, rank: int | None = None) -> None:
+        """Drop a zero-duration marker on a rank's trace track."""
+        self.trace.instant(name, rank=self.rank if rank is None else rank, args=args)
+
+    def gap(
+        self,
+        name: str,
+        duration: float,
+        args: Mapping | None = None,
+        rank: int | None = None,
+    ) -> None:
+        """Record a closed span of ``duration`` seconds ending now.
+
+        Comm retry gaps use this: the hole in the timeline is only known
+        once the retransmission succeeds.
+        """
+        r = self.rank if rank is None else rank
+        self.trace.complete(
+            name, start=self.clock() - duration, duration=duration, rank=r, args=args
+        )
+
+    # -- export ------------------------------------------------------------
+    def render(self) -> str:
+        """Staged summaries of every rank log, concatenated."""
+        parts = []
+        for rank in sorted(self.rank_logs):
+            log = self.rank_logs[rank]
+            parts.append(f"[rank {rank}]")
+            parts.append(log.render())
+        return "\n".join(parts)
+
+
+#: The module-level current observer (None = observability off).
+_current: Observer | None = None
+_swap_lock = threading.Lock()
+
+
+def active_observer() -> Observer | None:
+    """The installed observer, or ``None`` when observability is off."""
+    return _current
+
+
+@contextmanager
+def observing(observer: Observer | None = None) -> Iterator[Observer]:
+    """Install ``observer`` (a fresh one by default) for the block."""
+    global _current
+    obs = observer if observer is not None else Observer()
+    with _swap_lock:
+        prev = _current
+        _current = obs
+    try:
+        yield obs
+    finally:
+        with _swap_lock:
+            _current = prev
+
+
+# -- cheap hooks for instrumented library code -----------------------------
+@contextmanager
+def obs_event(name: str, flops: int = 0, trace: bool = True) -> Iterator[EventRecord | None]:
+    """Time a region iff an observer is active; no-op (one read) otherwise."""
+    obs = _current
+    if obs is None:
+        yield None
+        return
+    with obs.event(name, flops=flops, trace=trace) as rec:
+        yield rec
+
+
+@contextmanager
+def obs_stage(name: str) -> Iterator[None]:
+    """Run under a log stage iff an observer is active."""
+    obs = _current
+    if obs is None:
+        yield
+        return
+    with obs.stage(name):
+        yield
+
+
+def obs_bump(name: str, count: int = 1) -> None:
+    """Count an occurrence iff an observer is active."""
+    obs = _current
+    if obs is not None:
+        obs.bump(name, count)
+
+
+def obs_instant(name: str, args: Mapping | None = None, rank: int | None = None) -> None:
+    """Drop a trace marker iff an observer is active."""
+    obs = _current
+    if obs is not None:
+        obs.instant(name, args=args, rank=rank)
+
+
+def obs_gap(
+    name: str, duration: float, args: Mapping | None = None, rank: int | None = None
+) -> None:
+    """Record a closed gap span iff an observer is active."""
+    obs = _current
+    if obs is not None:
+        obs.gap(name, duration, args=args, rank=rank)
+
+
+def obs_counter(name: str, amount: float = 1.0, labels: Mapping[str, str] | None = None) -> None:
+    """Increment a metrics counter iff an observer is active."""
+    obs = _current
+    if obs is not None:
+        obs.metrics.counter(name, labels).inc(amount)
+
+
+def obs_rank(rank: int) -> None:
+    """Tag the calling thread's rank iff an observer is active."""
+    obs = _current
+    if obs is not None:
+        obs.set_rank(rank)

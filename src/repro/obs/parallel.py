@@ -1,0 +1,159 @@
+"""Per-rank reduction: PETSc's load-imbalance columns over rank logs.
+
+PETSc's ``-log_view`` on a parallel run reports, for every event, the
+maximum time over ranks, the max/min *ratio* (the load-imbalance figure),
+and the rank-averaged time.  This module computes the same reduction over
+the per-rank :class:`~repro.obs.eventlog.EventLog` objects an
+:class:`~repro.obs.observer.Observer` collects from an SPMD solve —
+per (stage, event) and per stage — without any communication: the logs
+already live in one process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .eventlog import MAIN_STAGE, EventLog
+
+
+@dataclass
+class RankReduction:
+    """Min/max/avg statistics of one quantity across ranks."""
+
+    name: str
+    stage: str = MAIN_STAGE
+    calls: int = 0                #: total calls across ranks
+    min: float = 0.0
+    max: float = 0.0
+    avg: float = 0.0
+
+    @property
+    def ratio(self) -> float:
+        """Max over min — PETSc's load-imbalance column (1.0 = balanced)."""
+        if self.min <= 0.0:
+            return float("inf") if self.max > 0.0 else 1.0
+        return self.max / self.min
+
+
+@dataclass
+class ParallelSummary:
+    """The reduced view of one SPMD run's per-rank logs.
+
+    ``stages`` reduces stage *self* times; ``events`` reduces event self
+    times per (stage, event).  Both cover the union of names across ranks,
+    with absent entries contributing zero (a rank that never ran an event
+    is the imbalance worth reporting).
+    """
+
+    nranks: int
+    stages: list[RankReduction] = field(default_factory=list)
+    events: list[RankReduction] = field(default_factory=list)
+
+    def stage(self, name: str) -> RankReduction:
+        """The reduction row for stage ``name``."""
+        for row in self.stages:
+            if row.name == name:
+                return row
+        raise KeyError(f"no stage {name!r} in summary")
+
+    def event(self, name: str, stage: str | None = None) -> RankReduction:
+        """The reduction row for event ``name`` (optionally within ``stage``)."""
+        for row in self.events:
+            if row.name == name and (stage is None or row.stage == stage):
+                return row
+        raise KeyError(f"no event {name!r} in summary")
+
+    def render(self) -> str:
+        """The ``-log_view`` parallel table: max / ratio / avg columns."""
+        from ..bench.report import format_table
+
+        rows = []
+        for srow in self.stages:
+            rows.append(
+                (
+                    f"--- stage: {srow.name}",
+                    "",
+                    f"{srow.max:.4f}",
+                    f"{srow.ratio:.2f}" if srow.max else "-",
+                    f"{srow.avg:.4f}",
+                )
+            )
+            for erow in self.events:
+                if erow.stage != srow.name:
+                    continue
+                rows.append(
+                    (
+                        f"  {erow.name}",
+                        erow.calls,
+                        f"{erow.max:.4f}",
+                        f"{erow.ratio:.2f}" if erow.max else "-",
+                        f"{erow.avg:.4f}",
+                    )
+                )
+        return format_table(
+            ("event", "calls", "max [s]", "max/min", "avg [s]"),
+            rows,
+            title=f"Parallel event log ({self.nranks} ranks, self times)",
+        )
+
+
+def _reduce(values: list[float], name: str, stage: str, calls: int) -> RankReduction:
+    return RankReduction(
+        name=name,
+        stage=stage,
+        calls=calls,
+        min=min(values),
+        max=max(values),
+        avg=sum(values) / len(values),
+    )
+
+
+def merge_rank_logs(logs: dict[int, EventLog]) -> ParallelSummary:
+    """Reduce per-rank logs into min/max/ratio/avg rows.
+
+    ``logs`` maps rank to its :class:`EventLog` (the observer's
+    :attr:`~repro.obs.observer.Observer.rank_logs`).  Ranks are the dict's
+    keys; a rank missing an event or stage contributes 0.0 to that row.
+    """
+    if not logs:
+        return ParallelSummary(nranks=0)
+    ranks = sorted(logs)
+    nranks = len(ranks)
+
+    # Union of stages, in first-seen registration order (Main Stage first).
+    stage_names: list[str] = [MAIN_STAGE]
+    for rank in ranks:
+        for srec in logs[rank].stage_summary():
+            if srec.name not in stage_names:
+                stage_names.append(srec.name)
+
+    summary = ParallelSummary(nranks=nranks)
+    for name in stage_names:
+        per_rank = []
+        pushes = 0
+        for rank in ranks:
+            stages = {s.name: s for s in logs[rank].stage_summary()}
+            rec = stages.get(name)
+            per_rank.append(rec.self_seconds if rec else 0.0)
+            pushes += rec.pushes if rec else 0
+        summary.stages.append(_reduce(per_rank, name, name, pushes))
+
+    # Union of (stage, event) keys, ordered by stage then by max self time.
+    keys: list[tuple[str, str]] = []
+    for rank in ranks:
+        for rec in logs[rank].summary():
+            key = (rec.stage, rec.name)
+            if key not in keys:
+                keys.append(key)
+    rows = []
+    for stage, name in keys:
+        per_rank = []
+        calls = 0
+        for rank in ranks:
+            rec = logs[rank]._records.get((stage, name))
+            per_rank.append(rec.self_seconds if rec else 0.0)
+            calls += rec.calls if rec else 0
+        rows.append(_reduce(per_rank, name, stage, calls))
+    rows.sort(key=lambda r: (stage_names.index(r.stage), -r.max))
+    summary.events = rows
+    return summary

@@ -1,160 +1,18 @@
-"""Event logging in the style of PETSc's ``-log_view``.
+"""Event logging in the style of PETSc's ``-log_view`` (compatibility shim).
 
-The paper's artifact statement points at published log files ("The log
-files contain configuration options, command line options used to run the
-tests and profiling details") — PETSc's event log is how the authors
-attribute time to MatMult versus everything else in Figure 10.  This
-module reproduces that instrument: named events with nested timing, call
-counts, flop registration, and a summary table in the familiar layout.
+The profiler grew into the full observability layer at :mod:`repro.obs`:
+the same :class:`EventLog` with PETSc log stages added, plus metrics,
+Chrome-trace timelines, and per-rank reductions.  This module keeps the
+original import path working — ``repro.profiling.EventLog`` *is*
+``repro.obs.EventLog``, and the flat (stage-free) API is unchanged: code
+that never pushes a stage records into the implicit ``"Main Stage"``
+exactly as before.
 
-Events nest; self-time is attributed to the innermost active event, so the
-summary's percentages add up the way PETSc's do.  Use either the context
-manager or the decorator::
-
-    log = EventLog()
-    with log.event("MatMult", flops=2 * nnz):
-        y = a.multiply(x)
-    print(log.render())
+New code should import from :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-import functools
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, TypeVar
+from .obs.eventlog import MAIN_STAGE, EventLog, EventRecord, LogStage, StageRecord
 
-T = TypeVar("T")
-
-
-@dataclass
-class EventRecord:
-    """Accumulated statistics for one named event."""
-
-    name: str
-    calls: int = 0
-    total_seconds: float = 0.0    #: inclusive (with children)
-    self_seconds: float = 0.0     #: exclusive (innermost attribution)
-    flops: int = 0
-
-    @property
-    def gflops_rate(self) -> float:
-        """Registered flops over self time, in Gflop/s."""
-        if self.self_seconds <= 0:
-            return 0.0
-        return self.flops / self.self_seconds / 1e9
-
-
-@dataclass
-class EventLog:
-    """A -log_view-style event profiler."""
-
-    clock: Callable[[], float] = time.perf_counter
-    _records: dict[str, EventRecord] = field(default_factory=dict)
-    _stack: list[tuple[str, float, float]] = field(default_factory=list)
-    _created: float | None = None
-
-    def __post_init__(self) -> None:
-        self._created = self.clock()
-
-    def record(self, name: str) -> EventRecord:
-        """The (auto-created) record for ``name``."""
-        if name not in self._records:
-            self._records[name] = EventRecord(name=name)
-        return self._records[name]
-
-    @contextmanager
-    def event(self, name: str, flops: int = 0) -> Iterator[EventRecord]:
-        """Time a region; nested regions subtract from the parent's self time."""
-        rec = self.record(name)
-        start = self.clock()
-        self._stack.append((name, start, 0.0))
-        try:
-            yield rec
-        finally:
-            _, _, child_time = self._stack.pop()
-            elapsed = self.clock() - start
-            rec.calls += 1
-            rec.total_seconds += elapsed
-            rec.self_seconds += elapsed - child_time
-            rec.flops += flops
-            if self._stack:
-                parent_name, parent_start, parent_children = self._stack[-1]
-                self._stack[-1] = (
-                    parent_name,
-                    parent_start,
-                    parent_children + elapsed,
-                )
-
-    def bump(self, name: str, count: int = 1) -> EventRecord:
-        """Count an occurrence of ``name`` without timing it.
-
-        Resilience events (fault injections, detections, recoveries) are
-        instantaneous from the profiler's point of view; they show up in
-        the summary with call counts and zero time, the way PETSc logs
-        stage markers.
-        """
-        rec = self.record(name)
-        rec.calls += count
-        return rec
-
-    def timed(self, name: str, flops: int = 0) -> Callable[[Callable[..., T]], Callable[..., T]]:
-        """Decorator form of :meth:`event`."""
-
-        def wrap(fn: Callable[..., T]) -> Callable[..., T]:
-            @functools.wraps(fn)
-            def inner(*args, **kwargs) -> T:
-                with self.event(name, flops=flops):
-                    return fn(*args, **kwargs)
-
-            return inner
-
-        return wrap
-
-    # -- reporting ---------------------------------------------------------
-    @property
-    def wall_seconds(self) -> float:
-        """Time since the log was created."""
-        return self.clock() - (self._created or 0.0)
-
-    def summary(self) -> list[EventRecord]:
-        """Records sorted by self time, descending."""
-        return sorted(
-            self._records.values(), key=lambda r: r.self_seconds, reverse=True
-        )
-
-    def fraction(self, name: str) -> float:
-        """Self time of ``name`` as a fraction of total logged self time."""
-        total = sum(r.self_seconds for r in self._records.values())
-        if total <= 0:
-            return 0.0
-        return self.record(name).self_seconds / total
-
-    def render(self) -> str:
-        """The -log_view style summary table."""
-        from .bench.report import format_table
-
-        total = sum(r.self_seconds for r in self._records.values()) or 1.0
-        rows = []
-        for rec in self.summary():
-            rows.append(
-                (
-                    rec.name,
-                    rec.calls,
-                    f"{rec.total_seconds:.4f}",
-                    f"{rec.self_seconds:.4f}",
-                    f"{100 * rec.self_seconds / total:.0f}%",
-                    f"{rec.gflops_rate:.2f}" if rec.flops else "-",
-                )
-            )
-        return format_table(
-            ("event", "calls", "time [s]", "self [s]", "%self", "Gflop/s"),
-            rows,
-            title="Event log (PETSc -log_view style)",
-        )
-
-    def reset(self) -> None:
-        """Clear all records (open events keep running)."""
-        self._records.clear()
-        self._created = self.clock()
+__all__ = ["MAIN_STAGE", "EventLog", "EventRecord", "LogStage", "StageRecord"]

@@ -137,6 +137,16 @@ class KernelCounters:
         """Plain-dict snapshot, suitable for benchmark reports."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def as_metrics(self, prefix: str = "simd") -> dict[str, int]:
+        """Dotted-name snapshot for the observability metrics registry.
+
+        Keys are ``<prefix>.<counter>`` (``simd.flops``,
+        ``simd.bytes_loaded``, ...), the namespace
+        :meth:`repro.obs.metrics.MetricsRegistry.record_kernel_counters`
+        folds measurements into.
+        """
+        return {f"{prefix}.{f.name}": getattr(self, f.name) for f in fields(self)}
+
     def copy(self) -> "KernelCounters":
         out = KernelCounters()
         out += self

@@ -1,0 +1,87 @@
+"""Static documentation checks: intra-repo links and dotted paths.
+
+Two classes of silent rot the example-execution suite cannot catch:
+
+* a relative markdown link whose target file was moved or renamed;
+* a prose mention of a ``repro.something.symbol`` that no longer imports
+  (docs name far more symbols than their executable blocks exercise).
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+PAGES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+_DOTTED = re.compile(r"\brepro(?:\.\w+)+")
+_FENCE = re.compile(r"^```.*?^```\s*$", re.M | re.S)
+
+
+def _relative_links() -> list[tuple[str, str]]:
+    out = []
+    for page in PAGES:
+        for target in _LINK.findall(page.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            out.append((page.name, target))
+    return out
+
+
+@pytest.mark.parametrize(
+    "page,target", _relative_links(), ids=lambda v: str(v)
+)
+def test_relative_link_target_exists(page, target):
+    base = (REPO / "docs") if page != "README.md" else REPO
+    assert (base / target).resolve().exists(), f"{page}: broken link {target!r}"
+
+
+def _dotted_paths() -> list[tuple[str, str]]:
+    seen = set()
+    out = []
+    for page in PAGES:
+        text = page.read_text()
+        # Code fences are covered by test_examples (or are deliberate
+        # sketches); prose is what this pass audits.  Globs like
+        # ``repro.mat.mpi_*`` are namespace patterns, not symbols.
+        prose = _FENCE.sub("", text)
+        for m in _DOTTED.finditer(prose):
+            path = m.group(0)
+            end = m.end()
+            if end < len(prose) and prose[end] == "*":
+                continue
+            if (page.name, path) not in seen:
+                seen.add((page.name, path))
+                out.append((page.name, path))
+    return out
+
+
+@pytest.mark.parametrize("page,path", _dotted_paths(), ids=lambda v: str(v))
+def test_dotted_path_imports(page, path):
+    """Every ``repro.x.y`` the docs mention must resolve to a module or
+    an attribute of one."""
+    parts = path.split(".")
+    failures = []
+    for cut in range(len(parts), 0, -1):
+        modname = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(modname)
+        except ImportError as exc:
+            failures.append(f"{modname}: {exc}")
+            continue
+        for attr in parts[cut:]:
+            try:
+                obj = getattr(obj, attr)
+            except AttributeError:
+                failures.append(f"{modname} has no attribute chain {parts[cut:]}")
+                obj = None
+                break
+        if obj is not None:
+            return
+    pytest.fail(f"{page}: {path!r} does not resolve ({'; '.join(failures)})")

@@ -1,0 +1,118 @@
+"""Chrome trace-event export and the schema validator."""
+
+import json
+
+from repro.obs import ChromeTrace, validate_trace
+
+
+def fake_clock(times):
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestExport:
+    def test_begin_end_pair(self):
+        trace = ChromeTrace(clock=fake_clock([0.0, 1.0, 3.0]))
+        trace.begin("MatMult", rank=0)
+        trace.end("MatMult", rank=0)
+        spans = [e for e in trace.events if e["ph"] in ("B", "E")]
+        assert [e["ph"] for e in spans] == ["B", "E"]
+        # Timestamps are microseconds from the trace origin.
+        assert spans[0]["ts"] == 1e6 and spans[1]["ts"] == 3e6
+
+    def test_metadata_names_the_rank_tracks(self):
+        trace = ChromeTrace()
+        trace.begin("a", rank=2)
+        trace.end("a", rank=2)
+        meta = [e for e in trace.events if e["ph"] == "M"]
+        names = {e["name"]: e["args"] for e in meta}
+        assert names["process_name"]["name"] == "repro"
+        assert names["thread_name"]["name"] == "rank 2"
+
+    def test_complete_event_is_retroactive(self):
+        trace = ChromeTrace(clock=fake_clock([0.0, 5.0]))
+        now = 5.0
+        trace.complete("comm.retry", start=now - 2.0, duration=2.0, rank=1)
+        (x,) = (e for e in trace.events if e["ph"] == "X")
+        assert x["ts"] == 3e6
+        assert x["dur"] == 2e6
+
+    def test_instant_marker(self):
+        trace = ChromeTrace(clock=fake_clock([0.0, 1.0]))
+        trace.instant("health.nonfinite", rank=0, args={"rnorm": "nan"})
+        (i,) = (e for e in trace.events if e["ph"] == "i")
+        assert i["s"] == "t"
+        assert i["args"]["rnorm"] == "nan"
+
+    def test_json_document_shape(self, tmp_path):
+        trace = ChromeTrace()
+        trace.begin("a", rank=0)
+        trace.end("a", rank=0)
+        path = tmp_path / "trace.json"
+        trace.write_json(path)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert validate_trace(doc) == []
+
+
+class TestValidator:
+    def test_clean_trace_validates(self):
+        trace = ChromeTrace(clock=fake_clock([0.0, 1.0, 2.0, 3.0, 4.0]))
+        trace.begin("outer", rank=0)
+        trace.begin("inner", rank=0)
+        trace.end("inner", rank=0)
+        trace.end("outer", rank=0)
+        assert validate_trace({"traceEvents": trace.events}) == []
+
+    def test_unclosed_begin_is_reported(self):
+        trace = ChromeTrace()
+        trace.begin("leak", rank=0)
+        problems = validate_trace({"traceEvents": trace.events})
+        assert any("leak" in p for p in problems)
+
+    def test_mismatched_end_is_reported(self):
+        events = [
+            {"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "E", "ts": 1.0, "pid": 1, "tid": 0},
+        ]
+        problems = validate_trace({"traceEvents": events})
+        assert problems
+
+    def test_non_monotonic_track_is_reported(self):
+        events = [
+            {"name": "a", "ph": "B", "ts": 5.0, "pid": 1, "tid": 0},
+            {"name": "a", "ph": "E", "ts": 1.0, "pid": 1, "tid": 0},
+        ]
+        problems = validate_trace({"traceEvents": events})
+        assert any("monotonic" in p or "ts" in p for p in problems)
+
+    def test_retroactive_x_events_are_exempt_from_monotonicity(self):
+        """Retry gaps are written once the backoff is known — after later
+        B/E events on the same track.  The format allows it (viewers
+        sort); the validator must not flag it."""
+        events = [
+            {"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 0},
+            {"name": "a", "ph": "E", "ts": 10.0, "pid": 1, "tid": 0},
+            {"name": "gap", "ph": "X", "ts": 2.0, "dur": 3.0, "pid": 1, "tid": 0},
+        ]
+        assert validate_trace({"traceEvents": events}) == []
+
+    def test_negative_duration_x_is_reported(self):
+        events = [
+            {"name": "gap", "ph": "X", "ts": 2.0, "dur": -1.0, "pid": 1, "tid": 0}
+        ]
+        assert validate_trace({"traceEvents": events})
+
+    def test_missing_required_key_is_reported(self):
+        assert validate_trace({"traceEvents": [{"name": "a", "ph": "B"}]})
+
+    def test_separate_tracks_do_not_interleave_nesting(self):
+        """Each (pid, tid) nests independently — rank 1's events must not
+        close rank 0's."""
+        events = [
+            {"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 2.0, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 3.0, "pid": 1, "tid": 0},
+        ]
+        assert validate_trace({"traceEvents": events}) == []

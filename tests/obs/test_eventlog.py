@@ -1,0 +1,140 @@
+"""Log stages: wall-clock tiling, nesting, and exception safety."""
+
+import pytest
+
+from repro.obs import MAIN_STAGE, EventLog, LogStage
+
+
+def fake_clock(times):
+    """A clock returning queued values (deterministic timing tests)."""
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestStages:
+    def test_events_account_to_the_active_stage(self):
+        log = EventLog(clock=fake_clock([0.0, 0.0, 1.0, 2.0, 3.0]))
+        with log.stage("KSPSolve"):
+            with log.event("MatMult"):
+                pass
+        assert log.record("MatMult", stage="KSPSolve").calls == 1
+        # Nothing leaked into Main Stage.
+        assert ("Main Stage", "MatMult") not in log._records
+
+    def test_flat_api_is_stage_zero(self):
+        """An EventLog used without stages is the original flat profiler."""
+        log = EventLog(clock=fake_clock([0.0, 0.0, 2.0]))
+        with log.event("MatMult"):
+            pass
+        rec = log.record("MatMult")
+        assert rec.stage == MAIN_STAGE
+        assert rec.total_seconds == 2.0
+        assert log.current_stage == MAIN_STAGE
+
+    def test_stage_self_times_tile_the_wall_clock(self):
+        """PETSc's stage-table invariant, pinned with a fake clock.
+
+        created=0; stage A [1,4]; stage B [5,9]; wall read at 10.
+        Main Stage self = 10 - 3 - 4 = 3.
+        """
+        log = EventLog(clock=fake_clock([0.0, 1.0, 4.0, 5.0, 9.0, 10.0]))
+        with log.stage("MatAssembly"):
+            pass
+        with log.stage("KSPSolve"):
+            pass
+        stages = log.stage_summary()
+        assert [s.name for s in stages] == [MAIN_STAGE, "MatAssembly", "KSPSolve"]
+        assert [s.self_seconds for s in stages] == [3.0, 3.0, 4.0]
+        # wall_seconds was consumed by stage_summary's clock read above, so
+        # assert the tiling against the recorded totals directly.
+        assert sum(s.self_seconds for s in stages) == stages[0].total_seconds == 10.0
+
+    def test_nested_stage_subtracts_from_parent_self(self):
+        # created; outer push 1; inner push 2; inner pop 5; outer pop 8; wall 8
+        log = EventLog(clock=fake_clock([0.0, 1.0, 2.0, 5.0, 8.0, 8.0]))
+        with log.stage("Outer"):
+            with log.stage("Inner"):
+                pass
+        stages = {s.name: s for s in log.stage_summary()}
+        assert stages["Outer"].total_seconds == 7.0
+        assert stages["Outer"].self_seconds == 4.0
+        assert stages["Inner"].self_seconds == 3.0
+        # Tiling holds with nesting: 1 (main) + 4 + 3 == 8.
+        assert sum(s.self_seconds for s in stages.values()) == 8.0
+
+    def test_repeated_pushes_accumulate(self):
+        log = EventLog(clock=fake_clock([0.0, 0.0, 1.0, 2.0, 4.0, 5.0]))
+        stage = LogStage("Assembly")
+        for _ in range(2):
+            with stage.on(log):
+                pass
+        rec = log.stage_summary()[1]
+        assert rec.pushes == 2
+        assert rec.total_seconds == 3.0
+
+    def test_main_stage_cannot_be_pushed(self):
+        with pytest.raises(ValueError, match="implicit"):
+            EventLog().push_stage(MAIN_STAGE)
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(ValueError, match="no stage"):
+            EventLog().pop_stage()
+
+    def test_render_groups_by_stage(self):
+        log = EventLog()
+        with log.stage("KSPSolve"):
+            with log.event("MatMult"):
+                pass
+        out = log.render()
+        assert "stage 1: KSPSolve" in out
+        assert "MatMult" in out
+
+    def test_reset_restores_main_stage(self):
+        log = EventLog()
+        with log.stage("KSPSolve"):
+            pass
+        log.reset()
+        assert log.current_stage == MAIN_STAGE
+        assert [s.name for s in log.stage_summary()] == [MAIN_STAGE]
+
+
+class TestExceptionSafety:
+    """The regression suite for the raised-body bug: timing must never be
+    lost and the stacks must never corrupt when an instrumented region
+    raises (fault-recovery paths raise on purpose)."""
+
+    def test_event_attributes_elapsed_time_on_raise(self):
+        log = EventLog(clock=fake_clock([0.0, 1.0, 4.0]))
+        with pytest.raises(RuntimeError):
+            with log.event("MatMult"):
+                raise RuntimeError("SDC detected")
+        rec = log.record("MatMult")
+        assert rec.calls == 1
+        assert rec.total_seconds == 3.0
+        assert rec.self_seconds == 3.0
+
+    def test_event_stack_is_popped_on_raise(self):
+        """A survived inner raise must not miscredit later siblings."""
+        # created; outer 0; inner 1..3 (raises); sibling 3..5; outer end 6
+        log = EventLog(clock=fake_clock([0.0, 0.0, 1.0, 3.0, 3.0, 5.0, 6.0]))
+        with log.event("KSPSolve"):
+            with pytest.raises(RuntimeError):
+                with log.event("MatMult"):
+                    raise RuntimeError("kernel died")
+            with log.event("PCApply"):
+                pass
+        assert log._stack == []
+        assert log.record("MatMult").total_seconds == 2.0
+        assert log.record("PCApply").total_seconds == 2.0
+        # Both children subtracted from the parent's self time.
+        assert log.record("KSPSolve").self_seconds == 2.0
+
+    def test_stage_is_popped_on_raise(self):
+        log = EventLog(clock=fake_clock([0.0, 1.0, 3.0, 4.0]))
+        with pytest.raises(RuntimeError):
+            with log.stage("KSPSolve"):
+                raise RuntimeError("diverged")
+        assert log.current_stage == MAIN_STAGE
+        assert log._stage_stack == []
+        stages = {s.name: s for s in log.stage_summary()}
+        assert stages["KSPSolve"].total_seconds == 2.0

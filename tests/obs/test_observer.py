@@ -1,0 +1,167 @@
+"""The Observer, the observing() installer, and the passive obs_* hooks."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Observer, active_observer, observing
+from repro.obs.observer import obs_bump, obs_counter, obs_event, obs_stage
+
+
+def fake_clock(times):
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestInstallation:
+    def test_no_observer_by_default(self):
+        assert active_observer() is None
+
+    def test_observing_installs_and_restores(self):
+        with observing() as obs:
+            assert active_observer() is obs
+            with observing() as inner:
+                assert active_observer() is inner
+            assert active_observer() is obs
+        assert active_observer() is None
+
+    def test_observing_restores_on_raise(self):
+        with pytest.raises(RuntimeError):
+            with observing():
+                raise RuntimeError("boom")
+        assert active_observer() is None
+
+
+class TestHooks:
+    def test_hooks_are_noops_when_inactive(self):
+        with obs_event("MatMult") as rec:
+            assert rec is None
+        with obs_stage("KSPSolve"):
+            pass
+        obs_bump("Fault:benign:spmv.output")
+        obs_counter("context.measurements")
+        assert active_observer() is None
+
+    def test_hooks_record_when_active(self):
+        with observing() as obs:
+            with obs_stage("KSPSolve"):
+                with obs_event("MatMult") as rec:
+                    assert rec is not None
+            obs_counter("context.measurements", 2)
+        log = obs.log()
+        assert log.record("MatMult", stage="KSPSolve").calls == 1
+        assert obs.metrics.snapshot()["context.measurements"] == 2
+
+    def test_event_mirrors_into_the_trace(self):
+        with observing() as obs:
+            with obs_event("MatMult"):
+                pass
+        phases = [e["ph"] for e in obs.trace.events if e["name"] == "MatMult"]
+        assert phases == ["B", "E"]
+
+
+class TestRankAttribution:
+    def test_default_rank_is_zero(self):
+        assert Observer().rank == 0
+
+    def test_at_rank_routes_to_that_log(self):
+        obs = Observer()
+        with obs.at_rank(3):
+            with obs.event("MatMult"):
+                pass
+        assert set(obs.rank_logs) == {3}
+        assert obs.rank_logs[3].record("MatMult").calls == 1
+
+    def test_at_rank_restores_previous(self):
+        obs = Observer()
+        with obs.at_rank(1):
+            with obs.at_rank(2):
+                assert obs.rank == 2
+            assert obs.rank == 1
+        assert obs.rank == 0
+
+    def test_rank_clock_factory_gives_each_rank_its_clock(self):
+        obs = Observer(rank_clock_factory=lambda r: fake_clock([0.0, 0.0, float(r + 1)]))
+        for rank in range(2):
+            with obs.at_rank(rank):
+                with obs.event("work"):
+                    pass
+        assert obs.rank_logs[0].record("work").self_seconds == 1.0
+        assert obs.rank_logs[1].record("work").self_seconds == 2.0
+
+    def test_events_land_on_their_rank_trace_track(self):
+        obs = Observer()
+        with obs.at_rank(2):
+            with obs.event("MatMult"):
+                pass
+        (b,) = (e for e in obs.trace.events if e["ph"] == "B")
+        assert b["tid"] == 2
+
+
+class TestResilienceBridge:
+    def test_observer_is_a_valid_resilience_log_target(self):
+        """ResilienceLog.attach(log) calls bump(name) — an Observer
+        satisfies that contract, so fault events mirror in."""
+        from repro.faults.events import ResilienceLog
+
+        obs = Observer()
+        rlog = ResilienceLog()
+        rlog.attach(obs)
+        rlog.emit("detected", "spmv.output", kind="bitflip")
+        rec = obs.log().record("Fault:detected:spmv.output")
+        assert rec.calls == 1
+
+
+class TestContextIntegration:
+    def test_context_observe_and_cache_counters(self, gray_scott_small):
+        from repro.core.context import ExecutionContext
+
+        ctx = ExecutionContext(default_variant="SELL using AVX512")
+        with ctx.observe() as obs:
+            ctx.measure("SELL using AVX512", gray_scott_small)
+            ctx.measure("SELL using AVX512", gray_scott_small)
+        snap = obs.metrics.snapshot()
+        assert snap["context.measurements"] == 1
+        assert snap["context.measure_cache_hits"] == 1
+        assert snap['simd.flops{variant="SELL using AVX512"}'] > 0
+        assert obs.log().record("Measure:SELL using AVX512").calls == 1
+
+    def test_solver_events_appear_under_observation(self, gray_scott_small):
+        from repro.ksp import GMRES, JacobiPC
+
+        b = np.ones(gray_scott_small.shape[0])
+        with observing() as obs:
+            result = GMRES(pc=JacobiPC(), rtol=1e-8).solve(gray_scott_small, b)
+        assert result.reason.converged
+        log = obs.log()
+        assert log.record("KSPSolve").calls == 1
+        assert log.record("MatMult").calls >= result.iterations
+        assert log.record("PCApply").calls >= result.iterations
+        assert log.record("PCSetUp").calls == 1
+
+
+class TestPassivity:
+    def test_measurement_is_bit_identical_with_and_without_observer(
+        self, gray_scott_small
+    ):
+        """Observability must be passive: observed results match
+        unobserved results bit for bit (the figure fixtures depend on it)."""
+        from repro.core.context import ExecutionContext
+
+        plain = ExecutionContext(default_variant="SELL using AVX512")
+        bare = plain.measure("SELL using AVX512", gray_scott_small)
+
+        observed_ctx = ExecutionContext(default_variant="SELL using AVX512")
+        with observing():
+            seen = observed_ctx.measure("SELL using AVX512", gray_scott_small)
+
+        assert np.array_equal(bare.y, seen.y)
+        assert bare.counters == seen.counters
+
+    def test_solver_trajectory_is_identical_under_observation(self, gray_scott_small):
+        from repro.ksp import GMRES, JacobiPC
+
+        b = np.linspace(0.0, 1.0, gray_scott_small.shape[0])
+        x_bare = GMRES(pc=JacobiPC(), rtol=1e-10).solve(gray_scott_small, b).x
+        with observing():
+            x_seen = GMRES(pc=JacobiPC(), rtol=1e-10).solve(gray_scott_small, b).x
+        assert np.array_equal(x_bare, x_seen)
