@@ -16,6 +16,7 @@ Commands:
 ``calibrate``   re-run the KNL cost-table fit
 ``analyze``     static kernel verifier (see ``analyze --help``)
 ``profile``     observed experiment run (see ``profile --help``)
+``serve``       multi-tenant solve service benchmark (``serve --smoke``)
 ``info``        version, module inventory, and test entry points
 ==============  =========================================================
 """
@@ -34,7 +35,8 @@ def _info() -> str:
         "Using AVX-512\" (ICPP 2018)",
         "",
         "subsystems: simd, memory, machine, comm, vec, mat, core, ksp, pde,",
-        "            bench, obs (profiling, metrics, traces)",
+        "            bench, obs (profiling, metrics, traces), serve (async",
+        "            multi-tenant solve service)",
         "",
         "run the evaluation : python -m repro all",
         "assert the shapes  : pytest benchmarks/ --benchmark-only",
@@ -68,6 +70,10 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.cli import main as profile_main
 
         return profile_main(args[1:])
+    if command == "serve":
+        from .serve.cli import main as serve_main
+
+        return serve_main(args[1:])
     if command == "all":
         from .bench.run_all import main as run_all_main
 
@@ -89,7 +95,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     if command not in modules:
         print(f"unknown command {command!r}; choose from: "
-              f"{', '.join(['all', *modules, 'analyze', 'profile', 'calibrate', 'info'])}",
+              f"{', '.join(['all', *modules, 'analyze', 'profile', 'serve', 'calibrate', 'info'])}",
               file=sys.stderr)
         return 2
     print(modules[command].render())

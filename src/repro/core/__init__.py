@@ -50,6 +50,7 @@ from .kernels_csr import (
 from .kernels_ellpack import spmv_ellpack, spmv_ellpack_r, spmv_hybrid
 from .kernels_mkl import MKL_EFFICIENCY, spmv_csr_mkl
 from .kernels_sell import spmv_sell, spmv_sell_esb
+from .registry import SignatureRegistry
 from .sell import SellMat
 from .spmv import SpmvMeasurement, measure, predict, spmv
 from .transpose import (
@@ -100,6 +101,7 @@ __all__ = [
     "SELL_NOVEC",
     "SellILU0PC",
     "SellMat",
+    "SignatureRegistry",
     "SellTriangular",
     "SpmvMeasurement",
     "TuneCandidate",

@@ -45,7 +45,6 @@ from ..machine.perf_model import (
 from ..machine.specs import KNL_7230, ProcessorSpec
 from ..mat.aij import AijMat
 from ..mat.base import Mat
-from ..mat.sparsity import signature
 from ..obs.observer import active_observer, obs_counter, obs_event
 from ..simd.engine import AlignmentFault, SimdEngine
 from ..simd.isa import Isa, get_isa
@@ -53,6 +52,7 @@ from ..simd.counters import KernelCounters
 from ..simd.trace import TraceError
 from .autotune import TuneResult, tune_sell
 from .dispatch import ALL_VARIANTS, KernelVariant, get_variant
+from .registry import SignatureRegistry
 from .spmv import SpmvMeasurement
 from .spmv import default_x as spmv_default_x
 from .spmv import predict as _predict
@@ -146,30 +146,21 @@ class ExecutionContext:
     #: stays at one per sparsity signature across repeated solves.
     autotune_sweeps: int = field(default=0, repr=False, compare=False)
 
-    _measure_cache: dict = field(
-        default_factory=dict, repr=False, compare=False
+    #: The memoization store: every cache the context historically owned
+    #: (measure/tune/best memos, the structure-keyed trace cache, prepared
+    #: formats, default inputs, verifier verdicts) lives in this shared,
+    #: concurrency-safe :class:`~repro.core.registry.SignatureRegistry`.
+    #: A fresh context makes its own private registry (identical per-call
+    #: behavior to the historical dicts); pass one registry to many
+    #: contexts — or derive views with :meth:`view` — to share every
+    #: recorded trace and tuning decision across them.
+    registry: SignatureRegistry | None = field(
+        default=None, repr=False, compare=False
     )
-    _tune_cache: dict = field(default_factory=dict, repr=False, compare=False)
-    _best_cache: dict = field(default_factory=dict, repr=False, compare=False)
-    # Traces are valid per sparsity *structure* (value-independent), so
-    # they survive operator reassembly; prepared formats and default input
-    # vectors are value-dependent and keyed accordingly.
-    _trace_cache: dict = field(default_factory=dict, repr=False, compare=False)
-    _prepare_cache: dict = field(
-        default_factory=dict, repr=False, compare=False
-    )
-    _default_x_cache: dict = field(
-        default_factory=dict, repr=False, compare=False
-    )
-    _replay_counts: dict = field(
-        default_factory=dict, repr=False, compare=False
-    )
-    # Static-verification verdicts are pure functions of (kernel,
-    # structure, execution policy), so they memoize on the same
-    # structural signature as traces.
-    _verify_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = SignatureRegistry()
         if self.nprocs is None:
             self.nprocs = self.model.spec.cores
         if not 1 <= self.nprocs <= self.model.spec.cores:
@@ -234,18 +225,17 @@ class ExecutionContext:
         s = self.sigma if sigma is None else sigma
         if x is not None:
             return self._measure_once(variant, csr, x, c, s)
-        key = (
-            variant.name,
-            c,
-            s,
-            self.strict_alignment,
-            signature(csr, include_values=True),
+        key = SignatureRegistry.measure_key(
+            variant.name, c, s, self.strict_alignment, csr
         )
-        hit = self._measure_cache.get(key)
-        if hit is None:
-            hit = self._measure_once(variant, csr, None, c, s)
-            self._measure_cache[key] = hit
-        else:
+        ran = []
+
+        def factory() -> SpmvMeasurement:
+            ran.append(True)
+            return self._measure_once(variant, csr, None, c, s)
+
+        hit = self.registry.get_or_compute("measure", key, factory)
+        if not ran:
             obs_counter("context.measure_cache_hits")
         return hit
 
@@ -289,25 +279,18 @@ class ExecutionContext:
         harnesses iterating variants of one format — share a single
         conversion instead of re-running it per call.
         """
-        key = (
-            variant.fmt,
-            slice_height,
-            sigma,
-            signature(csr, include_values=True),
+        return variant.prepare(
+            csr, slice_height=slice_height, sigma=sigma,
+            registry=self.registry,
         )
-        hit = self._prepare_cache.get(key)
-        if hit is None:
-            hit = variant.prepare(csr, slice_height=slice_height, sigma=sigma)
-            self._prepare_cache[key] = hit
-        return hit
 
     def _default_x(self, n: int) -> np.ndarray:
         """The reproducible default input vector, built once per size."""
-        hit = self._default_x_cache.get(n)
-        if hit is None:
-            hit = spmv_default_x(n)
-            self._default_x_cache[n] = hit
-        return hit
+        return self.registry.get_or_compute(
+            "default_x",
+            SignatureRegistry.default_x_key(n),
+            lambda: spmv_default_x(n),
+        )
 
     def _execute(
         self,
@@ -388,12 +371,8 @@ class ExecutionContext:
         slice_height: int,
         sigma: int,
     ) -> tuple:
-        return (
-            variant.name,
-            slice_height,
-            sigma,
-            self.strict_alignment,
-            signature(csr),
+        return SignatureRegistry.trace_key(
+            variant.name, slice_height, sigma, self.strict_alignment, csr
         )
 
     def _invalidate_trace(
@@ -405,8 +384,8 @@ class ExecutionContext:
     ) -> None:
         """Drop a cached trace whose output failed verification."""
         key = self._trace_key(variant, csr, slice_height, sigma)
-        if self._trace_cache.pop(key, None) is not None:
-            self._replay_counts.pop(key, None)
+        if self.registry.invalidate("trace", key):
+            self.registry.clear_replay(key)
             emit_fault_event(
                 "recovered", "trace.cache", "invalidated", detail=variant.name
             )
@@ -434,17 +413,20 @@ class ExecutionContext:
         fresh interpreted run, and a mismatch invalidates the trace and
         returns the interpreted result.
         """
+        from .traced import acquire_trace
+
         key = self._trace_key(variant, csr, slice_height, sigma)
-        trace = self._trace_cache.get(key)
-        if trace is None:
-            try:
-                trace, y, counters = variant.record(
-                    mat, x, strict_alignment=self.strict_alignment
-                )
-            except TraceError:
-                return self._interpreted_run(variant, mat, x)
-            self._trace_cache[key] = trace
-            return y, counters
+        try:
+            trace, recorded = acquire_trace(
+                variant, self.registry, key, mat, x,
+                strict_alignment=self.strict_alignment,
+            )
+        except TraceError:
+            return self._interpreted_run(variant, mat, x)
+        if recorded is not None:
+            # This call was the single-flight leader: the recording run
+            # doubles as the measurement, exactly as before.
+            return recorded
         y, counters = variant.replay(trace, mat, x)
         spec = fire_fault("trace.replay")
         if spec is not None and spec.kind in CORRUPTION_KINDS:
@@ -453,8 +435,7 @@ class ExecutionContext:
             )
             corrupt_product(spec, y, x, checker, site="trace.replay")
         if self.audit_interval > 0:
-            count = self._replay_counts.get(key, 0) + 1
-            self._replay_counts[key] = count
+            count = self.registry.bump_replay(key)
             if count % self.audit_interval == 0:
                 audited, audited_counters = self._interpreted_run(
                     variant, mat, x
@@ -464,8 +445,8 @@ class ExecutionContext:
                         "detected", "trace.audit", "mismatch",
                         detail=variant.name,
                     )
-                    del self._trace_cache[key]
-                    self._replay_counts.pop(key, None)
+                    self.registry.invalidate("trace", key)
+                    self.registry.clear_replay(key)
                     emit_fault_event(
                         "recovered", "trace.cache", "invalidated",
                         detail=variant.name,
@@ -502,24 +483,21 @@ class ExecutionContext:
 
         if isinstance(variant, str):
             variant = get_variant(variant)
-        key = (
-            variant.name,
-            signature(csr),
-            self.slice_height,
-            self.sigma,
+        key = SignatureRegistry.verify_key(
+            variant.name, csr, self.slice_height, self.sigma,
             self.strict_alignment,
         )
-        hit = self._verify_cache.get(key)
-        if hit is None:
-            hit = analyze_variant(
+        return self.registry.get_or_compute(
+            "verify",
+            key,
+            lambda: analyze_variant(
                 variant,
                 csr,
                 slice_height=self.slice_height,
                 sigma=self.sigma,
                 strict_alignment=self.strict_alignment,
-            )
-            self._verify_cache[key] = hit
-        return hit
+            ),
+        )
 
     # -- tuning (the inspector step, memoized) -------------------------
     def tune(
@@ -536,20 +514,22 @@ class ExecutionContext:
         reassembling the operator with new coefficients (every Newton step
         of the Gray-Scott runs) hits the cache.
         """
-        key = (signature(csr), slice_heights, sigmas, scale)
-        hit = self._tune_cache.get(key)
-        if hit is None:
+        key = SignatureRegistry.tune_key(
+            csr, slice_heights, sigmas, scale, self._policy_key()
+        )
+
+        def sweep() -> TuneResult:
             self.autotune_sweeps += 1
             obs_counter("context.tune_sweeps")
-            hit = tune_sell(
+            return tune_sell(
                 csr,
                 slice_heights=slice_heights,
                 sigmas=sigmas,
                 scale=scale,
                 ctx=self,
             )
-            self._tune_cache[key] = hit
-        return hit
+
+        return self.registry.get_or_compute("tune", key, sweep)
 
     def best_variant(
         self,
@@ -568,32 +548,39 @@ class ExecutionContext:
         set — any variant the static analyzer finds defects in.
         """
         pool = self.supported_variants() if candidates is None else candidates
-        key = (
-            signature(csr), tuple(v.name for v in pool), scale,
-            self.verify_variants,
+        key = SignatureRegistry.best_key(
+            csr, tuple(v.name for v in pool), scale, self.verify_variants,
+            self._policy_key(),
         )
-        hit = self._best_cache.get(key)
-        if hit is not None:
+        ran = []
+
+        def sweep() -> KernelVariant:
+            ran.append(True)
+            self.autotune_sweeps += 1
+            obs_counter("context.autotune_sweeps")
+            best: KernelVariant | None = None
+            best_gflops = -1.0
+            for variant in pool:
+                try:
+                    meas = self.measure(variant, csr)
+                except (ValueError, NotImplementedError):
+                    continue  # format constraint (block size, mask support)
+                if (
+                    self.verify_variants
+                    and not self.verify_variant(variant, csr).ok
+                ):
+                    continue  # statically defective; refuse however fast
+                perf = self.predict(meas, scale=scale)
+                if perf.gflops > best_gflops:
+                    best, best_gflops = variant, perf.gflops
+            if best is None:
+                raise ValueError("no registered variant accepts this matrix")
+            return best
+
+        winner = self.registry.get_or_compute("best", key, sweep)
+        if not ran:
             obs_counter("context.autotune_cache_hits")
-            return hit
-        self.autotune_sweeps += 1
-        obs_counter("context.autotune_sweeps")
-        best: KernelVariant | None = None
-        best_gflops = -1.0
-        for variant in pool:
-            try:
-                meas = self.measure(variant, csr)
-            except (ValueError, NotImplementedError):
-                continue  # format constraint (block size, mask support, ...)
-            if self.verify_variants and not self.verify_variant(variant, csr).ok:
-                continue  # statically defective; refuse however fast
-            perf = self.predict(meas, scale=scale)
-            if perf.gflops > best_gflops:
-                best, best_gflops = variant, perf.gflops
-        if best is None:
-            raise ValueError("no registered variant accepts this matrix")
-        self._best_cache[key] = best
-        return best
+        return winner
 
     # -- format conversion (the executor step) -------------------------
     def resolve_variant(self, csr: AijMat) -> KernelVariant:
@@ -607,12 +594,40 @@ class ExecutionContext:
 
         The chosen variant's registered format converter runs with the
         context's ``C``/``sigma``; with no :attr:`default_variant` the
-        choice is the memoized :meth:`best_variant`.
+        choice is the memoized :meth:`best_variant`.  The conversion
+        itself is memoized in the registry's ``prepare`` namespace, so
+        repeated solver setups on an unchanged operator share one
+        converted matrix.
         """
         variant = self.resolve_variant(csr)
-        return variant.prepare(
-            csr, slice_height=self.slice_height, sigma=self.sigma
+        return self._prepared(variant, csr, self.slice_height, self.sigma)
+
+    # -- serving (multi-vector products over the shared registry) -------
+    def spmm(self, csr: AijMat, xs: np.ndarray) -> np.ndarray:
+        """One multi-vector product pass ``Y = A @ [x1 ... xk]``.
+
+        The serving path of :mod:`repro.serve`: resolves the operator's
+        variant through the registry-memoized tuning decision, reuses the
+        memoized format conversion, and runs a *single* SpMM pass over
+        the prepared operator (:meth:`repro.mat.base.Mat.multiply_multi`).
+        Column ``j`` of the result is bit-identical whether the request
+        was served alone or batched with any other same-operator
+        requests — the batch-size-invariance the request batcher relies
+        on.  ``xs`` is ``(n, k)``; a 1-D input is treated as ``k = 1``.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim == 1:
+            xs = xs[:, None]
+        variant = self.resolve_variant(csr)
+        prepared = self._prepared(
+            variant, csr, self.slice_height, self.sigma
         )
+        with obs_event(f"SpMM:{variant.name}"):
+            return prepared.multiply_multi(xs)
+
+    def spmv(self, csr: AijMat, x: np.ndarray) -> np.ndarray:
+        """One serving-path product ``y = A @ x`` (a width-1 :meth:`spmm`)."""
+        return self.spmm(csr, x)[:, 0]
 
     def reformat_parallel(self, op: "MPIAij") -> "MPIAij":
         """MatConvert for distributed operators (MPIAIJ -> MPISELL).
@@ -661,12 +676,33 @@ class ExecutionContext:
             yield obs
 
     # -- derivation ----------------------------------------------------
+    def _policy_key(self) -> tuple:
+        """What distinguishes this context's *pricing* in shared caches.
+
+        Engine measurements, traces, and prepared formats depend only on
+        the kernel and the matrix; tune results and autotune winners also
+        depend on the machine being priced.  Their registry keys carry
+        this tuple so context views at different rank counts or on
+        different machines coexist in one shared registry.
+        """
+        return (self.spec.name, self.memory_mode.value, self.nprocs)
+
+    def view(self) -> "ExecutionContext":
+        """A cheap same-policy view sharing this context's registry.
+
+        Views are what a multi-tenant server hands each shard: identical
+        execution policy, every cache shared, but independent
+        :attr:`autotune_sweeps` accounting.
+        """
+        return self._derive(model=self.model, nprocs=self.nprocs)
+
     def with_nprocs(self, nprocs: int) -> "ExecutionContext":
         """Same machine and policy at a different rank count.
 
-        Shares the measurement cache (engine measurements are
-        model-independent); tuning caches start fresh because the pricing
-        changed.
+        Shares the registry; machine-independent entries (measurements,
+        traces, prepared formats) are reused directly, while tune/best
+        entries are policy-keyed, so the re-priced rank count sweeps
+        fresh without disturbing the original's decisions.
         """
         return self._derive(model=self.model, nprocs=nprocs)
 
@@ -679,7 +715,10 @@ class ExecutionContext:
     def _derive(
         self, model: PerfModel, nprocs: int | None
     ) -> "ExecutionContext":
-        derived = ExecutionContext(
+        # Shared by design: the registry's machine-independent namespaces
+        # (measure/trace/prepare/default_x) serve every view, and the
+        # policy-keyed namespaces (tune/best) partition by machine+ranks.
+        return ExecutionContext(
             model=model,
             nprocs=nprocs,
             isa=None if model is not self.model else self.isa,
@@ -691,13 +730,6 @@ class ExecutionContext:
             abft=self.abft,
             abft_rtol=self.abft_rtol,
             audit_interval=self.audit_interval,
+            verify_variants=self.verify_variants,
+            registry=self.registry,
         )
-        # Shared by design: engine measurements, recorded traces, prepared
-        # formats, and default inputs depend only on the kernel and the
-        # matrix, never on the machine model being priced.
-        derived._measure_cache = self._measure_cache
-        derived._trace_cache = self._trace_cache
-        derived._prepare_cache = self._prepare_cache
-        derived._default_x_cache = self._default_x_cache
-        derived._replay_counts = self._replay_counts
-        return derived

@@ -57,16 +57,30 @@ class KernelVariant:
     efficiency: float = 1.0       #: time multiplier 1/efficiency at predict
 
     def prepare(
-        self, csr: AijMat, slice_height: int = 8, sigma: int = 1
+        self, csr: AijMat, slice_height: int = 8, sigma: int = 1,
+        registry=None,
     ) -> Mat:
         """Convert the assembled CSR operator to this variant's format.
 
         Dispatches through the format-converter registry
         (:func:`repro.mat.base.register_format`); formats without the
-        SELL tuning knobs ignore them.
+        SELL tuning knobs ignore them.  Passing a
+        :class:`~repro.core.registry.SignatureRegistry` memoizes the
+        conversion per (format, knobs, matrix values) with single-flight
+        semantics — concurrent preparations of one operator convert once
+        and share the result.
         """
-        return converter_for(self.fmt)(
-            csr, slice_height=slice_height, sigma=sigma
+        if registry is None:
+            return converter_for(self.fmt)(
+                csr, slice_height=slice_height, sigma=sigma
+            )
+        key = registry.prepare_key(self.fmt, slice_height, sigma, csr)
+        return registry.get_or_compute(
+            "prepare",
+            key,
+            lambda: converter_for(self.fmt)(
+                csr, slice_height=slice_height, sigma=sigma
+            ),
         )
 
     def run(

@@ -111,3 +111,39 @@ def replay_trace(
     buffers["y"] = y
     counters = trace.replay(buffers)
     return y, counters
+
+
+def acquire_trace(
+    variant,
+    registry,
+    key: tuple,
+    mat: Mat,
+    x: np.ndarray,
+    strict_alignment: bool = False,
+) -> tuple[KernelTrace, tuple[np.ndarray, KernelCounters] | None]:
+    """Get the trace under ``key``, recording it at most once.
+
+    The registry's single-flight semantics elect one leader among
+    concurrent callers for an uncached structure; only the leader runs
+    the recording, and it gets the recording run's exact ``(y,
+    counters)`` back as the second element (the recording doubles as the
+    first measurement).  Everyone else — cache hits and single-flight
+    waiters alike — receives ``(trace, None)`` and replays.
+
+    ``key`` must come from
+    :meth:`repro.core.registry.SignatureRegistry.trace_key` — the single
+    definition of the trace cache key.  A kernel the trace layer cannot
+    represent raises :class:`TraceError` out of the recording (nothing
+    is cached) for the caller to fall back to interpretation.
+    """
+    recorded: dict[str, tuple[np.ndarray, KernelCounters]] = {}
+
+    def record() -> KernelTrace:
+        trace, y, counters = record_trace(
+            variant, mat, x, strict_alignment=strict_alignment
+        )
+        recorded["run"] = (y, counters)
+        return trace
+
+    trace = registry.get_or_compute("trace", key, record)
+    return trace, recorded.get("run")

@@ -107,6 +107,72 @@ class Mat(abc.ABC):
     def multiply(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
         """y = A @ x (allocating y when not supplied)."""
 
+    def multiply_multi(
+        self, xs: np.ndarray, ys: np.ndarray | None = None
+    ) -> np.ndarray:
+        """One multi-vector pass ``Y = A @ [x1 ... xk]`` (``xs`` is n-by-k).
+
+        The amortization the serving layer's request batcher banks on:
+        the matrix (values, indices, row structure) streams through memory
+        once for the whole batch instead of once per vector.  Runs on a
+        compiled CSR handle built lazily once per matrix (SciPy's CSR
+        matmat); without SciPy it degrades to a per-column
+        :meth:`multiply` loop.
+
+        Column ``j`` of the result is *batch-size invariant* — identical
+        bits whether ``x_j`` was multiplied alone or alongside any other
+        columns — which is what lets a server batch requests without
+        changing any tenant's answer.  (Within one execution path the
+        columns agree with :meth:`multiply` to summation-order rounding.)
+        Matrices are treated as immutable once multiplied: reassembling
+        values must build a new matrix, not mutate this one's buffers.
+        """
+        m, n = self.shape
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim != 2 or xs.shape[0] != n:
+            raise MatrixShapeError(
+                f"input block of shape {xs.shape} does not conform to "
+                f"matrix {m}x{n}"
+            )
+        if ys is not None and ys.shape != (m, xs.shape[1]):
+            raise MatrixShapeError(
+                f"output block of shape {ys.shape} does not conform to "
+                f"({m}, {xs.shape[1]})"
+            )
+        handle = self._spmm_handle()
+        if handle is None:
+            if ys is None:
+                ys = np.zeros((m, xs.shape[1]), dtype=np.float64)
+            for j in range(xs.shape[1]):
+                self.multiply(xs[:, j], ys[:, j])
+        elif ys is None:
+            ys = np.asarray(handle @ xs, dtype=np.float64)
+        else:
+            ys[:] = handle @ xs
+        return ys
+
+    def _spmm_handle(self):
+        """The cached compiled-CSR handle ``multiply_multi`` runs on.
+
+        Built once per matrix (through :meth:`to_csr`, an identity for
+        CSR itself) and reused for every batch; ``None`` when SciPy is
+        unavailable, selecting the per-column fallback.
+        """
+        cached = getattr(self, "_spmm_handle_cache", False)
+        if cached is not False:
+            return cached
+        try:
+            import scipy.sparse as sp
+        except ImportError:  # pragma: no cover - scipy ships with the repo
+            handle = None
+        else:
+            csr = self.to_csr()
+            handle = sp.csr_matrix(
+                (csr.val, csr.colidx, csr.rowptr), shape=csr.shape
+            )
+        self._spmm_handle_cache = handle
+        return handle
+
     @abc.abstractmethod
     def to_csr(self) -> "AijMat":
         """Convert to the CSR reference format."""

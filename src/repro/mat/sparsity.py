@@ -64,7 +64,22 @@ def signature(csr: AijMat, include_values: bool = False) -> str:
 
     ``include_values=True`` additionally hashes the stored values, for
     caches whose payload depends on the numbers (e.g. matvec results).
+
+    The digest is memoized on the matrix instance: hashing is O(nnz) and
+    the serving front door computes a signature per request, while the
+    repo treats matrices as immutable once assembled (reassembly builds
+    a new object).  Mutating a matrix's buffers in place after its first
+    signature would leave the memo stale — don't.
     """
+    cache = getattr(csr, "_signature_cache", None)
+    if cache is None:
+        cache = {}
+        try:
+            csr._signature_cache = cache
+        except AttributeError:  # slotted/frozen matrix: hash every call
+            cache = None
+    if cache is not None and include_values in cache:
+        return cache[include_values]
     h = hashlib.sha1()
     m, n = csr.shape
     h.update(f"{m}x{n}:".encode())
@@ -73,7 +88,10 @@ def signature(csr: AijMat, include_values: bool = False) -> str:
     if include_values:
         h.update(b"+vals:")
         h.update(np.ascontiguousarray(csr.val).tobytes())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    if cache is not None:
+        cache[include_values] = digest
+    return digest
 
 
 def ellpack_padding(csr: AijMat) -> int:

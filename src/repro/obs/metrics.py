@@ -37,32 +37,51 @@ def _key(name: str, labels: Mapping[str, str] | None) -> str:
 
 @dataclass
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
+
+    Mutation is serialized by a per-metric lock: handles escape the
+    registry (``registry.counter(...).inc()`` is the idiom everywhere),
+    so the increment itself — a read-modify-write — must be atomic or
+    concurrent rank/serving threads lose counts.
+    """
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the count."""
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
 class Gauge:
-    """A point-in-time value that can move both ways."""
+    """A point-in-time value that can move both ways.
+
+    Per-metric lock for the same reason as :class:`Counter`: ``add`` is
+    a read-modify-write on an escaped handle.
+    """
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
         """Replace the current value."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def add(self, amount: float) -> None:
         """Shift the current value by ``amount`` (either sign)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
@@ -71,6 +90,8 @@ class Histogram:
 
     Full bucketing is more than the deterministic simulation needs; the
     summary statistics are what the per-rank imbalance report consumes.
+    The per-metric lock keeps the four fields of one sample mutually
+    consistent under concurrent observers.
     """
 
     name: str
@@ -78,13 +99,17 @@ class Histogram:
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def observe(self, value: float) -> None:
         """Fold one sample into the summary."""
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
 
     @property
     def mean(self) -> float:
@@ -93,20 +118,24 @@ class Histogram:
 
     def as_dict(self) -> dict[str, float]:
         """JSON-safe summary (empty histogram has no min/max)."""
-        out: dict[str, float] = {"count": self.count, "sum": self.total}
-        if self.count:
-            out["min"] = self.min
-            out["max"] = self.max
-            out["mean"] = self.mean
+        with self._lock:
+            out: dict[str, float] = {"count": self.count, "sum": self.total}
+            if self.count:
+                out["min"] = self.min
+                out["max"] = self.max
+                out["mean"] = self.total / self.count
         return out
 
 
 class MetricsRegistry:
     """A thread-safe namespace of named, labeled metrics.
 
-    Rank threads of the SPMD runtime record concurrently, so every
-    accessor takes the registry lock; metric objects themselves are only
-    mutated under it.
+    Rank threads of the SPMD runtime and the serving executor record
+    concurrently.  The registry lock guards the name-to-metric map;
+    each metric object carries its own leaf lock guarding its values,
+    so handles returned by :meth:`counter`/:meth:`gauge`/:meth:`histogram`
+    stay safe to mutate after they escape the registry lock.  Lock
+    order is registry → metric, never the reverse.
     """
 
     def __init__(self) -> None:

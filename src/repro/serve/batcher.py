@@ -1,0 +1,98 @@
+"""Signature batching: fold same-operator SpMV requests into one SpMM.
+
+The service's core amortization: ``k`` requests that multiply the *same*
+operator (same structure **and** same values — the registry's content
+key) become one multi-vector pass ``Y = A @ [x1 ... xk]``
+(:meth:`repro.mat.base.Mat.multiply_multi`), so the matrix streams
+through memory once for the whole group.  Column ``j`` of the batched
+product is bit-identical to serving ``x_j`` alone, so batching is
+invisible to tenants except in latency.
+
+Grouping MUST use the content key, not the structural one: two tenants
+on the same stencil with different coefficients share every structural
+cache (traces, tune decisions) but *cannot* share an SpMM pass — the
+product depends on the values.
+
+Solves are never batched (each is its own Krylov iteration); the planner
+passes them through as singles, ordered with everything else by
+priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.registry import SignatureRegistry
+from .request import RequestKind, SolveRequest
+
+
+@dataclass
+class Batch:
+    """One planned unit of execution.
+
+    Either a group of same-operator SpMV requests (``len(requests) >= 1``)
+    to be served by a single SpMM pass, or exactly one SOLVE request.
+    """
+
+    kind: RequestKind
+    requests: list[SolveRequest] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        """Vectors in the pass (the occupancy metric's numerator)."""
+        return len(self.requests)
+
+    @property
+    def mat(self):
+        """The shared operator (same object for every member by key)."""
+        return self.requests[0].mat
+
+
+class SignatureBatcher:
+    """Plan a drained window of requests into executable batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Cap on the width of one SpMM pass.  A group larger than this is
+        split — unbounded batches would trade unbounded latency for the
+        last joiner against diminishing bandwidth amortization.
+    """
+
+    def __init__(self, max_batch: int = 8) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.max_batch = max_batch
+
+    @staticmethod
+    def group_key(request: SolveRequest) -> tuple:
+        """What must match for two requests to share one SpMM pass."""
+        return (SignatureRegistry.content_key(request.mat),)
+
+    def plan(self, requests: list[SolveRequest]) -> list[Batch]:
+        """Group a drained window into batches, most urgent first.
+
+        SpMV requests sharing a content key coalesce (split at
+        ``max_batch``); solves stay single.  Batches are ordered by the
+        best (highest) priority they contain, ties broken by admission
+        sequence, so an urgent request never waits behind a wide batch
+        of background work.  Within a group, members keep priority order
+        too — when a group splits, the urgent members ride the first
+        pass.
+        """
+        ordered = sorted(requests, key=lambda r: (-r.priority, r.seq))
+        groups: dict[tuple, list[SolveRequest]] = {}
+        batches: list[Batch] = []
+        for request in ordered:
+            if request.kind is RequestKind.SOLVE:
+                batches.append(Batch(RequestKind.SOLVE, [request]))
+                continue
+            members = groups.setdefault(self.group_key(request), [])
+            members.append(request)
+            if len(members) == 1:
+                batches.append(Batch(RequestKind.SPMV, members))
+            elif len(members) == self.max_batch:
+                # Group is full: retire it so a later same-key request
+                # starts a fresh batch.
+                groups.pop(self.group_key(request))
+        return batches

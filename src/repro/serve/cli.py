@@ -1,0 +1,48 @@
+"""``python -m repro serve`` — run the serving benchmark / smoke gate.
+
+Modes
+-----
+``--smoke`` (default)
+    CI-sized closed-loop traffic comparison: the batching service versus
+    a one-at-a-time baseline, with the acceptance gates of
+    :mod:`repro.bench.serve_traffic` (throughput speedup, cache hit
+    rate, single-flight, p95 ceiling).  Writes ``BENCH_serve.json`` and
+    exits non-zero when a gate fails.
+``--json PATH``
+    Redirect the report file.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch the serve subcommand; returns the process exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "-h" in args or "--help" in args:
+        print(__doc__)
+        return 0
+    known = {"--smoke", "--json"}
+    position = 0
+    forwarded: list[str] = []
+    while position < len(args):
+        arg = args[position]
+        if arg == "--json":
+            if position + 1 >= len(args):
+                print("--json needs a path", file=sys.stderr)
+                return 2
+            forwarded += ["--json", args[position + 1]]
+            position += 2
+            continue
+        if arg not in known:
+            print(
+                f"unknown serve option {arg!r}; see 'serve --help'",
+                file=sys.stderr,
+            )
+            return 2
+        position += 1
+
+    from ..bench.serve_traffic import main as traffic_main
+
+    return traffic_main(forwarded)

@@ -1,0 +1,190 @@
+"""Per-tenant QoS: admission control, caps, and overload shedding.
+
+The :class:`AdmissionController` is the service's front gate.  It keeps
+three invariants a multi-tenant server owes its tenants:
+
+* **bounded queue** — total admitted-but-unfinished requests never exceed
+  ``queue_cap``, so the service's memory and tail latency stay bounded
+  however hard clients push;
+* **tenant isolation** — no tenant holds more than its policy's
+  ``max_inflight`` slots, so one aggressive tenant cannot starve the
+  rest;
+* **graceful degradation** — past the shed watermark the controller
+  refuses the lowest-priority work *before* the queue is full, and it
+  reports the transition into and out of overload through the fault
+  framework (:mod:`repro.faults.events`), the same ``degraded`` /
+  ``recovered`` vocabulary the resilient solve stack uses.  An overload
+  is an environmental fault; shedding is the planned response to it.
+
+Admission is thread-safe (one lock; admission decisions are tiny) and
+purely synchronous — the asyncio server calls it inline before queueing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..faults.events import emit as emit_fault_event
+from ..obs.observer import obs_counter
+from .request import SolveRequest
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """What one tenant is entitled to.
+
+    ``max_inflight`` caps the tenant's admitted-but-unfinished requests.
+    ``min_priority_under_load`` lets a tenant mark its own traffic as
+    load-sheddable below a threshold: requests with priority strictly
+    below it are shed *whenever the service is past the watermark*, not
+    just at the global shed priority.
+    """
+
+    max_inflight: int = 64
+    min_priority_under_load: int | None = None
+
+
+class AdmissionController:
+    """Synchronous admission gate with overload shedding.
+
+    Parameters
+    ----------
+    queue_cap:
+        Hard cap on admitted-but-unfinished requests across all tenants.
+    shed_watermark:
+        Fraction of ``queue_cap`` past which the controller enters the
+        *overloaded* state and starts shedding.
+    shed_priority:
+        While overloaded, requests with priority <= this are refused.
+    policies:
+        Per-tenant :class:`TenantPolicy` overrides; unknown tenants get
+        ``default_policy``.
+    """
+
+    def __init__(
+        self,
+        queue_cap: int = 256,
+        shed_watermark: float = 0.75,
+        shed_priority: int = 0,
+        policies: dict[str, TenantPolicy] | None = None,
+        default_policy: TenantPolicy = TenantPolicy(),
+    ) -> None:
+        if queue_cap < 1:
+            raise ValueError("queue_cap must be positive")
+        if not 0.0 < shed_watermark <= 1.0:
+            raise ValueError("shed_watermark must be in (0, 1]")
+        self.queue_cap = queue_cap
+        self.shed_watermark = shed_watermark
+        self.shed_priority = shed_priority
+        self.policies = dict(policies or {})
+        self.default_policy = default_policy
+        self._lock = threading.Lock()
+        self._inflight: dict[str, int] = {}
+        self._depth = 0
+        self._overloaded = False
+        self._admitted = 0
+        self._rejected = 0
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The tenant's policy (the default when none was registered)."""
+        return self.policies.get(tenant, self.default_policy)
+
+    # -- the gate ------------------------------------------------------
+    def try_admit(self, request: SolveRequest) -> str | None:
+        """Admit ``request`` or return the human-readable refusal reason.
+
+        On admission the caller owns one slot and MUST call
+        :meth:`release` exactly once when the request finishes (served,
+        timed out, or errored).
+        """
+        with self._lock:
+            reason = self._refusal_locked(request)
+            if reason is None:
+                self._inflight[request.tenant] = (
+                    self._inflight.get(request.tenant, 0) + 1
+                )
+                self._depth += 1
+                self._admitted += 1
+                self._note_load_locked()
+            else:
+                self._rejected += 1
+        if reason is None:
+            obs_counter("serve.admitted", labels={"tenant": request.tenant})
+        else:
+            obs_counter("serve.rejected", labels={"tenant": request.tenant})
+        return reason
+
+    def _refusal_locked(self, request: SolveRequest) -> str | None:
+        if self._depth >= self.queue_cap:
+            return f"queue full ({self.queue_cap} inflight)"
+        policy = self.policy_for(request.tenant)
+        if self._inflight.get(request.tenant, 0) >= policy.max_inflight:
+            return (
+                f"tenant {request.tenant!r} at its inflight cap "
+                f"({policy.max_inflight})"
+            )
+        if self._depth >= self._watermark_depth():
+            floor = self.shed_priority
+            if policy.min_priority_under_load is not None:
+                floor = max(floor, policy.min_priority_under_load - 1)
+            if request.priority <= floor:
+                return (
+                    f"shed under overload (priority {request.priority} <= "
+                    f"{floor} at depth {self._depth})"
+                )
+        return None
+
+    def release(self, request: SolveRequest) -> None:
+        """Return the slot :meth:`try_admit` granted."""
+        with self._lock:
+            count = self._inflight.get(request.tenant, 0)
+            if count <= 1:
+                self._inflight.pop(request.tenant, None)
+            else:
+                self._inflight[request.tenant] = count - 1
+            self._depth = max(0, self._depth - 1)
+            self._note_load_locked()
+
+    def _watermark_depth(self) -> int:
+        return max(1, int(self.queue_cap * self.shed_watermark))
+
+    def _note_load_locked(self) -> None:
+        """Track the overload state transition; report it as a fault event."""
+        overloaded = self._depth >= self._watermark_depth()
+        if overloaded and not self._overloaded:
+            self._overloaded = True
+            emit_fault_event(
+                "degraded", "serve.overload", "shedding",
+                detail=f"depth={self._depth}/{self.queue_cap}",
+            )
+        elif not overloaded and self._overloaded:
+            self._overloaded = False
+            emit_fault_event(
+                "recovered", "serve.overload", "shedding",
+                detail=f"depth={self._depth}/{self.queue_cap}",
+            )
+
+    # -- introspection -------------------------------------------------
+    @property
+    def overloaded(self) -> bool:
+        """True while depth is at or past the shed watermark."""
+        with self._lock:
+            return self._overloaded
+
+    def depth(self) -> int:
+        """Admitted-but-unfinished requests right now."""
+        with self._lock:
+            return self._depth
+
+    def stats(self) -> dict:
+        """Admission tallies, JSON-safe."""
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "depth": self._depth,
+                "queue_cap": self.queue_cap,
+                "overloaded": self._overloaded,
+                "inflight": dict(sorted(self._inflight.items())),
+            }

@@ -1,0 +1,109 @@
+"""Request/response types of the serving front door.
+
+A :class:`SolveRequest` is what a tenant submits to the
+:class:`~repro.serve.server.SolveService`: an assembled CSR operator plus
+one vector — the input ``x`` of an SpMV product, or the right-hand side
+``b`` of a linear solve — under that tenant's identity, priority, and
+deadline.  The service answers with a :class:`SolveResponse` whose
+``status`` says what actually happened: served, shed at admission,
+deadline-expired, or failed in compute.
+
+Requests are deliberately operator-carrying rather than handle-carrying:
+the service keys every cache by the operator's sparsity signature
+(:meth:`repro.core.registry.SignatureRegistry.content_key`), so two
+tenants submitting structurally identical operators share format
+conversions, autotune decisions, and — for identical *values* — one
+batched SpMM pass, without ever having coordinated on a handle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mat.aij import AijMat
+
+
+class RequestKind(enum.Enum):
+    """What the tenant is asking for."""
+
+    #: One product ``y = A @ x``; batchable with same-operator requests.
+    SPMV = "spmv"
+    #: One Krylov solve ``A x = b`` (GMRES under the shard's context).
+    SOLVE = "solve"
+
+
+class ResponseStatus(enum.Enum):
+    """Outcome of one request's trip through the service."""
+
+    OK = "ok"
+    #: Refused at admission (queue full, tenant cap, overload shedding).
+    REJECTED = "rejected"
+    #: The tenant's deadline expired before the result was ready.
+    TIMEOUT = "timeout"
+    #: The compute itself raised (bad operator, solver breakdown, ...).
+    ERROR = "error"
+
+
+@dataclass
+class SolveRequest:
+    """One unit of tenant work.
+
+    Parameters
+    ----------
+    tenant:
+        Tenant identity; drives sharding, per-tenant QoS accounting, and
+        admission-control caps.
+    mat:
+        The assembled CSR operator.
+    payload:
+        The vector: ``x`` for :attr:`RequestKind.SPMV`, ``b`` for
+        :attr:`RequestKind.SOLVE`.
+    kind:
+        What to do with the pair.
+    priority:
+        Larger is more important.  Under overload, admission sheds the
+        lowest priorities first; within a drained batch window, higher
+        priorities are planned first.
+    timeout:
+        Seconds the tenant is willing to wait end-to-end; ``None`` waits
+        indefinitely.
+    """
+
+    tenant: str
+    mat: AijMat
+    payload: np.ndarray
+    kind: RequestKind = RequestKind.SPMV
+    priority: int = 0
+    timeout: float | None = None
+    #: Monotonic admission sequence, stamped by the service; ties in
+    #: priority order are broken first-come-first-served.
+    seq: int = field(default=0, compare=False)
+
+
+@dataclass
+class SolveResponse:
+    """What came back.
+
+    ``batch_width`` reports how many same-operator requests shared the
+    SpMM pass that produced this result (1 for unbatched and for solves)
+    — the occupancy the benchmark aggregates.  ``result`` is ``None``
+    unless ``status`` is :attr:`ResponseStatus.OK`.
+    """
+
+    status: ResponseStatus
+    result: np.ndarray | None = None
+    tenant: str = ""
+    kind: RequestKind = RequestKind.SPMV
+    shard: int = -1
+    batch_width: int = 1
+    #: Human-readable disposition: rejection reason, solver convergence
+    #: reason, or the error text.
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the request was actually served."""
+        return self.status is ResponseStatus.OK

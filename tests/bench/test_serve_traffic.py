@@ -1,0 +1,95 @@
+"""The serve traffic harness: schedules, pools, and a tiny live run.
+
+The full smoke gate (median-of-N throughput comparison at world_size=8)
+is a CI job of its own; these tests pin the harness mechanics — seeded
+determinism, report shape, correctness bookkeeping — on a configuration
+small enough for the unit suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.bench import serve_traffic
+from repro.bench.serve_traffic import (
+    TrafficConfig,
+    _median_run,
+    build_pool,
+    render,
+    run_comparison,
+    serial_baseline,
+    tenant_schedule,
+)
+
+TINY = TrafficConfig(
+    tenants=6,
+    requests_per_tenant=4,
+    pool=((6, 1), (6, 2)),
+    payload_bank=2,
+    max_batch=4,
+    world_size=1,
+    repeats=1,
+)
+
+
+def test_build_pool_banks_match_operators():
+    mats, weights, banks = build_pool(TINY)
+    assert len(mats) == len(banks) == 2
+    assert weights[0] > weights[1] and np.isclose(weights.sum(), 1.0)
+    for mat, pairs in zip(mats, banks):
+        assert len(pairs) == TINY.payload_bank
+        for x, reference in pairs:
+            assert x.shape == (mat.shape[1],)
+            assert np.array_equal(reference, mat.multiply(x))
+
+
+def test_tenant_schedule_is_deterministic_and_in_range():
+    a = tenant_schedule(TINY, 3, 2, np.array([0.7, 0.3]))
+    b = tenant_schedule(TINY, 3, 2, np.array([0.7, 0.3]))
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+    idxs, picks, thinks = a
+    assert idxs.shape == picks.shape == thinks.shape == (TINY.requests_per_tenant,)
+    assert set(idxs) <= {0, 1}
+    assert set(picks) <= {0, 1}
+    assert (thinks >= 0).all()
+    other = tenant_schedule(TINY, 4, 2, np.array([0.7, 0.3]))
+    assert not np.array_equal(other[0], idxs) or not np.array_equal(other[2], thinks)
+
+
+def test_serial_baseline_disables_coalescing_only():
+    serial = serial_baseline(TINY)
+    assert serial.max_batch == 1 and serial.batch_window == 0.0
+    assert serial.tenants == TINY.tenants
+    assert serial.world_size == TINY.world_size
+    assert serial.seed == TINY.seed
+
+
+def test_median_run_picks_middle_throughput():
+    runs = [{"throughput_rps": r} for r in (30.0, 10.0, 20.0)]
+    pick = _median_run(runs)
+    assert pick["throughput_rps"] == 20.0
+    assert pick["throughput_runs"] == [30.0, 10.0, 20.0]
+
+
+def test_tiny_comparison_end_to_end(tmp_path, monkeypatch):
+    report = run_comparison(TINY)
+    assert report["gates"]["correct"], report["batched"]["failures"]
+    assert report["gates"]["single_flight_ok"]
+    assert report["batched"]["requests"] == TINY.tenants * TINY.requests_per_tenant
+    assert report["batch_occupancy"] > 0
+    assert 0.0 <= report["cache_hit_rate"] <= 1.0
+    summary = render(report)
+    assert "batch speedup" in summary and "verdict" in summary
+    json.dumps(report)  # the whole report must be JSON-serializable
+
+    # main() writes the report where --json points and gates the exit code.
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(serve_traffic, "SMOKE", TINY)
+    code = serve_traffic.main(["--smoke", "--json", "tiny.json"])
+    on_disk = json.loads((tmp_path / "tiny.json").read_text())
+    assert code in (0, 1)
+    assert (code == 0) == on_disk["passed"]
+    assert on_disk["gates"]["correct"]

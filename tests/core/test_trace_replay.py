@@ -106,9 +106,9 @@ class TestContextTracing:
         csr2 = revalued(csr1, seed=31)
         ctx = ExecutionContext()
         ctx.measure("SELL using AVX512", csr1)
-        assert len(ctx._trace_cache) == 1
+        assert ctx.registry.size("trace") == 1
         meas = ctx.measure("SELL using AVX512", csr2)
-        assert len(ctx._trace_cache) == 1  # replayed, not re-recorded
+        assert ctx.registry.size("trace") == 1  # replayed, not re-recorded
         x = ctx._default_x(csr2.shape[1])
         assert np.allclose(meas.y, csr2.multiply(x), atol=1e-12)
 
@@ -120,7 +120,7 @@ class TestContextTracing:
         m1 = ctx.measure("CSR using AVX512", csr)
         m2 = ctx.measure("CSR baseline", csr)
         assert m1.mat is m2.mat
-        assert len(ctx._default_x_cache) == 1
+        assert ctx.registry.size("default_x") == 1
         x1 = ctx._default_x(csr.shape[1])
         assert x1 is ctx._default_x(csr.shape[1])
 
@@ -135,7 +135,7 @@ class TestContextTracing:
             meas = ctx.measure("SELL using AVX512", csr)
         finally:
             traced_mod.TRACE_BUFFERS["SELL"] = saved
-        assert ctx._trace_cache == {}
+        assert ctx.registry.size("trace") == 0
         x = ctx._default_x(csr.shape[1])
         assert np.allclose(meas.y, csr.multiply(x), atol=1e-12)
 
@@ -144,5 +144,5 @@ class TestContextTracing:
         ctx = ExecutionContext()
         ctx.measure("SELL using AVX512", csr)
         derived = ctx.with_nprocs(1)
-        assert derived._trace_cache is ctx._trace_cache
-        assert derived._prepare_cache is ctx._prepare_cache
+        assert derived.registry is ctx.registry
+        assert derived.registry.size("trace") == 1

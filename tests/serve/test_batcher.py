@@ -1,0 +1,60 @@
+"""SignatureBatcher: content-key grouping, splitting, priority order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pde.problems import gray_scott_jacobian
+from repro.serve.batcher import SignatureBatcher
+from repro.serve.request import RequestKind, SolveRequest
+
+
+def _req(mat, seq, priority=1, kind=RequestKind.SPMV):
+    r = SolveRequest(tenant=f"t{seq}", mat=mat, payload=None, kind=kind, priority=priority)
+    r.seq = seq
+    return r
+
+
+def test_same_content_coalesces_different_content_does_not():
+    a = gray_scott_jacobian(6, seed=1)
+    b = gray_scott_jacobian(6, seed=2)  # same structure, different values
+    plan = SignatureBatcher(max_batch=8).plan(
+        [_req(a, 1), _req(b, 2), _req(a, 3), _req(a, 4)]
+    )
+    widths = sorted(batch.width for batch in plan)
+    assert widths == [1, 3]
+    wide = max(plan, key=lambda batch: batch.width)
+    assert wide.mat is a, "same-structure different-values must not share a pass"
+
+
+def test_group_splits_at_max_batch():
+    a = gray_scott_jacobian(6, seed=1)
+    plan = SignatureBatcher(max_batch=3).plan([_req(a, i) for i in range(8)])
+    assert [batch.width for batch in plan] == [3, 3, 2]
+
+
+def test_priority_orders_batches_and_members():
+    a = gray_scott_jacobian(6, seed=1)
+    b = gray_scott_jacobian(6, seed=2)
+    plan = SignatureBatcher(max_batch=4).plan(
+        [_req(a, 1, priority=0), _req(b, 2, priority=5), _req(a, 3, priority=9)]
+    )
+    # The urgent request's batch plans first, and it leads its batch;
+    # the low-priority same-operator request rides the urgent batch.
+    assert [r.seq for r in plan[0].requests] == [3, 1]
+    assert [r.seq for r in plan[1].requests] == [2]
+
+
+def test_solves_stay_single():
+    a = gray_scott_jacobian(6, seed=1)
+    plan = SignatureBatcher(max_batch=8).plan(
+        [_req(a, 1, kind=RequestKind.SOLVE), _req(a, 2, kind=RequestKind.SOLVE), _req(a, 3)]
+    )
+    kinds = [(batch.kind, batch.width) for batch in plan]
+    assert kinds.count((RequestKind.SOLVE, 1)) == 2
+    assert (RequestKind.SPMV, 1) in kinds
+
+
+def test_max_batch_validation():
+    with pytest.raises(ValueError):
+        SignatureBatcher(max_batch=0)

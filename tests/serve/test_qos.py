@@ -1,0 +1,95 @@
+"""AdmissionController: caps, isolation, shedding, and fault events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.events import capture
+from repro.serve.qos import AdmissionController, TenantPolicy
+from repro.serve.request import SolveRequest
+
+
+def _req(tenant="a", priority=1):
+    return SolveRequest(tenant=tenant, mat=None, payload=None, priority=priority)
+
+
+def test_admit_then_release_roundtrip():
+    gate = AdmissionController(queue_cap=4)
+    r = _req()
+    assert gate.try_admit(r) is None
+    assert gate.depth() == 1
+    gate.release(r)
+    assert gate.depth() == 0
+    stats = gate.stats()
+    assert stats["admitted"] == 1 and stats["rejected"] == 0
+
+
+def test_queue_cap_refuses_at_capacity():
+    gate = AdmissionController(queue_cap=2, shed_watermark=1.0)
+    admitted = [_req(tenant=f"t{i}") for i in range(2)]
+    for r in admitted:
+        assert gate.try_admit(r) is None
+    reason = gate.try_admit(_req(tenant="late"))
+    assert reason is not None and "queue full" in reason
+    gate.release(admitted[0])
+    assert gate.try_admit(_req(tenant="late")) is None
+
+
+def test_tenant_inflight_cap_isolates_tenants():
+    gate = AdmissionController(
+        queue_cap=16,
+        shed_watermark=1.0,
+        policies={"greedy": TenantPolicy(max_inflight=1)},
+    )
+    first = _req(tenant="greedy")
+    assert gate.try_admit(first) is None
+    reason = gate.try_admit(_req(tenant="greedy"))
+    assert reason is not None and "inflight cap" in reason
+    assert gate.try_admit(_req(tenant="other")) is None, (
+        "one tenant's cap must not refuse another tenant"
+    )
+    gate.release(first)
+    assert gate.try_admit(_req(tenant="greedy")) is None
+
+
+def test_overload_sheds_low_priority_and_emits_fault_events():
+    gate = AdmissionController(queue_cap=4, shed_watermark=0.5, shed_priority=0)
+    with capture() as log:
+        held = [_req(tenant=f"t{i}", priority=2) for i in range(2)]
+        for r in held:
+            assert gate.try_admit(r) is None
+        assert gate.overloaded
+        shed = gate.try_admit(_req(tenant="bg", priority=0))
+        assert shed is not None and "shed under overload" in shed
+        assert gate.try_admit(_req(tenant="vip", priority=2)) is None
+        for r in held:
+            gate.release(r)
+        assert not gate.overloaded
+    actions = [(e.action, e.site) for e in log.events]
+    assert ("degraded", "serve.overload") in actions
+    assert ("recovered", "serve.overload") in actions
+
+
+def test_tenant_opt_in_shedding_threshold():
+    gate = AdmissionController(
+        queue_cap=4,
+        shed_watermark=0.5,
+        shed_priority=0,
+        policies={"best-effort": TenantPolicy(min_priority_under_load=2)},
+    )
+    held = [_req(tenant=f"t{i}", priority=3) for i in range(2)]
+    for r in held:
+        assert gate.try_admit(r) is None
+    # Global floor sheds only priority <= 0, but this tenant opted its
+    # sub-2 traffic into shedding.
+    assert gate.try_admit(_req(tenant="best-effort", priority=1)) is not None
+    assert gate.try_admit(_req(tenant="best-effort", priority=2)) is None
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(queue_cap=0)
+    with pytest.raises(ValueError):
+        AdmissionController(shed_watermark=0.0)
+    with pytest.raises(ValueError):
+        AdmissionController(shed_watermark=1.5)
