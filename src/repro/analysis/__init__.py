@@ -26,6 +26,7 @@ from .trace_lint import (
     coverage_pass,
     dataflow_pass,
     isa_pass,
+    lint_megakernel,
     lint_recorder,
     lint_trace,
     memory_pass,
@@ -51,6 +52,7 @@ __all__ = [
     "dataflow_pass",
     "default_structures",
     "isa_pass",
+    "lint_megakernel",
     "lint_recorder",
     "lint_trace",
     "memory_pass",

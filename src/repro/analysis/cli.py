@@ -8,11 +8,19 @@ and writes one JSON report.  The exit code is the CI contract:
   mutant triggered its expected diagnostics;
 * ``1`` — a shipped kernel has findings, or a mutant slipped through.
 
+``--plan`` lints a *persisted* compiler plan file
+(:mod:`repro.simd.plan_cache`) instead: the header is validated, a
+megakernel payload runs the fused-program pass
+(:func:`~repro.analysis.trace_lint.lint_megakernel`), and a corrupt or
+truncated file is a finding, not a crash — so an on-disk plan store is
+auditable without executing anything.
+
 Examples::
 
     python -m repro analyze --all-variants
     python -m repro analyze --variant "SELL using AVX512" --json report.json
     python -m repro analyze --corpus-only
+    python -m repro analyze --plan ~/.cache/repro/plans/mega-1c04c8....plan
 """
 
 from __future__ import annotations
@@ -53,16 +61,82 @@ def _parser() -> argparse.ArgumentParser:
         help="record under the strict alignment policy (Section 3.1)",
     )
     parser.add_argument(
+        "--plan", action="append", default=[], metavar="PATH",
+        help="lint a persisted compiler plan file (repeatable); given "
+             "alone, skips the kernel sweep and the corpus",
+    )
+    parser.add_argument(
         "--json", metavar="PATH",
         help="write the JSON report here instead of stdout",
     )
     return parser
 
 
+def _lint_plan(path: str) -> dict:
+    """One plan file's audit entry: header, kind, findings."""
+    from ..simd.megakernel import MegakernelTrace
+    from ..simd.plan_cache import PlanCacheError, read_plan
+    from .trace_lint import lint_megakernel
+
+    entry: dict = {"path": path}
+    try:
+        header, value = read_plan(path)
+    except PlanCacheError as exc:
+        entry.update(ok=False, error=str(exc))
+        return entry
+    entry["header"] = header
+    if value is None:
+        # The persisted "unfusable trace" verdict: valid, nothing to lint.
+        entry.update(kind="verdict:unfusable", ok=True, diagnostics=[])
+    elif isinstance(value, MegakernelTrace):
+        diags = lint_megakernel(value)
+        entry.update(
+            kind="megakernel",
+            regions=len(value.regions),
+            fused_steps=value.fused_steps,
+            source_nsteps=value.source_nsteps,
+            diagnostics=[d.as_dict() for d in diags],
+            ok=not diags,
+        )
+    else:
+        entry.update(
+            kind=type(value).__name__, ok=True, diagnostics=[],
+        )
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     document: dict = {}
     ok = True
+
+    plan_only = bool(args.plan) and not (
+        args.variant or args.all_variants or args.corpus_only
+    )
+    if args.plan:
+        entries = [_lint_plan(path) for path in args.plan]
+        document["plans"] = entries
+        for entry in entries:
+            if not entry["ok"]:
+                ok = False
+                problem = entry.get("error") or "; ".join(
+                    d["code"] + " " + d["detail"]
+                    for d in entry.get("diagnostics", [])
+                )
+                print(f"plan {entry['path']}: {problem}", file=sys.stderr)
+    if plan_only:
+        document["ok"] = ok
+        text = json.dumps(document, indent=2)
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            print(
+                f"analyze: {len(document['plans'])} plan files audited "
+                f"-> {args.json}"
+            )
+        else:
+            print(text)
+        return 0 if ok else 1
 
     if not args.corpus_only:
         variants = None

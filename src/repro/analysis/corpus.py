@@ -36,7 +36,7 @@ from ..simd.isa import AVX, AVX2, AVX512, Isa
 from ..simd.register import MaskRegister
 from ..simd.trace import TraceRecorder
 from .diagnostics import AnalysisReport
-from .trace_lint import BufferInfo, TraceSubject, lint_trace
+from .trace_lint import BufferInfo, TraceSubject, lint_megakernel, lint_trace
 
 #: Logical row/column counts shared by the recorded mutants.  The physical
 #: buffers are padded past these so the *recording* always succeeds; the
@@ -227,6 +227,70 @@ def read_before_write() -> list:
     ))
 
 
+# ---------------------------------------------------------------------------
+# megakernel fusion mutants (VEC05x) — tamper a *real* fused program
+# ---------------------------------------------------------------------------
+
+
+def _fused_program():
+    """A genuinely fused megakernel program to seed mutations into.
+
+    Records a three-level chained-FMA strip (the lockstep shape the
+    SELL level scheduler emits), compiles it, and fuses it — so every
+    mutant perturbs an artifact the real pipeline produced, not a
+    hand-built approximation.
+    """
+    from ..simd.megakernel import compile_megakernel
+    from ..simd.replay import compile_trace
+
+    eng, val, x, y = _recorder(AVX512)
+    lanes = eng.lanes
+    acc = eng.setzero()
+    for c in range(3):
+        acc = eng.fmadd(eng.load(val, c * lanes), eng.load(x, 0), acc)
+    eng.store(y, 0, acc)
+    _dense_rows(eng, val, x, y, range(lanes, _M))
+    return compile_megakernel(compile_trace(eng), min_levels=2)
+
+
+def megakernel_boundary_read() -> list:
+    """A surviving plain step reads a register the fusion elided — its
+    defining fmadd now lives only inside a region's fold, so replay
+    would read a zero from the shrunken register file."""
+    mega = _fused_program()
+    interior = int(mega.regions[0].interior_ids()[0])
+    mega.segments.append(("steps", (
+        ("vstore", 2, np.asarray([0]), ("r", np.asarray([interior]))),
+    )))
+    mega.source_nsteps += 1  # keep coverage exact: the defect is dataflow
+    return lint_megakernel(mega)
+
+
+def megakernel_broken_chain() -> list:
+    """A region's second fused level no longer chains from the first —
+    the sequential fold would sum levels the recorded program never
+    linked (a mis-spliced chain after a bad cache merge)."""
+    mega = _fused_program()
+    region = mega.regions[0]
+    source = list(region.source_steps)
+    for j, step in enumerate(source):
+        if step[0] == "fmadd" and j > 0:
+            wrong = ("r", np.asarray(step[4][1]) + 97)
+            source[j] = (step[0], step[1], step[2], step[3], wrong)
+            break
+    region.source_steps = tuple(source)
+    return lint_megakernel(mega)
+
+
+def megakernel_coverage_hole() -> list:
+    """The fused program accounts for fewer steps than the source trace
+    had — a region was deleted (or a plan truncated on disk) and replay
+    would silently skip those levels."""
+    mega = _fused_program()
+    mega.source_nsteps += 2
+    return lint_megakernel(mega)
+
+
 @dataclass(frozen=True)
 class CorpusCase:
     """One seeded-defect kernel and the codes the linter must raise."""
@@ -253,6 +317,15 @@ CASES: tuple[CorpusCase, ...] = (
     CorpusCase("stale-output-read", ("VEC022",), stale_output_read),
     CorpusCase("lane-width-mismatch", ("VEC013",), lane_width_mismatch),
     CorpusCase("read-before-write", ("VEC020",), read_before_write),
+    CorpusCase(
+        "megakernel-boundary-read", ("VEC050",), megakernel_boundary_read
+    ),
+    CorpusCase(
+        "megakernel-broken-chain", ("VEC051",), megakernel_broken_chain
+    ),
+    CorpusCase(
+        "megakernel-coverage-hole", ("VEC052",), megakernel_coverage_hole
+    ),
 )
 
 

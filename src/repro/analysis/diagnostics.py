@@ -9,6 +9,8 @@ codes come from the kernel-trace linter (:mod:`repro.analysis.trace_lint`),
 * ``VEC02x`` — dataflow (defs/uses over the SSA-like trace);
 * ``VEC03x`` — memory safety (bounds and alignment contracts);
 * ``VEC04x`` — output coverage (tail lanes written exactly once);
+* ``VEC05x`` — megakernel fusion (boundary dataflow and coverage of
+  fused programs, :func:`repro.analysis.trace_lint.lint_megakernel`);
 * ``COMM00x`` — SPMD message-schedule safety.
 
 ``docs/analysis.md`` documents each code with a minimal triggering trace.
@@ -36,6 +38,10 @@ CODES: dict[str, str] = {
     # coverage
     "VEC040": "output cell stored twice with no intervening load",
     "VEC041": "output row never written by the kernel",
+    # megakernel fusion
+    "VEC050": "step outside a fused region reads a register the fusion elided",
+    "VEC051": "fused region's source steps are not a lockstep FMA chain",
+    "VEC052": "fused program does not cover the source trace's steps exactly",
     # comm schedule
     "COMM001": "message sent but never received (leaked send)",
     "COMM002": "receive posted with no matching send",

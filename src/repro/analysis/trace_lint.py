@@ -33,6 +33,13 @@ the replay compiler uses — and emits ``VEC0xx``
 * **coverage** (``VEC04x``): mask-union accounting over the output
   buffer(s) — every row written exactly once, with read-modify-write
   (store, load, store) recognized as legal accumulation.
+
+A fifth pass, :func:`lint_megakernel` (``VEC05x``), audits *fused*
+megakernel programs (:mod:`repro.simd.megakernel`) — a different
+artifact from recorder traces, with its own failure modes: a surviving
+step reading a register the fusion elided, a region whose retained
+source steps are not the lockstep FMA chain its sweep assumes, and
+fused programs that fail to cover the source trace's steps exactly.
 """
 
 from __future__ import annotations
@@ -346,6 +353,145 @@ def coverage_pass(subject: TraceSubject) -> list[Diagnostic]:
                 f"rows {runs} of {info.label} (logical bound {bound}) are "
                 f"never written",
             ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# pass 5: megakernel fusion (VEC05x) — lints *fused* programs
+# ---------------------------------------------------------------------------
+
+
+def lint_megakernel(mega) -> list[Diagnostic]:
+    """Lint a fused :class:`~repro.simd.megakernel.MegakernelTrace`.
+
+    The fused program is a different artifact from a recorder trace —
+    plain compiled steps interleaved with :class:`FusedRegion` passes —
+    so it gets its own pass family:
+
+    * **VEC050** (fusion-boundary dataflow): fusion elides registers —
+      interior chain accumulators, absorbed loads' destinations — on the
+      proof that nothing outside the region reads them.  Any surviving
+      plain step (or another region's register-file operand) that reads
+      an elided id would replay garbage: the definition no longer
+      executes.
+    * **VEC051** (chain integrity): each region's retained
+      ``source_steps`` must re-derive as the lockstep FMA chain the
+      fusion claims — equal widths, each level's addend exactly the
+      previous level's destinations, the region's ``dsts`` the final
+      level's.  The sweep's sequential fold is only bit-identical to
+      step-by-step replay under that linkage.
+    * **VEC052** (region coverage): plain steps + fused source steps +
+      dropped (absorbed) steps must account for every step of the
+      source program, exactly once — a hole means a replay silently
+      skips work; an overlap means it does work twice.
+    """
+    from ..simd.megakernel import step_reg_reads
+
+    diags: list[Diagnostic] = []
+    regions = mega.regions
+
+    # -- VEC051: re-derive each region's chain from its source steps ----
+    for r, region in enumerate(regions):
+        where = f"region {r} (source step {region.first_step})"
+        fmadds = [s for s in region.source_steps if s[0] == "fmadd"]
+        if len(fmadds) != region.levels:
+            diags.append(Diagnostic(
+                "VEC051", where,
+                f"region claims {region.levels} fused levels but carries "
+                f"{len(fmadds)} fmadd source steps",
+            ))
+        widths = {len(np.asarray(s[1])) for s in fmadds}
+        if len(widths) > 1:
+            diags.append(Diagnostic(
+                "VEC051", where,
+                f"fused levels have mixed widths {sorted(widths)} — the "
+                f"levels do not run in lockstep",
+            ))
+        linked = True
+        for prev, nxt in zip(fmadds, fmadds[1:]):
+            c = nxt[4]
+            if not (
+                isinstance(c, tuple)
+                and c[0] == "r"
+                and np.array_equal(np.asarray(c[1]), np.asarray(prev[1]))
+            ):
+                linked = False
+        if fmadds and not np.array_equal(
+            np.asarray(fmadds[-1][1]), np.asarray(region.dsts)
+        ):
+            linked = False
+        if not linked:
+            diags.append(Diagnostic(
+                "VEC051", where,
+                "chain linkage broken: a level's addend is not the "
+                "previous level's destinations (or the region's dsts are "
+                "not the final level's) — the fused fold would not "
+                "reproduce step-by-step replay",
+            ))
+
+    # -- VEC050: nothing outside a region may read an elided id ---------
+    elided = mega.elided_ids()
+    if elided.size:
+        plain_index = 0
+        for tag, seg in mega.segments:
+            if tag == "region":
+                for label, src in (("a", seg.a_src), ("b", seg.b_src)):
+                    if src[0] == "reg":
+                        bad = np.intersect1d(np.asarray(src[1]).ravel(), elided)
+                        if bad.size:
+                            diags.append(Diagnostic(
+                                "VEC050",
+                                f"region (source step {seg.first_step})",
+                                f"operand {label} reads register "
+                                f"r{int(bad[0])} (+{bad.size - 1} more) "
+                                f"that fusion elided — its definition no "
+                                f"longer executes",
+                            ))
+                if seg.base[0] == "reg":
+                    bad = np.intersect1d(
+                        np.asarray(seg.base[1]).ravel(), elided
+                    )
+                    if bad.size:
+                        diags.append(Diagnostic(
+                            "VEC050",
+                            f"region (source step {seg.first_step})",
+                            f"base accumulator reads elided register "
+                            f"r{int(bad[0])} (+{bad.size - 1} more)",
+                        ))
+                continue
+            for step in seg:
+                for ids in step_reg_reads(step):
+                    bad = np.intersect1d(ids.ravel(), elided)
+                    if bad.size:
+                        diags.append(Diagnostic(
+                            "VEC050", f"plain step {plain_index}",
+                            f"{step[0]} reads register r{int(bad[0])} "
+                            f"(+{bad.size - 1} more) that fusion elided — "
+                            f"its definition no longer executes",
+                        ))
+                plain_index += 1
+
+    # -- VEC052: plain + fused + dropped must cover the source exactly --
+    plain_count = sum(
+        len(seg) for tag, seg in mega.segments if tag == "steps"
+    )
+    fused_count = sum(len(r.source_steps) for r in regions)
+    covered = plain_count + fused_count + len(mega.dropped_steps)
+    if covered != mega.source_nsteps:
+        kind = "hole" if covered < mega.source_nsteps else "overlap"
+        diags.append(Diagnostic(
+            "VEC052", "program",
+            f"coverage {kind}: {plain_count} plain + {fused_count} fused "
+            f"+ {len(mega.dropped_steps)} dropped steps account for "
+            f"{covered} of the source program's {mega.source_nsteps}",
+        ))
+    dropped_idx = [i for i, _ in mega.dropped_steps]
+    if len(set(dropped_idx)) != len(dropped_idx):
+        diags.append(Diagnostic(
+            "VEC052", "program",
+            "a source step is dropped more than once — absorption "
+            "double-counts it",
+        ))
     return diags
 
 

@@ -32,6 +32,18 @@ observability layer outside the timed loops and writes
 ``BENCH_observability.json``: the metrics snapshot must contain the SIMD
 namespace, the Chrome trace must validate against the trace-event schema,
 and the stage self-times must tile the wall clock.
+
+The megakernel gate (``BENCH_megakernel.json``) covers the third
+compiler tier (:mod:`repro.simd.megakernel`): replaying the fused
+whole-matrix program must be at least ``MIN_MEGA_SPEEDUP`` times faster
+than plain step-by-step replay on the same smoke matrix (stretch goal
+``STRETCH_MEGA_SPEEDUP``), with bit-identical results and counters on
+every timed input.  A companion cold-start check warms an on-disk plan
+cache (:mod:`repro.simd.plan_cache`) in one context, then measures from
+a *fresh* registry pointed at the same directory: the observed metrics
+must show zero ``compiler.recordings`` and zero
+``compiler.megakernel_compiles`` — the persisted plans alone carry the
+cold process straight to the fastest tier.
 """
 
 from __future__ import annotations
@@ -69,6 +81,16 @@ ABFT_PASSES = 5
 
 #: Acceptance ceiling on the per-multiply ABFT verification overhead.
 MAX_ABFT_OVERHEAD = 0.15
+
+#: Acceptance floor on the megakernel-over-plain-replay speedup.
+MIN_MEGA_SPEEDUP = 3.0
+
+#: Stretch goal for the megakernel speedup (reported, not gated).
+STRETCH_MEGA_SPEEDUP = 5.0
+
+#: Replays per megakernel timing pass, and best-of passes per program.
+MEGA_REPEATS = 5
+MEGA_PASSES = 5
 
 
 @dataclass(frozen=True)
@@ -286,11 +308,138 @@ def run_observability_gate(grid: int = 16) -> dict:
     }
 
 
+def run_megakernel(
+    grid: int = SMOKE_GRID, variant_name: str = SMOKE_VARIANT
+) -> dict:
+    """Time plain step-by-step replay vs. the fused megakernel program.
+
+    Both programs replay the *same* recorded trace against the same
+    prepared matrix; before any timing, every timed input is verified
+    bit-identical (``y`` and counters) between the two tiers, so the
+    speedup reported here is never bought with numerics.
+    """
+    from ..simd.megakernel import compile_megakernel
+
+    csr = gray_scott_jacobian(grid)
+    variant = get_variant(variant_name)
+    mat = variant.prepare(csr)
+    rng = np.random.default_rng(23)
+    inputs = [rng.standard_normal(csr.shape[1]) for _ in range(MEGA_REPEATS)]
+
+    trace, _, _ = variant.record(mat, inputs[0])
+    mega = compile_megakernel(trace)
+
+    for x in inputs:
+        y_plain, c_plain = variant.replay(trace, mat, x)
+        y_mega, c_mega = variant.replay(mega, mat, x)
+        if not np.array_equal(y_plain, y_mega):
+            raise AssertionError("megakernel replay diverged from plain replay")
+        if c_plain.as_dict() != c_mega.as_dict():
+            raise AssertionError("megakernel counters diverged from plain replay")
+
+    def best_pass(program) -> float:
+        best = float("inf")
+        for _ in range(MEGA_PASSES):
+            t0 = time.perf_counter()
+            for x in inputs:
+                variant.replay(program, mat, x)
+            best = min(best, (time.perf_counter() - t0) / MEGA_REPEATS)
+        return best
+
+    plain_seconds = best_pass(trace)
+    mega_seconds = best_pass(mega)
+    speedup = (
+        float("inf") if mega_seconds <= 0 else plain_seconds / mega_seconds
+    )
+    return {
+        "bench": "megakernel",
+        "grid": grid,
+        "variant": variant_name,
+        "rows": csr.shape[0],
+        "nnz": csr.nnz,
+        "regions": len(mega.regions),
+        "fused_steps": mega.fused_steps,
+        "source_nsteps": mega.source_nsteps,
+        "plain_replay_seconds": plain_seconds,
+        "megakernel_seconds": mega_seconds,
+        "speedup": speedup,
+        "min_speedup": MIN_MEGA_SPEEDUP,
+        "stretch_speedup": STRETCH_MEGA_SPEEDUP,
+        "identical": True,
+    }
+
+
+def run_cold_start(
+    grid: int = SMOKE_GRID, variant_name: str = SMOKE_VARIANT
+) -> dict:
+    """Prove a warm on-disk plan cache skips record+compile entirely.
+
+    A first context (its own registry) measures once with a plan cache
+    attached, persisting the trace and megakernel plans.  A second,
+    completely fresh context pointed at the same directory then measures
+    under observation: the gate demands zero ``compiler.recordings`` and
+    zero ``compiler.megakernel_compiles`` in the metrics snapshot, every
+    plan-cache lookup a hit, and the cold result bit-identical to the
+    warm (recording) run.
+    """
+    import tempfile
+
+    from ..obs import observing
+
+    csr = gray_scott_jacobian(grid)
+    rng = np.random.default_rng(41)
+    x_record = rng.standard_normal(csr.shape[1])
+    x = rng.standard_normal(csr.shape[1])
+
+    with tempfile.TemporaryDirectory(prefix="repro-plans-") as plans:
+        warm = ExecutionContext(plan_cache_dir=plans)
+        # First measure records the trace (recording doubles as the first
+        # measurement, so no replay happens); the second goes through the
+        # replay tier, compiling — and persisting — the megakernel plan.
+        warm.measure(variant_name, csr, x=x_record)
+        meas_warm = warm.measure(variant_name, csr, x=x)
+        stored = warm.registry.plan_cache.stats()["stores"]
+
+        cold = ExecutionContext(plan_cache_dir=plans)
+        with observing() as obs:
+            meas_cold = cold.measure(variant_name, csr, x=x)
+            metrics = obs.metrics.snapshot()
+        recordings = int(metrics.get("compiler.recordings", 0))
+        compiles = int(metrics.get("compiler.megakernel_compiles", 0))
+        stats = cold.registry.plan_cache.stats()
+
+    identical = bool(
+        np.array_equal(meas_warm.y, meas_cold.y)
+        and meas_warm.counters.as_dict() == meas_cold.counters.as_dict()
+    )
+    ok = (
+        recordings == 0
+        and compiles == 0
+        and stats["hits"] >= 2
+        and stats["misses"] == 0
+        and cold.compiler_tier == "persisted"
+        and identical
+    )
+    return {
+        "bench": "cold_start",
+        "grid": grid,
+        "variant": variant_name,
+        "plans_stored": stored,
+        "cold_recordings": recordings,
+        "cold_megakernel_compiles": compiles,
+        "plan_cache": stats,
+        "compiler_tier": cold.compiler_tier,
+        "identical": identical,
+        "ok": ok,
+    }
+
+
 def main(
     path: str = "BENCH_spmv_measure.json",
     abft_path: str = "BENCH_abft_overhead.json",
     verifier_path: str = "BENCH_kernel_verifier.json",
     obs_path: str = "BENCH_observability.json",
+    mega_path: str = "BENCH_megakernel.json",
 ) -> int:
     """Run both smoke comparisons, write JSON records, gate the thresholds."""
     result = run_smoke()
@@ -342,6 +491,32 @@ def main(
         f"stages tile wall: {observability['stages_tile_wall']}"
     )
 
+    mega = run_megakernel()
+    cold = run_cold_start()
+    mega_record = dict(mega)
+    mega_record["cold_start"] = cold
+    with open(mega_path, "w") as fh:
+        json.dump(mega_record, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"megakernel tier on the same {mega['grid']}^2 grid "
+        f"({mega['regions']} fused regions, "
+        f"{mega['fused_steps']}/{mega['source_nsteps']} steps fused):"
+    )
+    print(f"  plain replay: {1e3 * mega['plain_replay_seconds']:.2f} ms")
+    print(f"  megakernel:   {1e3 * mega['megakernel_seconds']:.2f} ms")
+    print(
+        f"  speedup:      {mega['speedup']:.2f}x "
+        f"(floor {MIN_MEGA_SPEEDUP:.0f}x, stretch {STRETCH_MEGA_SPEEDUP:.0f}x)"
+    )
+    print(
+        f"  cold start:   {cold['cold_recordings']} recordings, "
+        f"{cold['cold_megakernel_compiles']} compiles, "
+        f"plan-cache hits {cold['plan_cache']['hits']}"
+        f"/misses {cold['plan_cache']['misses']}, "
+        f"tier {cold['compiler_tier']}"
+    )
+
     failed = False
     if result.speedup < MIN_SPEEDUP:
         print("FAIL: replay speedup below the acceptance floor")
@@ -354,6 +529,12 @@ def main(
         failed = True
     if not observability["ok"]:
         print("FAIL: observability gate (trace schema / stage tiling / metrics)")
+        failed = True
+    if mega["speedup"] < MIN_MEGA_SPEEDUP:
+        print("FAIL: megakernel speedup below the acceptance floor")
+        failed = True
+    if not cold["ok"]:
+        print("FAIL: cold start re-recorded or re-compiled despite warm plans")
         failed = True
     return 1 if failed else 0
 

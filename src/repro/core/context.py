@@ -27,6 +27,7 @@ depend only on the kernel and the matrix, never on the machine model.
 from __future__ import annotations
 
 import contextlib
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -105,6 +106,21 @@ class ExecutionContext:
         measurements — bit-identical results, 1-2 orders of magnitude
         faster (see ``docs/performance.md``).  Set false to force full
         interpreted execution on every call.
+    use_megakernels:
+        When true (the default), each compiled trace is further fused by
+        the megakernel tier (:mod:`repro.simd.megakernel`) — whole-matrix
+        sweeps instead of per-level dispatches, bit-identical ``y`` and
+        counters — and solvers dispatch fused super-ops
+        (:meth:`dispatch_superop`).  Traces the fuser cannot handle fall
+        back to plain replay transparently (the ``None`` verdict is
+        cached so unfusable structures are mined once).
+    plan_cache_dir:
+        When set (or via the ``REPRO_PLAN_CACHE`` environment variable),
+        compiled traces and megakernel programs persist to an on-disk
+        :class:`~repro.simd.plan_cache.PlanCache` rooted there, so a
+        cold process with a warm store skips record+compile entirely
+        (see ``docs/performance.md``).  Attached to the registry, hence
+        shared by every derived view.
     abft / abft_rtol:
         When ``abft`` is true, every product run through the context is
         ABFT-verified (checksum cross-check, :mod:`repro.faults.abft`)
@@ -137,6 +153,8 @@ class ExecutionContext:
     sigma: int = 1
     default_variant: KernelVariant | str | None = None
     use_traces: bool = True
+    use_megakernels: bool = True
+    plan_cache_dir: str | os.PathLike | None = None
     abft: bool = False
     abft_rtol: float = 1.0e-9
     audit_interval: int = 0
@@ -161,6 +179,17 @@ class ExecutionContext:
     def __post_init__(self) -> None:
         if self.registry is None:
             self.registry = SignatureRegistry()
+        if self.plan_cache_dir is None:
+            env = os.environ.get("REPRO_PLAN_CACHE")
+            if env:
+                self.plan_cache_dir = env
+        if (
+            self.plan_cache_dir is not None
+            and self.registry.plan_cache is None
+        ):
+            from ..simd.plan_cache import PlanCache
+
+            self.registry.attach_plan_cache(PlanCache(self.plan_cache_dir))
         if self.nprocs is None:
             self.nprocs = self.model.spec.cores
         if not 1 <= self.nprocs <= self.model.spec.cores:
@@ -178,6 +207,22 @@ class ExecutionContext:
     def spec(self) -> ProcessorSpec:
         """The processor being modeled."""
         return self.model.spec
+
+    @property
+    def compiler_tier(self) -> str:
+        """The deepest compiler tier this context dispatches through.
+
+        One of ``"interpret"`` (traces off), ``"replay"`` (traced replay,
+        megakernels off), ``"megakernel"`` (fused in-memory plans), or
+        ``"persisted"`` (megakernels plus the on-disk plan cache).
+        """
+        if not self.use_traces:
+            return "interpret"
+        if not self.use_megakernels:
+            return "replay"
+        if self.registry is not None and self.registry.plan_cache is not None:
+            return "persisted"
+        return "megakernel"
 
     @property
     def memory_mode(self) -> MemoryMode:
@@ -382,9 +427,17 @@ class ExecutionContext:
         slice_height: int,
         sigma: int,
     ) -> None:
-        """Drop a cached trace whose output failed verification."""
+        """Drop a cached trace (and its fused plan) that failed verification.
+
+        Both the ``trace`` and ``mega`` entries go, in memory *and* on
+        the attached plan cache (``registry.invalidate`` evicts the disk
+        file for persisted namespaces) — a corrupted plan must never
+        resurrect in a later process.
+        """
         key = self._trace_key(variant, csr, slice_height, sigma)
-        if self.registry.invalidate("trace", key):
+        removed = self.registry.invalidate("trace", key)
+        removed = self.registry.invalidate("mega", key) or removed
+        if removed:
             self.registry.clear_replay(key)
             emit_fault_event(
                 "recovered", "trace.cache", "invalidated", detail=variant.name
@@ -427,7 +480,7 @@ class ExecutionContext:
             # This call was the single-flight leader: the recording run
             # doubles as the measurement, exactly as before.
             return recorded
-        y, counters = variant.replay(trace, mat, x)
+        y, counters = self._replay_best_tier(variant, trace, key, mat, x)
         spec = fire_fault("trace.replay")
         if spec is not None and spec.kind in CORRUPTION_KINDS:
             checker = (
@@ -446,6 +499,7 @@ class ExecutionContext:
                         detail=variant.name,
                     )
                     self.registry.invalidate("trace", key)
+                    self.registry.invalidate("mega", key)
                     self.registry.clear_replay(key)
                     emit_fault_event(
                         "recovered", "trace.cache", "invalidated",
@@ -453,6 +507,62 @@ class ExecutionContext:
                     )
                     return audited, audited_counters
         return y, counters
+
+    def _replay_best_tier(
+        self,
+        variant: KernelVariant,
+        trace,
+        key: tuple,
+        mat: Mat,
+        x: np.ndarray,
+    ) -> tuple[np.ndarray, "KernelCounters"]:
+        """Replay through the deepest enabled compiler tier.
+
+        With :attr:`use_megakernels` on, the trace's fused program is
+        compiled at most once per structure (``mega`` namespace, persisted
+        alongside the trace when a plan cache is attached; an unfusable
+        trace caches a ``None`` verdict so it is mined exactly once) and
+        replayed; any :class:`TraceError` from fusion or fused replay
+        degrades to plain trace replay — same ``y``, same counters.
+        """
+        if self.use_megakernels:
+            mega = self.registry.get_or_compute(
+                "mega", key, lambda: self._compile_megakernel(trace)
+            )
+            if mega is not None:
+                try:
+                    return variant.replay(mega, mat, x)
+                except TraceError:
+                    obs_counter("context.megakernel_fallbacks")
+        return variant.replay(trace, mat, x)
+
+    @staticmethod
+    def _compile_megakernel(trace):
+        """Fuse one compiled trace; ``None`` is the unfusable verdict."""
+        from ..simd.megakernel import compile_megakernel
+
+        # The cold-start gate counts these alongside recordings: a warm
+        # plan cache must satisfy the mega namespace without compiling.
+        obs_counter("compiler.megakernel_compiles")
+        try:
+            return compile_megakernel(trace)
+        except TraceError:
+            return None
+
+    # -- fused solver-level dispatch -----------------------------------
+    def dispatch_superop(self, name: str, *args):
+        """Run a registered fused solver-level op by name.
+
+        Resolves through :func:`repro.core.dispatch.get_superop` and
+        ticks a ``context.superops`` counter per dispatch.  Callers keep
+        their own fallback: an unfusable operand combination raises
+        :class:`TraceError` from the super-op itself.
+        """
+        from .dispatch import get_superop
+
+        sop = get_superop(name)
+        obs_counter("context.superops", labels={"name": name})
+        return sop.fn(*args)
 
     def predict(
         self,
@@ -727,6 +837,8 @@ class ExecutionContext:
             sigma=self.sigma,
             default_variant=self.default_variant,
             use_traces=self.use_traces,
+            use_megakernels=self.use_megakernels,
+            plan_cache_dir=self.plan_cache_dir,
             abft=self.abft,
             abft_rtol=self.abft_rtol,
             audit_interval=self.audit_interval,

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..mat.base import Mat
 from ..memory.spaces import aligned_alloc
+from ..obs.observer import obs_counter
 from ..simd.counters import KernelCounters
 from ..simd.replay import KernelTrace, compile_trace
 from ..simd.trace import TraceError, TraceRecorder
@@ -92,6 +93,9 @@ def record_trace(
     are exactly what :meth:`KernelVariant.run` would have produced, and
     the recording serves as the first measurement for free.
     """
+    # The cold-start gate counts these: a process replaying from a warm
+    # on-disk plan cache must perform zero recordings.
+    obs_counter("compiler.recordings")
     recorder = TraceRecorder(variant.isa, strict_alignment=strict_alignment)
     y = aligned_alloc(mat.shape[0], np.float64, 64)
     recorder.bind_buffers(trace_buffers(variant.fmt, mat))

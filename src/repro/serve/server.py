@@ -484,6 +484,7 @@ class SolveService:
             "occupancy": self.occupancy(),
             "shards": self.shards,
             "world_size": self.world_size,
+            "compiler_tier": self.ctx.compiler_tier,
             "admission": self.admission.stats(),
             "registry": self.registry.stats(),
         }

@@ -29,8 +29,29 @@ from .isa import (
     UnsupportedInstructionError,
     get_isa,
 )
+from .megakernel import (
+    MEGAKERNEL_REVISION,
+    FusedRegion,
+    FusionError,
+    MegakernelTrace,
+    compile_megakernel,
+)
+from .plan_cache import (
+    PLAN_FORMAT_VERSION,
+    PlanCache,
+    PlanCacheError,
+    plan_token,
+    read_plan,
+)
 from .register import LaneMismatchError, MaskRegister, VectorRegister
-from .replay import KernelTrace, TraceReplayer, compile_trace, record_kernel
+from .replay import (
+    KernelTrace,
+    TraceReplayer,
+    bind_buffers,
+    compile_trace,
+    execute_step,
+    record_kernel,
+)
 from .trace import TraceError, TraceRecorder
 from .trace_ir import (
     TraceDecodeError,
@@ -52,13 +73,20 @@ __all__ = [
     "AlignmentFault",
     "CostTable",
     "DEFAULT_COSTS",
+    "FusedRegion",
+    "FusionError",
     "ISAS",
     "Isa",
     "KernelCounters",
     "KernelTrace",
     "LaneMismatchError",
     "LoopDecomposition",
+    "MEGAKERNEL_REVISION",
     "MaskRegister",
+    "MegakernelTrace",
+    "PLAN_FORMAT_VERSION",
+    "PlanCache",
+    "PlanCacheError",
     "SCALAR",
     "SSE2",
     "SimdEngine",
@@ -68,9 +96,12 @@ __all__ = [
     "TraceReplayer",
     "UnsupportedInstructionError",
     "VectorRegister",
+    "bind_buffers",
+    "compile_megakernel",
     "compile_trace",
     "cycles",
     "decompose_loop",
+    "execute_step",
     "flat_view",
     "get_isa",
     "mask_bits",
@@ -83,5 +114,6 @@ __all__ = [
     "op_scalar_uses",
     "op_writes",
     "pointer_is_aligned",
-    "record_kernel",
+    "plan_token",
+    "read_plan",
 ]

@@ -462,6 +462,146 @@ def _finalize_scalar(kind: str, values: list):
 # ---------------------------------------------------------------------------
 
 
+def bind_buffers(
+    slots: list[BufferSlot], buffers: dict[str, np.ndarray]
+) -> list[np.ndarray]:
+    """Resolve a trace's buffer table against fresh named arrays.
+
+    Shared by :class:`TraceReplayer` and the megakernel tier
+    (:mod:`repro.simd.megakernel`): const slots carry their frozen
+    structure snapshots, named slots re-bind to same-shape arrays.
+    """
+    bound: list[np.ndarray] = []
+    for slot in slots:
+        if not slot.is_named:
+            bound.append(slot.const)
+            continue
+        arr = buffers.get(slot.name)
+        if arr is None:
+            raise TraceError(f"replay is missing buffer {slot.name!r}")
+        arr = flat_view(arr, slot.name)
+        if arr.nbytes != slot.nbytes or arr.dtype.str != slot.dtype:
+            raise TraceError(
+                f"buffer {slot.name!r} does not match the recording "
+                f"({arr.nbytes}B {arr.dtype} vs {slot.nbytes}B "
+                f"{np.dtype(slot.dtype)}); traces are valid only for "
+                "matrices sharing the recorded sparsity structure"
+            )
+        bound.append(arr)
+    return bound
+
+
+def _reg_block(regs: np.ndarray, opnd):
+    kind, payload = opnd
+    return regs[payload] if kind == "r" else payload
+
+
+def _scal_vec(svals: np.ndarray, opnd):
+    kind, payload = opnd
+    return svals[payload] if kind == "s" else payload
+
+
+def execute_step(step, bufs, regs, svals, lane_idx) -> None:
+    """Execute one batched step against the replay machine state.
+
+    The single definition of step semantics: :class:`TraceReplayer` runs
+    every step through here, and the megakernel executor
+    (:mod:`repro.simd.megakernel`) uses it for the plain steps between
+    fused regions — the two tiers can never drift on what a step means.
+    """
+    kind = step[0]
+    if kind == "vload":
+        _, b, dsts, offs = step
+        regs[dsts] = bufs[b][offs[:, None] + lane_idx]
+    elif kind == "gather":
+        _, b, dsts, idx2d = step
+        regs[dsts] = bufs[b][idx2d]
+    elif kind == "fmadd":
+        _, dsts, a, bb, c = step
+        regs[dsts] = (
+            _reg_block(regs, a) * _reg_block(regs, bb) + _reg_block(regs, c)
+        )
+    elif kind == "sfma":
+        _, dsts, a, bb, c = step
+        svals[dsts] = (
+            _scal_vec(svals, a) * _scal_vec(svals, bb) + _scal_vec(svals, c)
+        )
+    elif kind == "sload":
+        _, b, dsts, offs = step
+        svals[dsts] = bufs[b][offs]
+    elif kind == "sstore":
+        _, b, offs, vals = step
+        bufs[b][offs] = _scal_vec(svals, vals)
+    elif kind == "vstore":
+        _, b, offs, src = step
+        flat = (offs[:, None] + lane_idx).ravel()
+        bufs[b][flat] = _reg_block(regs, src).ravel()
+    elif kind == "reduce":
+        _, dsts, src, base = step
+        sums = np.sum(_reg_block(regs, src), axis=1)
+        svals[dsts] = sums if base is None else _scal_vec(svals, base) + sums
+    elif kind == "extract":
+        _, dsts, src, lanes_arr = step
+        block = _reg_block(regs, src)
+        svals[dsts] = block[np.arange(block.shape[0]), lanes_arr]
+    elif kind == "fmadd_mask":
+        _, dsts, a, bb, c = step[:5]
+        bits2d = step[5]
+        cblk = _reg_block(regs, c)
+        regs[dsts] = np.where(
+            bits2d, _reg_block(regs, a) * _reg_block(regs, bb) + cblk, cblk
+        )
+    elif kind == "gather_mask":
+        _, b, dsts, idx2d, bits2d = step
+        safe = np.where(bits2d, idx2d, 0)
+        regs[dsts] = np.where(bits2d, bufs[b][safe], 0.0)
+    elif kind == "vload_prefix":
+        _, b, dsts, offs, actives = step
+        valid = lane_idx[None, :] < actives[:, None]
+        safe = np.where(valid, offs[:, None] + lane_idx, offs[:, None])
+        regs[dsts] = np.where(valid, bufs[b][safe], 0.0)
+    elif kind == "vstore_mask":
+        _, b, offs, src, bits2d = step
+        flat = (offs[:, None] + lane_idx)[bits2d]
+        bufs[b][flat] = _reg_block(regs, src)[bits2d]
+    elif kind in ("mul", "add"):
+        _, dsts, a, bb = step
+        if kind == "mul":
+            regs[dsts] = _reg_block(regs, a) * _reg_block(regs, bb)
+        else:
+            regs[dsts] = _reg_block(regs, a) + _reg_block(regs, bb)
+    elif kind == "setzero":
+        regs[step[1]] = 0.0
+    elif kind == "set1":
+        _, dsts, vals = step
+        regs[dsts] = _scal_vec(svals, vals)[:, None]
+    elif kind == "blend":
+        _, dsts, src, bits2d = step
+        regs[dsts] = np.where(bits2d, _reg_block(regs, src), 0.0)
+    elif kind == "lane_add":
+        _, dsts, src, lanes_arr, vals = step
+        block = _reg_block(regs, src).copy()
+        block[np.arange(block.shape[0]), lanes_arr] += _scal_vec(svals, vals)
+        regs[dsts] = block
+    elif kind == "reduce_sel":
+        _, dsts, src, sel = step
+        block = _reg_block(regs, src)
+        total = None
+        for g in sel:
+            part = np.sum(block[:, list(g)], axis=1)
+            total = part if total is None else total + part
+        svals[dsts] = total if total is not None else 0.0
+    elif kind == "scatter":
+        _, b, idx, src, bits = step
+        block = _reg_block(regs, src)[0]
+        if bits is None:
+            np.add.at(bufs[b], idx, block)
+        else:
+            np.add.at(bufs[b], idx[bits], block[bits])
+    else:  # pragma: no cover
+        raise TraceError(f"unknown replay step {kind!r}")
+
+
 class TraceReplayer:
     """Executes a compiled :class:`KernelTrace` against fresh buffers."""
 
@@ -470,128 +610,15 @@ class TraceReplayer:
 
     def bind(self, buffers: dict[str, np.ndarray]) -> list[np.ndarray]:
         """Resolve the trace's buffer table against fresh named arrays."""
-        bound: list[np.ndarray] = []
-        for slot in self.trace.buffers:
-            if not slot.is_named:
-                bound.append(slot.const)
-                continue
-            arr = buffers.get(slot.name)
-            if arr is None:
-                raise TraceError(f"replay is missing buffer {slot.name!r}")
-            arr = flat_view(arr, slot.name)
-            if arr.nbytes != slot.nbytes or arr.dtype.str != slot.dtype:
-                raise TraceError(
-                    f"buffer {slot.name!r} does not match the recording "
-                    f"({arr.nbytes}B {arr.dtype} vs {slot.nbytes}B "
-                    f"{np.dtype(slot.dtype)}); traces are valid only for "
-                    "matrices sharing the recorded sparsity structure"
-                )
-            bound.append(arr)
-        return bound
+        return bind_buffers(self.trace.buffers, buffers)
 
     def run(self, buffers: dict[str, np.ndarray]) -> KernelCounters:
         """Replay every batched step; returns the recorded counters."""
         t = self.trace
         bufs = self.bind(buffers)
-        lanes = t.lanes
-        regs = np.zeros((t.nregs, lanes), dtype=np.float64)
+        regs = np.zeros((t.nregs, t.lanes), dtype=np.float64)
         svals = np.zeros(max(t.nscalars, 1), dtype=np.float64)
-        lane_idx = np.arange(lanes, dtype=np.int64)
-
-        def reg_block(opnd):
-            kind, payload = opnd
-            return regs[payload] if kind == "r" else payload
-
-        def scal_vec(opnd):
-            kind, payload = opnd
-            return svals[payload] if kind == "s" else payload
-
+        lane_idx = np.arange(t.lanes, dtype=np.int64)
         for step in t.steps:
-            kind = step[0]
-            if kind == "vload":
-                _, b, dsts, offs = step
-                regs[dsts] = bufs[b][offs[:, None] + lane_idx]
-            elif kind == "gather":
-                _, b, dsts, idx2d = step
-                regs[dsts] = bufs[b][idx2d]
-            elif kind == "fmadd":
-                _, dsts, a, bb, c = step
-                regs[dsts] = reg_block(a) * reg_block(bb) + reg_block(c)
-            elif kind == "sfma":
-                _, dsts, a, bb, c = step
-                svals[dsts] = scal_vec(a) * scal_vec(bb) + scal_vec(c)
-            elif kind == "sload":
-                _, b, dsts, offs = step
-                svals[dsts] = bufs[b][offs]
-            elif kind == "sstore":
-                _, b, offs, vals = step
-                bufs[b][offs] = scal_vec(vals)
-            elif kind == "vstore":
-                _, b, offs, src = step
-                flat = (offs[:, None] + lane_idx).ravel()
-                bufs[b][flat] = reg_block(src).ravel()
-            elif kind == "reduce":
-                _, dsts, src, base = step
-                sums = np.sum(reg_block(src), axis=1)
-                svals[dsts] = sums if base is None else scal_vec(base) + sums
-            elif kind == "extract":
-                _, dsts, src, lanes_arr = step
-                block = reg_block(src)
-                svals[dsts] = block[np.arange(block.shape[0]), lanes_arr]
-            elif kind == "fmadd_mask":
-                _, dsts, a, bb, c = step[:5]
-                bits2d = step[5]
-                cblk = reg_block(c)
-                regs[dsts] = np.where(
-                    bits2d, reg_block(a) * reg_block(bb) + cblk, cblk
-                )
-            elif kind == "gather_mask":
-                _, b, dsts, idx2d, bits2d = step
-                safe = np.where(bits2d, idx2d, 0)
-                regs[dsts] = np.where(bits2d, bufs[b][safe], 0.0)
-            elif kind == "vload_prefix":
-                _, b, dsts, offs, actives = step
-                valid = lane_idx[None, :] < actives[:, None]
-                safe = np.where(valid, offs[:, None] + lane_idx, offs[:, None])
-                regs[dsts] = np.where(valid, bufs[b][safe], 0.0)
-            elif kind == "vstore_mask":
-                _, b, offs, src, bits2d = step
-                flat = (offs[:, None] + lane_idx)[bits2d]
-                bufs[b][flat] = reg_block(src)[bits2d]
-            elif kind in ("mul", "add"):
-                _, dsts, a, bb = step
-                if kind == "mul":
-                    regs[dsts] = reg_block(a) * reg_block(bb)
-                else:
-                    regs[dsts] = reg_block(a) + reg_block(bb)
-            elif kind == "setzero":
-                regs[step[1]] = 0.0
-            elif kind == "set1":
-                _, dsts, vals = step
-                regs[dsts] = scal_vec(vals)[:, None]
-            elif kind == "blend":
-                _, dsts, src, bits2d = step
-                regs[dsts] = np.where(bits2d, reg_block(src), 0.0)
-            elif kind == "lane_add":
-                _, dsts, src, lanes_arr, vals = step
-                block = reg_block(src).copy()
-                block[np.arange(block.shape[0]), lanes_arr] += scal_vec(vals)
-                regs[dsts] = block
-            elif kind == "reduce_sel":
-                _, dsts, src, sel = step
-                block = reg_block(src)
-                total = None
-                for g in sel:
-                    part = np.sum(block[:, list(g)], axis=1)
-                    total = part if total is None else total + part
-                svals[dsts] = total if total is not None else 0.0
-            elif kind == "scatter":
-                _, b, idx, src, bits = step
-                block = reg_block(src)[0]
-                if bits is None:
-                    np.add.at(bufs[b], idx, block)
-                else:
-                    np.add.at(bufs[b], idx[bits], block[bits])
-            else:  # pragma: no cover
-                raise TraceError(f"unknown replay step {kind!r}")
+            execute_step(step, bufs, regs, svals, lane_idx)
         return t.counters.copy()
