@@ -24,6 +24,7 @@ multinode experiments check against the network model.
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -38,7 +39,28 @@ from .request import CompletedRequest, DeferredRequest, Request
 ANY_TAG = -1
 
 #: Retransmissions attempted for a dropped message before giving up.
+#: Per-world override: ``World(size, max_send_retries=...)`` (threaded
+#: through ``ExecutionContext.max_send_retries`` by the layers that build
+#: worlds).
 MAX_SEND_RETRIES = 8
+
+
+def retry_backoff(site: str, attempt: int, seed: int = 0) -> int:
+    """Backoff (modeled microseconds) before retransmission ``attempt``.
+
+    Exponential window with deterministic seeded jitter: attempt ``k``
+    waits ``2^(k-1) + crc32(seed:site:k) % 2^(k-1)``, i.e. somewhere in
+    ``[2^(k-1), 2^k)``.  The jitter is a pure function of (seed, site,
+    attempt), and the site string embeds the rank, so simultaneous
+    per-rank retransmissions spread across the window instead of
+    retrying in lockstep — yet every run of the same seed replays the
+    identical timeline.
+    """
+    if attempt < 1:
+        raise ValueError("retry attempts are 1-based")
+    window = 1 << (attempt - 1)
+    jitter = zlib.crc32(f"{seed}:{site}:{attempt}".encode()) % window
+    return window + jitter
 
 
 class CommunicatorError(RuntimeError):
@@ -95,10 +117,21 @@ class World:
     so logging adds no new synchronization.
     """
 
-    def __init__(self, size: int):
+    def __init__(
+        self,
+        size: int,
+        max_send_retries: int | None = None,
+        retry_seed: int = 0,
+    ):
         if size < 1:
             raise ValueError("world size must be positive")
+        if max_send_retries is not None and max_send_retries < 1:
+            raise ValueError("max_send_retries must be positive")
         self.size = size
+        self.max_send_retries = (
+            MAX_SEND_RETRIES if max_send_retries is None else max_send_retries
+        )
+        self.retry_seed = retry_seed
         self.schedule_log = None
         # Reentrant: request poll closures re-enter through World.poll while
         # World.block already holds the lock.
@@ -268,17 +301,18 @@ class Comm:
         where = f"send(dest={dest}, tag={tag})"
         spec = fire_fault(site)
         attempts = 0
-        backoff = 1
+        max_retries = self.world.max_send_retries
         while spec is not None and spec.kind == "drop":
             # The message was lost; each retransmission is a fresh send
             # attempt against the injector, so consecutive scheduled drops
             # cost consecutive retries — deterministically.
             attempts += 1
-            if attempts > MAX_SEND_RETRIES:
+            if attempts > max_retries:
                 raise CommunicatorError(
                     f"rank {self.rank}: {where} still dropped after "
-                    f"{MAX_SEND_RETRIES} retransmissions"
+                    f"{max_retries} retransmissions"
                 )
+            backoff = retry_backoff(site, attempts, self.world.retry_seed)
             emit_fault_event(
                 "recovered",
                 site,
@@ -286,16 +320,15 @@ class Comm:
                 detail=f"rank {self.rank} {where}: resend {attempts} "
                 f"after backoff {backoff}",
             )
-            # The retry gap on the timeline: the modeled backoff window
-            # (in microseconds of trace time) this rank sat waiting before
-            # the retransmission.
+            # The retry gap on the timeline: the modeled jittered backoff
+            # window (in microseconds of trace time) this rank sat waiting
+            # before the retransmission.
             obs_gap(
                 "comm.retry",
                 duration=backoff * 1e-6,
                 rank=self.rank,
                 args={"site": site, "attempt": attempts, "backoff": backoff},
             )
-            backoff *= 2
             spec = fire_fault(site)
         if spec is not None:
             if spec.kind == "straggle":

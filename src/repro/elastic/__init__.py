@@ -1,0 +1,54 @@
+"""Elastic SPMD worlds: shrink/grow mid-solve, checkpoint, and resume.
+
+The paper's MPI+SIMD stack assumes a fixed communicator for the life of
+a solve.  This package removes that assumption for the simulated worlds:
+:class:`ElasticWorld` rebuilds the row partition online when ranks die
+(:class:`~repro.comm.communicator.RankDeath`) or are added, plans and
+executes the row-block migration with vector-clock-checked schedules,
+and :class:`ElasticGMRES` resumes the interrupted solve from the last
+:mod:`repro.ksp.checkpoint` snapshot with answers bit-identical to an
+uninterrupted run — the property every recovery is differentially
+verified against.
+"""
+
+from .world import (
+    MIGRATION_TAG,
+    ElasticWorld,
+    ResizeEvent,
+    Transfer,
+    assemble_block,
+    check_migration,
+    csr_rows_payload,
+    execute_migration,
+    invalidate_row_blocks,
+    migration_schedule,
+    plan_transfers,
+    row_block,
+    survivor_map,
+)
+from .solver import (
+    ElasticEvent,
+    ElasticGMRES,
+    ElasticResult,
+    EpochRecord,
+)
+
+__all__ = [
+    "ElasticEvent",
+    "ElasticGMRES",
+    "ElasticResult",
+    "ElasticWorld",
+    "EpochRecord",
+    "MIGRATION_TAG",
+    "ResizeEvent",
+    "Transfer",
+    "assemble_block",
+    "check_migration",
+    "csr_rows_payload",
+    "execute_migration",
+    "invalidate_row_blocks",
+    "migration_schedule",
+    "plan_transfers",
+    "row_block",
+    "survivor_map",
+]

@@ -17,6 +17,13 @@ from .base import (
 )
 from .adjoint import AdjointThetaMethod, TransposeOperator
 from .cg import CG
+from .checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    CheckpointStore,
+    SolverCheckpoint,
+    read_checkpoint,
+)
 from .parallel import (
     ParallelBlockJacobiPC,
     ParallelGMRES,
@@ -45,6 +52,9 @@ __all__ = [
     "BlockJacobiPC",
     "CG",
     "ChebyshevPC",
+    "CheckpointError",
+    "CheckpointStore",
+    "Checkpointer",
     "ConvergedReason",
     "CountingOperator",
     "GMRES",
@@ -66,6 +76,7 @@ __all__ = [
     "SNESConvergedReason",
     "SNESResult",
     "SORPC",
+    "SolverCheckpoint",
     "StepStats",
     "ThetaMethod",
     "TransposeOperator",
@@ -73,4 +84,5 @@ __all__ = [
     "bilinear_prolongation",
     "csr_matmul",
     "full_weighting_restriction",
+    "read_checkpoint",
 ]

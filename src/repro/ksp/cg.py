@@ -15,6 +15,7 @@ from ..faults.abft import SdcDetected
 from ..faults.events import emit
 from ..obs.observer import obs_event
 from .base import KSP, ConvergedReason, IdentityPC, KSPResult, LinearOperator
+from .checkpoint import CheckpointError, Checkpointer, SolverCheckpoint
 
 
 @dataclass
@@ -24,20 +25,43 @@ class CG(KSP):
     pc: object = field(default_factory=IdentityPC)
 
     def solve(
-        self, op: LinearOperator, b: np.ndarray, x0: np.ndarray | None = None
+        self,
+        op: LinearOperator,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        checkpointer: Checkpointer | None = None,
+        resume: SolverCheckpoint | None = None,
     ) -> KSPResult:
-        """Solve A x = b for SPD A."""
+        """Solve A x = b for SPD A.
+
+        With a ``checkpointer``, the three-term recurrence (r, z, p, rz)
+        is snapshotted at the configured cadence; ``resume`` restores one
+        of those snapshots and continues bit-identically (``x0`` is
+        ignored — the iterate comes from the checkpoint).
+        """
         op = self._resolve_operator(op)
         self._check_system(op, b)
         n = b.shape[0]
-        x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+        if resume is not None:
+            if resume.solver != "cg":
+                raise CheckpointError(
+                    f"checkpoint is for solver {resume.solver!r}, not CG"
+                )
+            x = np.array(resume.x, dtype=np.float64)
+        else:
+            x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
         with obs_event("PCSetUp"):
             self.pc.setup(op)
         with obs_event("KSPSolve"):
-            return self._iterate(op, b, x)
+            return self._iterate(op, b, x, checkpointer, resume)
 
     def _iterate(
-        self, op: LinearOperator, b: np.ndarray, x: np.ndarray
+        self,
+        op: LinearOperator,
+        b: np.ndarray,
+        x: np.ndarray,
+        checkpointer: Checkpointer | None = None,
+        resume: SolverCheckpoint | None = None,
     ) -> KSPResult:
         norms: list[float] = []
         rnorm0: float | None = None
@@ -51,6 +75,17 @@ class CG(KSP):
         needs_restart = True
         r = z = p = None
         rz = 0.0
+        if resume is not None:
+            norms = list(resume.norms)
+            rnorm0 = resume.rnorm0
+            it = int(resume.iteration)
+            sdc_restarts = int(resume.sdc_restarts)
+            if resume.state:
+                r = np.array(resume.state["r"], dtype=np.float64)
+                z = np.array(resume.state["z"], dtype=np.float64)
+                p = np.array(resume.state["p"], dtype=np.float64)
+                rz = float(resume.state["rz"])
+                needs_restart = False
         while it < self.max_it:
             try:
                 if needs_restart:
@@ -95,6 +130,23 @@ class CG(KSP):
                 beta = rz_new / rz
                 rz = rz_new
                 p = z + beta * p
+                if checkpointer is not None and checkpointer.due(it):
+                    checkpointer.capture(
+                        SolverCheckpoint(
+                            solver="cg",
+                            iteration=it,
+                            x=x.copy(),
+                            norms=list(norms),
+                            rnorm0=rnorm0,
+                            sdc_restarts=sdc_restarts,
+                            state={
+                                "r": r.copy(),
+                                "z": z.copy(),
+                                "p": p.copy(),
+                                "rz": rz,
+                            },
+                        )
+                    )
             except SdcDetected:
                 sdc_restarts += 1
                 if sdc_restarts > self.max_sdc_restarts:

@@ -1,4 +1,4 @@
-"""Per-tenant QoS: admission control, caps, and overload shedding.
+"""Per-tenant QoS: admission, caps, overload shedding, circuit breaking.
 
 The :class:`AdmissionController` is the service's front gate.  It keeps
 three invariants a multi-tenant server owes its tenants:
@@ -15,6 +15,16 @@ three invariants a multi-tenant server owes its tenants:
   framework (:mod:`repro.faults.events`), the same ``degraded`` /
   ``recovered`` vocabulary the resilient solve stack uses.  An overload
   is an environmental fault; shedding is the planned response to it.
+
+The :class:`CircuitBreaker` adds the chaos-hardening half of the story:
+a tenant whose requests keep failing (timeouts, compute errors — the
+signature of a shard fighting a shrunken or sick world) is *opened*
+after a run of consecutive failures, its traffic refused instantly
+instead of queueing up to time out again.  The breaker is deterministic
+by construction — states advance on request counts, never on wall-clock
+time — so chaos campaigns replay bit-identically: ``cooldown`` refused
+requests buy one half-open probe, and the probe's outcome closes or
+re-opens the circuit.
 
 Admission is thread-safe (one lock; admission decisions are tiny) and
 purely synchronous — the asyncio server calls it inline before queueing.
@@ -187,4 +197,141 @@ class AdmissionController:
                 "queue_cap": self.queue_cap,
                 "overloaded": self._overloaded,
                 "inflight": dict(sorted(self._inflight.items())),
+            }
+
+
+@dataclass
+class _TenantCircuit:
+    """One tenant's breaker state (internal to :class:`CircuitBreaker`)."""
+
+    state: str = "closed"
+    failures: int = 0          #: consecutive failures while closed
+    refusals: int = 0          #: refusals served while open
+    probing: bool = False      #: the half-open probe is in flight
+
+
+class CircuitBreaker:
+    """Per-tenant request-count circuit breaker (no wall-clock state).
+
+    States follow the classic pattern, advanced only by request
+    outcomes so replays are deterministic:
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip the circuit **open** (a ``degraded`` event on the
+      ``serve.breaker`` site);
+    * **open** — requests are refused instantly; after ``cooldown``
+      refusals the circuit goes **half-open**;
+    * **half-open** — exactly one probe request is admitted; success
+      closes the circuit (a ``recovered`` event), failure re-opens it.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip a closed circuit.
+    cooldown:
+        Refused requests an open circuit serves before allowing a probe.
+    """
+
+    def __init__(self, failure_threshold: int = 4, cooldown: int = 8) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if cooldown < 1:
+            raise ValueError("cooldown must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._circuits: dict[str, _TenantCircuit] = {}
+        self._tripped = 0
+        self._refused = 0
+
+    def _circuit(self, tenant: str) -> _TenantCircuit:
+        return self._circuits.setdefault(tenant, _TenantCircuit())
+
+    def allow(self, tenant: str) -> str | None:
+        """Let the tenant's request through, or return the refusal reason."""
+        with self._lock:
+            c = self._circuit(tenant)
+            if c.state == "closed":
+                return None
+            if c.state == "half-open":
+                if c.probing:
+                    self._refused += 1
+                    return (
+                        f"tenant {tenant!r} circuit half-open "
+                        "(probe in flight)"
+                    )
+                c.probing = True
+                return None
+            c.refusals += 1
+            self._refused += 1
+            if c.refusals >= self.cooldown:
+                c.state = "half-open"
+                c.probing = False
+            return (
+                f"tenant {tenant!r} circuit open "
+                f"({c.refusals}/{self.cooldown} toward probe)"
+            )
+
+    def record(self, tenant: str, ok: bool) -> None:
+        """Feed one request outcome back into the tenant's circuit."""
+        with self._lock:
+            c = self._circuit(tenant)
+            if c.state == "half-open":
+                c.probing = False
+                if ok:
+                    c.state = "closed"
+                    c.failures = 0
+                    emit_fault_event(
+                        "recovered", "serve.breaker", "close",
+                        detail=f"tenant={tenant} probe succeeded",
+                    )
+                    obs_counter(
+                        "serve.breaker_closes", labels={"tenant": tenant}
+                    )
+                else:
+                    c.state = "open"
+                    c.refusals = 0
+                return
+            if c.state == "open":
+                return
+            if ok:
+                c.failures = 0
+                return
+            c.failures += 1
+            if c.failures >= self.failure_threshold:
+                c.state = "open"
+                c.refusals = 0
+                self._tripped += 1
+                emit_fault_event(
+                    "degraded", "serve.breaker", "open",
+                    detail=f"tenant={tenant} after {c.failures} "
+                    "consecutive failures",
+                )
+                obs_counter("serve.breaker_trips", labels={"tenant": tenant})
+
+    def cancel(self, tenant: str) -> None:
+        """Return an unused probe slot (the probe never actually ran).
+
+        Called when a request that :meth:`allow` let through is refused
+        downstream (admission shed) before producing an outcome — the
+        half-open circuit keeps waiting for a real probe instead of
+        treating the shed as a verdict.
+        """
+        with self._lock:
+            self._circuit(tenant).probing = False
+
+    def state(self, tenant: str) -> str:
+        """The tenant's circuit state: closed, open, or half-open."""
+        with self._lock:
+            return self._circuit(tenant).state
+
+    def stats(self) -> dict:
+        """Breaker tallies, JSON-safe."""
+        with self._lock:
+            return {
+                "tripped": self._tripped,
+                "refused": self._refused,
+                "open": sorted(
+                    t for t, c in self._circuits.items() if c.state != "closed"
+                ),
             }

@@ -1,0 +1,1 @@
+"""Tests for the elastic SPMD world stack (repro.elastic)."""

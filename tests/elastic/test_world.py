@@ -1,0 +1,189 @@
+"""Online repartitioning: plans, schedules, migration, registry hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.comm.partition import RowLayout
+from repro.core.registry import SignatureRegistry
+from repro.elastic import (
+    ElasticWorld,
+    Transfer,
+    assemble_block,
+    check_migration,
+    csr_rows_payload,
+    execute_migration,
+    invalidate_row_blocks,
+    plan_transfers,
+    row_block,
+    survivor_map,
+)
+from repro.faults.events import capture
+from repro.faults.plan import FaultInjector, FaultPlan, FaultSpec, inject
+from repro.pde.problems import gray_scott_jacobian
+
+
+class TestSurvivorMap:
+    def test_survivors_keep_relative_order(self):
+        assert survivor_map(4, [1]) == {0: 0, 2: 1, 3: 2}
+        assert survivor_map(4, [0, 2]) == {1: 0, 3: 1}
+
+    def test_grow_is_the_identity(self):
+        assert survivor_map(3, []) == {0: 0, 1: 1, 2: 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            survivor_map(2, [5])
+        with pytest.raises(ValueError):
+            survivor_map(2, [0, 1])  # no survivors
+
+
+class TestPlanTransfers:
+    @pytest.mark.parametrize(
+        "old_size,new_size,dead",
+        [(4, 3, (1,)), (4, 2, (0, 3)), (3, 5, ()), (2, 2, ()), (5, 1, (1, 2, 3, 4))],
+    )
+    def test_plan_covers_every_row_exactly_once(self, old_size, new_size, dead):
+        n = 37
+        old = RowLayout.uniform(n, old_size)
+        new = RowLayout.uniform(n, new_size)
+        transfers = plan_transfers(old, new, dead)
+        covered = np.zeros(n, dtype=int)
+        for t in transfers:
+            covered[t.start : t.end] += 1
+        assert (covered == 1).all()
+        # And each destination's ranges land inside its new-world slice.
+        for t in transfers:
+            lo, hi = new.range_of(t.dst)
+            assert lo <= t.start < t.end <= hi
+
+    def test_dead_owners_are_sourced_from_the_recovery_root(self):
+        old = RowLayout.uniform(40, 4)
+        new = RowLayout.uniform(40, 3)
+        dead_rows = set(range(*old.range_of(2)))
+        transfers = plan_transfers(old, new, dead=(2,), recovery_root=0)
+        for t in transfers:
+            if set(range(t.start, t.end)) & dead_rows:
+                assert t.src == 0
+
+    def test_layout_size_mismatch_is_an_error(self):
+        with pytest.raises(ValueError):
+            plan_transfers(RowLayout.uniform(10, 2), RowLayout.uniform(12, 2))
+
+    def test_schedules_pass_the_vector_clock_checker(self):
+        old = RowLayout.uniform(64, 5)
+        for new_size, dead in ((4, (3,)), (7, ()), (2, (0, 1, 4))):
+            transfers = plan_transfers(old, RowLayout.uniform(64, new_size), dead)
+            assert check_migration(transfers, new_size).ok
+
+
+class TestRegistryHygiene:
+    def _seed_blocks(self, registry, size):
+        for rank in range(size):
+            registry.get_or_compute(
+                "prepare", ("rowblock", size, rank, "sig"), lambda: object()
+            )
+
+    def test_invalidate_evicts_only_the_resized_partition(self):
+        registry = SignatureRegistry()
+        self._seed_blocks(registry, 4)
+        self._seed_blocks(registry, 3)
+        registry.get_or_compute("prepare", ("other", 4), lambda: "keep")
+        assert invalidate_row_blocks(registry, 4) == 4
+        keys = set(registry.keys("prepare"))
+        assert ("rowblock", 4, 0, "sig") not in keys
+        assert ("rowblock", 3, 0, "sig") in keys
+        assert ("other", 4) in keys
+
+    def test_none_registry_is_a_noop(self):
+        assert invalidate_row_blocks(None, 4) == 0
+
+    def test_resize_invalidates_through_the_world(self):
+        registry = SignatureRegistry()
+        self._seed_blocks(registry, 4)
+        world = ElasticWorld(40, 4, registry=registry)
+        event = world.shrink([1])
+        assert event.invalidated == 4
+        assert not [
+            k
+            for k in registry.keys("prepare")
+            if isinstance(k, tuple) and k[:2] == ("rowblock", 4)
+        ]
+
+
+class TestExecuteMigration:
+    @pytest.mark.parametrize("old_size,new_size,dead", [(4, 3, (2,)), (2, 4, ())])
+    def test_migrated_operator_reassembles_bit_identically(
+        self, old_size, new_size, dead
+    ):
+        csr = gray_scott_jacobian(6)
+        n = csr.shape[0]
+        old = RowLayout.uniform(n, old_size)
+        new = RowLayout.uniform(n, new_size)
+        transfers = plan_transfers(old, new, dead)
+        world = ElasticWorld(n, new_size)
+        assembled, report = execute_migration(
+            world.make_world(),
+            transfers,
+            source_of=lambda t: csr_rows_payload(csr, t.start, t.end),
+        )
+        assert report.ok
+        x = np.random.default_rng(0).standard_normal(n)
+        want = csr.multiply(x)
+        for rank in range(new_size):
+            block = assemble_block(assembled[rank], n)
+            lo, hi = new.range_of(rank)
+            assert block.multiply(x).tobytes() == want[lo:hi].tobytes()
+        # The assembled blocks match a direct slice of the operator too.
+        for rank in range(new_size):
+            direct = row_block(csr, new, rank)
+            block = assemble_block(assembled[rank], n)
+            assert block.val.tobytes() == direct.val.tobytes()
+            assert block.colidx.tobytes() == direct.colidx.tobytes()
+
+    def test_keeps_never_hit_the_wire(self):
+        n = 30
+        old = RowLayout.uniform(n, 3)
+        new = RowLayout.uniform(n, 3)
+        transfers = plan_transfers(old, new)
+        assert all(t.src == t.dst for t in transfers)
+        from repro.elastic import migration_schedule
+
+        assert migration_schedule(transfers, 3) == [[], [], []]
+
+
+class TestResizeFaultSite:
+    def test_dropped_directive_is_reissued(self):
+        world = ElasticWorld(40, 4)
+        plan = FaultPlan([FaultSpec("world.resize", 0, "drop")])
+        with capture() as log:
+            with inject(FaultInjector(plan)):
+                event = world.resize(3, dead=(1,))
+        assert event.new_size == 3 and world.size == 3
+        actions = {(ev[0], ev[1], ev[2]) for ev in log.fingerprint()}
+        assert ("recovered", "world.resize", "retry") in actions
+
+    def test_shrink_emits_degraded_and_grow_emits_recovered(self):
+        world = ElasticWorld(40, 4)
+        with capture() as log:
+            shrink = world.shrink([3])
+            grow = world.grow(2)
+        assert (shrink.kind, grow.kind) == ("shrink", "grow")
+        assert world.size == 5 and world.epoch == 2
+        actions = {(ev[0], ev[2]) for ev in log.fingerprint()}
+        assert ("degraded", "shrink") in actions
+        assert ("recovered", "grow") in actions
+
+    def test_validation(self):
+        world = ElasticWorld(40, 2)
+        with pytest.raises(ValueError):
+            world.shrink([])
+        with pytest.raises(ValueError):
+            world.grow(0)
+        with pytest.raises(ValueError):
+            world.resize(0)
+        with pytest.raises(ValueError):
+            ElasticWorld(0, 1)
+
+
+def test_transfer_rows_property():
+    assert Transfer(src=0, dst=1, start=3, end=9).rows == 6

@@ -1,0 +1,213 @@
+"""Chaos-hardened serving: breakers, late results, shard loss, rerouting."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.faults.events import capture
+from repro.faults.plan import FaultInjector, FaultPlan, FaultSpec, inject
+from repro.pde.problems import gray_scott_jacobian
+from repro.serve import ResponseStatus, SolveRequest, SolveService
+from repro.serve.qos import CircuitBreaker
+
+
+def _mat(grid=8, seed=1):
+    return gray_scott_jacobian(grid, seed=seed)
+
+
+def _payloads(mat, k, seed=3):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(mat.shape[1]) for _ in range(k)]
+
+
+class TestBreakerIntegration:
+    def test_failing_tenant_trips_then_recovers_through_a_probe(self):
+        mat = _mat()
+        xs = _payloads(mat, 12)
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=2)
+
+        async def run():
+            async with SolveService(breaker=breaker) as service:
+                healthy = service._spmm
+
+                def broken(shard, csr, payloads):
+                    raise ValueError("shard on fire")
+
+                service._spmm = broken
+                with capture() as log:
+                    failures = [
+                        await service.submit(
+                            SolveRequest(tenant="t", mat=mat, payload=x)
+                        )
+                        for x in xs[:2]
+                    ]
+                    assert breaker.state("t") == "open"
+                    refusals = [
+                        await service.submit(
+                            SolveRequest(tenant="t", mat=mat, payload=x)
+                        )
+                        for x in xs[2:4]
+                    ]
+                    service._spmm = healthy  # the shard heals
+                    probe = await service.submit(
+                        SolveRequest(tenant="t", mat=mat, payload=xs[4])
+                    )
+                return failures, refusals, probe, log.events, service.stats()
+
+        failures, refusals, probe, events, stats = asyncio.run(run())
+        assert all(r.status is ResponseStatus.ERROR for r in failures)
+        assert all(r.status is ResponseStatus.REJECTED for r in refusals)
+        assert all("circuit open" in r.detail for r in refusals)
+        assert probe.ok  # the half-open probe closed the circuit
+        assert breaker.state("t") == "closed"
+        assert stats["breaker"]["tripped"] == 1
+        actions = {(e.action, e.site) for e in events}
+        assert ("degraded", "serve.breaker") in actions
+        assert ("recovered", "serve.breaker") in actions
+
+    def test_one_tenants_circuit_does_not_punish_another(self):
+        mat = _mat()
+        x = _payloads(mat, 1)[0]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=8)
+
+        async def run():
+            async with SolveService(breaker=breaker) as service:
+                healthy = service._spmm
+
+                def broken(shard, csr, payloads):
+                    raise ValueError("boom")
+
+                service._spmm = broken
+                await service.submit(SolveRequest(tenant="sad", mat=mat, payload=x))
+                service._spmm = healthy
+                blocked = await service.submit(
+                    SolveRequest(tenant="sad", mat=mat, payload=x)
+                )
+                fine = await service.submit(
+                    SolveRequest(tenant="happy", mat=mat, payload=x)
+                )
+                return blocked, fine
+
+        blocked, fine = asyncio.run(run())
+        assert blocked.status is ResponseStatus.REJECTED
+        assert fine.ok
+
+
+class TestLateResults:
+    def test_late_completion_is_counted_and_dropped(self):
+        mat = _mat()
+        x = _payloads(mat, 1)[0]
+
+        async def run():
+            async with SolveService() as service:
+                slow = service._spmm
+
+                def stalled(shard, csr, payloads):
+                    time.sleep(0.1)
+                    return slow(shard, csr, payloads)
+
+                service._spmm = stalled
+                with capture() as log:
+                    response = await service.submit(
+                        SolveRequest(tenant="t", mat=mat, payload=x, timeout=0.01)
+                    )
+                    # Let the stalled compute finish and try to answer.
+                    for _ in range(50):
+                        await asyncio.sleep(0.01)
+                        if service.stats()["late_results"]:
+                            break
+                return response, log.events, service.stats()
+
+        response, events, stats = asyncio.run(run())
+        assert response.status is ResponseStatus.TIMEOUT
+        assert stats["late_results"] == 1  # counted, not silently vanished
+        assert any(
+            e.action == "benign"
+            and e.site == "serve.deadline"
+            and "after deadline" in e.detail
+            for e in events
+        )
+
+
+class TestShardLoss:
+    def test_shard_kill_shrinks_reroutes_and_recovers_bit_identically(self):
+        mat = _mat(grid=10)
+        xs = _payloads(mat, 6)
+        references = [mat.multiply_multi(x[:, None])[:, 0] for x in xs]
+
+        async def run():
+            service = SolveService(shards=2, world_size=3, batch_window=0.0)
+            tenant = "t-chaos"
+            home = service.shard_of(tenant)
+            plan = FaultPlan([FaultSpec(f"serve.shard@{home}", 0, "kill")])
+            responses = []
+            with capture() as log:
+                with inject(FaultInjector(plan)):
+                    async with service:
+                        for j, x in enumerate(xs):
+                            responses.append(
+                                await service.submit(
+                                    SolveRequest(tenant=tenant, mat=mat, payload=x)
+                                )
+                            )
+                            if j == 2:
+                                service.resize_shard(home, 3)
+            return responses, log.events, service.stats(), home
+
+        responses, events, stats, home = asyncio.run(run())
+        for response, want in zip(responses, references):
+            assert response.ok
+            assert response.result.tobytes() == want.tobytes(), (
+                "answers must stay bit-identical through shard loss"
+            )
+        health = stats["shard_health"]
+        assert health[home]["kills"] == 1
+        assert health[home]["healthy"]  # resize_shard restored it
+        assert health[home]["world_size"] == 3
+        assert stats["rerouted"] >= 1  # traffic steered off the sick shard
+        actions = {(e.action, e.site) for e in events}
+        assert ("degraded", f"serve.shard@{home}") in actions
+        assert ("recovered", f"serve.shard@{home}") in actions
+
+    def test_route_falls_back_home_when_every_shard_is_sick(self):
+        service = SolveService(shards=2)
+        for health in service._health:
+            health.healthy = False
+        assert service.route("t") == service.shard_of("t")
+
+    def test_resize_shard_validates(self):
+        service = SolveService(shards=2)
+        try:
+            service.resize_shard(0, 0)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("world size 0 accepted")
+
+    def test_non_kill_shard_fault_is_benign(self):
+        mat = _mat()
+        x = _payloads(mat, 1)[0]
+
+        async def run():
+            service = SolveService(shards=1, world_size=2, batch_window=0.0)
+            plan = FaultPlan([FaultSpec("serve.shard@0", 0, "straggle")])
+            with capture() as log:
+                with inject(FaultInjector(plan)):
+                    async with service:
+                        response = await service.submit(
+                            SolveRequest(tenant="t", mat=mat, payload=x)
+                        )
+            return response, log.events, service.stats()
+
+        response, events, stats = asyncio.run(run())
+        assert response.ok
+        assert response.result.tobytes() == (
+            mat.multiply_multi(x[:, None])[:, 0].tobytes()
+        )
+        assert stats["shard_health"][0]["world_size"] == 2  # unshrunk
+        assert any(
+            e.action == "benign" and e.site == "serve.shard@0" for e in events
+        )

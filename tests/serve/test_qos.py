@@ -93,3 +93,94 @@ def test_constructor_validation():
         AdmissionController(shed_watermark=0.0)
     with pytest.raises(ValueError):
         AdmissionController(shed_watermark=1.5)
+
+
+# -- circuit breaker -------------------------------------------------------
+
+
+def _trip(breaker, tenant="a", n=None):
+    for _ in range(n if n is not None else breaker.failure_threshold):
+        breaker.record(tenant, False)
+
+
+def test_breaker_trips_on_consecutive_failures_only():
+    from repro.serve.qos import CircuitBreaker
+
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record("a", False)
+    breaker.record("a", False)
+    breaker.record("a", True)  # a success resets the streak
+    breaker.record("a", False)
+    breaker.record("a", False)
+    assert breaker.state("a") == "closed"
+    breaker.record("a", False)
+    assert breaker.state("a") == "open"
+    assert breaker.stats()["tripped"] == 1
+
+
+def test_open_circuit_refuses_then_half_opens_after_cooldown():
+    from repro.serve.qos import CircuitBreaker
+
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=3)
+    with capture() as log:
+        _trip(breaker)
+        refusals = [breaker.allow("a") for _ in range(3)]
+    assert all(r is not None and "circuit open" in r for r in refusals)
+    assert breaker.state("a") == "half-open"
+    assert breaker.stats()["refused"] == 3
+    assert any(
+        e.action == "degraded" and e.site == "serve.breaker" for e in log.events
+    )
+
+
+def test_half_open_admits_exactly_one_probe():
+    from repro.serve.qos import CircuitBreaker
+
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+    _trip(breaker)
+    assert breaker.allow("a") is not None  # cooldown refusal -> half-open
+    assert breaker.allow("a") is None  # the probe
+    assert "probe in flight" in breaker.allow("a")  # second concurrent ask
+    with capture() as log:
+        breaker.record("a", True)
+    assert breaker.state("a") == "closed"
+    assert any(
+        e.action == "recovered" and e.site == "serve.breaker" for e in log.events
+    )
+
+
+def test_failed_probe_reopens_the_circuit():
+    from repro.serve.qos import CircuitBreaker
+
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+    _trip(breaker)
+    breaker.allow("a")
+    assert breaker.allow("a") is None
+    breaker.record("a", False)
+    assert breaker.state("a") == "open"
+
+
+def test_cancel_returns_the_probe_slot():
+    from repro.serve.qos import CircuitBreaker
+
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+    _trip(breaker)
+    breaker.allow("a")
+    assert breaker.allow("a") is None  # probe slot taken
+    breaker.cancel("a")  # the probe never ran (shed downstream)
+    assert breaker.allow("a") is None  # slot available again, not leaked
+
+
+def test_breaker_isolates_tenants_and_validates():
+    from repro.serve.qos import CircuitBreaker
+
+    breaker = CircuitBreaker(failure_threshold=1)
+    _trip(breaker, tenant="sad")
+    assert breaker.state("sad") == "open"
+    assert breaker.state("happy") == "closed"
+    assert breaker.allow("happy") is None
+    assert breaker.stats()["open"] == ["sad"]
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=0)
