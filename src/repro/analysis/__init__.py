@@ -19,7 +19,21 @@ from .comm_check import (
 )
 from .corpus import CASES, CorpusCase, run_case, run_corpus
 from .diagnostics import CODES, AnalysisReport, Diagnostic
-from .kernel import analyze_all, analyze_variant, default_structures, summarize
+from .kernel import (
+    analyze_all,
+    analyze_variant,
+    certify_variant,
+    default_structures,
+    summarize,
+)
+from .numlint import (
+    NumericalCertificate,
+    Term,
+    certify_recorder,
+    certify_trace,
+    compare_certificates,
+    gamma,
+)
 from .trace_lint import (
     BufferInfo,
     TraceSubject,
@@ -41,16 +55,23 @@ __all__ = [
     "Coll",
     "CorpusCase",
     "Diagnostic",
+    "NumericalCertificate",
     "Recv",
     "Send",
+    "Term",
     "TraceSubject",
     "analyze_all",
     "analyze_variant",
+    "certify_recorder",
+    "certify_trace",
+    "certify_variant",
     "check_log",
     "check_schedule",
+    "compare_certificates",
     "coverage_pass",
     "dataflow_pass",
     "default_structures",
+    "gamma",
     "isa_pass",
     "lint_megakernel",
     "lint_recorder",

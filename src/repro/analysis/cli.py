@@ -61,6 +61,12 @@ def _parser() -> argparse.ArgumentParser:
         help="record under the strict alignment policy (Section 3.1)",
     )
     parser.add_argument(
+        "--numerical", action="store_true",
+        help="add the aggregated rounding-certificate section (tree "
+             "depth, rounding counts per variant) to the report; NUM0xx "
+             "findings gate the exit code either way",
+    )
+    parser.add_argument(
         "--plan", action="append", default=[], metavar="PATH",
         help="lint a persisted compiler plan file (repeatable); given "
              "alone, skips the kernel sweep and the corpus",
@@ -153,6 +159,19 @@ def main(argv: list[str] | None = None) -> int:
             for report in reports:
                 for diag in report.diagnostics:
                     print(f"{report.subject}: {diag}", file=sys.stderr)
+        if args.numerical:
+            certs = [r.certificate for r in reports if r.certificate is not None]
+            document["certificates"] = {
+                "count": len(certs),
+                "certified": sum(c.ok for c in certs),
+                "max_depth": max((c.max_depth for c in certs), default=0),
+                "max_roundings": max(
+                    (c.max_roundings for c in certs), default=0
+                ),
+                "entries": [c.as_dict() for c in certs],
+            }
+            if any(not c.ok for c in certs):
+                ok = False
 
     if not args.no_corpus:
         document["corpus"] = run_corpus()

@@ -36,6 +36,7 @@ from ..simd.isa import AVX, AVX2, AVX512, Isa
 from ..simd.register import MaskRegister
 from ..simd.trace import TraceRecorder
 from .diagnostics import AnalysisReport
+from .numlint import NumericalCertificate, certify_recorder, compare_certificates
 from .trace_lint import BufferInfo, TraceSubject, lint_megakernel, lint_trace
 
 #: Logical row/column counts shared by the recorded mutants.  The physical
@@ -291,6 +292,82 @@ def megakernel_coverage_hole() -> list:
     return lint_megakernel(mega)
 
 
+# ---------------------------------------------------------------------------
+# silent reordering mutants (NUM01x) — exact-value traces whose *accumulation
+# tree* drifted from the certified reference; only the rounding certificate
+# comparison catches them, every VEC0xx pass stays quiet
+# ---------------------------------------------------------------------------
+
+
+def _certified(build: Callable, fused_fma: bool = False) -> NumericalCertificate:
+    """Record ``build(eng, val, x, y)`` under AVX-512 and certify it."""
+    eng, val, x, y = _recorder(AVX512)
+    build(eng, val, x, y)
+    return certify_recorder(eng, subject="corpus", fused_fma=fused_fma)
+
+
+def _chained_fma(eng, val, x, y) -> None:
+    """The certified reference shape: a four-level sequential FMA chain."""
+    xv = eng.load(x, 0)
+    acc = eng.setzero()
+    for lvl in range(4):
+        acc = eng.fmadd(eng.load(val, lvl * eng.lanes), xv, acc)
+    eng.store(y, 0, acc)
+
+
+def _level_products(eng, val, x) -> list:
+    """One rounded product per level — the leaves both tree shapes share."""
+    xv = eng.load(x, 0)
+    return [eng.mul(eng.load(val, lvl * eng.lanes), xv) for lvl in range(4)]
+
+
+def reduction_pairwise_tree() -> list:
+    """The sequential FMA chain rewritten as a pairwise product tree: the
+    same value in exact arithmetic, but every leaf now sits at depth 2
+    instead of the chain's 1..3 — a different certified tree."""
+
+    def tree(eng, val, x, y):
+        p = _level_products(eng, val, x)
+        eng.store(y, 0, eng.add(eng.add(p[0], p[1]), eng.add(p[2], p[3])))
+
+    return compare_certificates(_certified(_chained_fma), _certified(tree))
+
+
+def reduction_swapped_levels() -> list:
+    """The balanced fold's halves summed in the wrong order.  Depths,
+    leaves, and rounding counts all match — only the *order* of the
+    accumulation differs, the weakest (and sneakiest) reordering."""
+
+    def halves(hi_first: bool) -> Callable:
+        def build(eng, val, x, y):
+            p = _level_products(eng, val, x)
+            lo, hi = eng.add(p[0], p[1]), eng.add(p[2], p[3])
+            eng.store(y, 0, eng.add(hi, lo) if hi_first else eng.add(lo, hi))
+        return build
+
+    return compare_certificates(
+        _certified(halves(False)), _certified(halves(True))
+    )
+
+
+def reduction_dropped_fma() -> list:
+    """FMA fusion dropped: the chain certified under the hardware-FMA
+    contract (``vfmadd231pd``, one rounding) against its mul+add
+    lowering.  The tree shape is identical, but every product picks up
+    an extra rounding the fused certificate never granted."""
+
+    def mul_then_add(eng, val, x, y):
+        xv = eng.load(x, 0)
+        acc = eng.setzero()
+        for lvl in range(4):
+            acc = eng.add(acc, eng.mul(eng.load(val, lvl * eng.lanes), xv))
+        eng.store(y, 0, acc)
+
+    return compare_certificates(
+        _certified(_chained_fma, fused_fma=True), _certified(mul_then_add)
+    )
+
+
 @dataclass(frozen=True)
 class CorpusCase:
     """One seeded-defect kernel and the codes the linter must raise."""
@@ -326,6 +403,13 @@ CASES: tuple[CorpusCase, ...] = (
     CorpusCase(
         "megakernel-coverage-hole", ("VEC052",), megakernel_coverage_hole
     ),
+    CorpusCase(
+        "reduction-pairwise-tree", ("NUM010",), reduction_pairwise_tree
+    ),
+    CorpusCase(
+        "reduction-swapped-levels", ("NUM011",), reduction_swapped_levels
+    ),
+    CorpusCase("reduction-dropped-fma", ("NUM012",), reduction_dropped_fma),
 )
 
 

@@ -11,6 +11,10 @@ codes come from the kernel-trace linter (:mod:`repro.analysis.trace_lint`),
 * ``VEC04x`` — output coverage (tail lanes written exactly once);
 * ``VEC05x`` — megakernel fusion (boundary dataflow and coverage of
   fused programs, :func:`repro.analysis.trace_lint.lint_megakernel`);
+* ``NUM00x`` / ``NUM01x`` — floating-point error certification
+  (:mod:`repro.analysis.numlint`): ``NUM00x`` means a trace could not be
+  certified at all, ``NUM01x`` means two certificates that should agree
+  describe different accumulation trees;
 * ``COMM00x`` — SPMD message-schedule safety.
 
 ``docs/analysis.md`` documents each code with a minimal triggering trace.
@@ -19,6 +23,10 @@ codes come from the kernel-trace linter (:mod:`repro.analysis.trace_lint`),
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # numlint imports Diagnostic; only the annotation cycles
+    from .numlint import NumericalCertificate
 
 #: code -> one-line summary; the registry the CLI and docs enumerate.
 CODES: dict[str, str] = {
@@ -42,6 +50,13 @@ CODES: dict[str, str] = {
     "VEC050": "step outside a fused region reads a register the fusion elided",
     "VEC051": "fused region's source steps are not a lockstep FMA chain",
     "VEC052": "fused program does not cover the source trace's steps exactly",
+    # numerical certification
+    "NUM001": "uncertifiable operation: no rounding-error semantics",
+    "NUM002": "unbounded accumulation: operand with unknown provenance",
+    "NUM003": "mixed-precision hazard: non-float64 value in the dataflow",
+    "NUM010": "accumulation tree depth or leaf set differs from reference",
+    "NUM011": "accumulation order differs from the certified reference",
+    "NUM012": "rounding count differs from reference (FMA fusion changed)",
     # comm schedule
     "COMM001": "message sent but never received (leaked send)",
     "COMM002": "receive posted with no matching send",
@@ -87,10 +102,17 @@ class Diagnostic:
 
 @dataclass
 class AnalysisReport:
-    """All findings for one analyzed subject (a kernel variant, a schedule)."""
+    """All findings for one analyzed subject (a kernel variant, a schedule).
+
+    ``certificate`` carries the :class:`repro.analysis.numlint.NumericalCertificate`
+    derived from the same recording when the subject was certified; its
+    diagnostics are merged into ``diagnostics``, so ``ok`` already
+    accounts for certification failures.
+    """
 
     subject: str
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    certificate: NumericalCertificate | None = None
 
     @property
     def ok(self) -> bool:
@@ -104,8 +126,11 @@ class AnalysisReport:
         self.diagnostics.extend(diags)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "subject": self.subject,
             "ok": self.ok,
             "diagnostics": [d.as_dict() for d in self.diagnostics],
         }
+        if self.certificate is not None:
+            out["certificate"] = self.certificate.as_dict()
+        return out

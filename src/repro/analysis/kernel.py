@@ -30,6 +30,7 @@ from ..simd.isa import UnsupportedInstructionError
 from ..simd.register import LaneMismatchError
 from ..simd.trace import TraceRecorder
 from .diagnostics import AnalysisReport, Diagnostic
+from .numlint import NumericalCertificate, certify_recorder
 from .trace_lint import lint_recorder
 
 
@@ -66,28 +67,20 @@ def _record_error(exc: Exception) -> Diagnostic:
     raise exc
 
 
-def analyze_variant(
-    variant: KernelVariant | str,
-    csr: AijMat | None = None,
-    slice_height: int = 8,
-    sigma: int = 1,
-    strict_alignment: bool = False,
-    label: str | None = None,
-) -> AnalysisReport:
-    """Record one execution of ``variant`` and lint the trace.
+def _record(
+    variant: KernelVariant,
+    csr: AijMat,
+    slice_height: int,
+    sigma: int,
+    strict_alignment: bool,
+) -> tuple[TraceRecorder, int, int]:
+    """Record one kernel execution under the variant's true ISA.
 
-    The output/input bounds handed to the memory and coverage passes are
-    the *logical* matrix dimensions; value buffers keep their physical
-    (possibly padded) lengths, because reading format padding is the
-    design, not a defect.
+    The one recording path shared by the lint and certification entry
+    points, so both always analyze the exact instruction stream the
+    production trace cache would capture.  Returns the finished recorder
+    plus the physical (padded) output and input extents.
     """
-    if isinstance(variant, str):
-        variant = get_variant(variant)
-    if csr is None:
-        csr = gray_scott_jacobian(6)
-    subject = f"{variant.name} on {label or 'matrix'}"
-    report = AnalysisReport(subject=subject)
-
     mat = variant.prepare(csr, slice_height=slice_height, sigma=sigma)
     m, n = mat.shape
     x = default_x(n)
@@ -96,13 +89,80 @@ def analyze_variant(
     recorder.bind_buffers(trace_buffers(variant.fmt, mat))
     recorder.bind("x", x)
     recorder.bind("y", y)
+    variant.kernel(recorder, mat, x, y)
+    return recorder, m, n
+
+
+def analyze_variant(
+    variant: KernelVariant | str,
+    csr: AijMat | None = None,
+    slice_height: int = 8,
+    sigma: int = 1,
+    strict_alignment: bool = False,
+    label: str | None = None,
+    numerical: bool = True,
+) -> AnalysisReport:
+    """Record one execution of ``variant``, lint and certify the trace.
+
+    The output/input bounds handed to the memory and coverage passes are
+    the *logical* matrix dimensions; value buffers keep their physical
+    (possibly padded) lengths, because reading format padding is the
+    design, not a defect.  Unless ``numerical`` is off, the rounding
+    certifier (:mod:`repro.analysis.numlint`) runs over the same
+    recording: its ``NUM0xx`` findings join the report and the
+    :class:`~repro.analysis.numlint.NumericalCertificate` is attached as
+    ``report.certificate``.
+    """
+    if isinstance(variant, str):
+        variant = get_variant(variant)
+    if csr is None:
+        csr = gray_scott_jacobian(6)
+    subject = f"{variant.name} on {label or 'matrix'}"
+    report = AnalysisReport(subject=subject)
+
     try:
-        variant.kernel(recorder, mat, x, y)
+        recorder, m, n = _record(
+            variant, csr, slice_height, sigma, strict_alignment
+        )
     except (UnsupportedInstructionError, LaneMismatchError, AlignmentFault) as exc:
         report.diagnostics.append(_record_error(exc))
         return report
     report.extend(lint_recorder(recorder, bounds={"x": n, "y": m}))
+    if numerical:
+        cert = certify_recorder(recorder, nrows=csr.shape[0], subject=subject)
+        report.certificate = cert
+        report.extend(cert.diagnostics)
     return report
+
+
+def certify_variant(
+    variant: KernelVariant | str,
+    csr: AijMat | None = None,
+    slice_height: int = 8,
+    sigma: int = 1,
+    strict_alignment: bool = False,
+    label: str | None = None,
+) -> NumericalCertificate:
+    """Record one execution of ``variant`` and certify its rounding error.
+
+    The certificate's rows cover the *logical* output extent
+    (``csr.shape[0]``); like the recorded trace itself it is a pure
+    function of the sparsity structure, so callers may cache it under
+    the structure-only signature
+    (:meth:`repro.core.registry.SignatureRegistry.certificate_key`).
+    """
+    if isinstance(variant, str):
+        variant = get_variant(variant)
+    if csr is None:
+        csr = gray_scott_jacobian(6)
+    recorder, _m, _n = _record(
+        variant, csr, slice_height, sigma, strict_alignment
+    )
+    return certify_recorder(
+        recorder,
+        nrows=csr.shape[0],
+        subject=f"{variant.name} on {label or 'matrix'}",
+    )
 
 
 def analyze_all(

@@ -593,9 +593,13 @@ class ExecutionContext:
 
         Records one execution under the context's execution policy
         (``slice_height``/``sigma``/``strict_alignment``) and runs the
-        full :mod:`repro.analysis` lint over the trace.  Memoized per
-        sparsity signature — like traces, the verdict depends on the
-        sparsity structure, never the coefficient values.
+        full :mod:`repro.analysis` lint over the trace — including the
+        numerical certifier, so a kernel whose rounding error cannot be
+        bounded (``NUM0xx``) fails verification and is refused by
+        :meth:`best_variant` under ``verify_variants=True`` exactly like
+        a dataflow defect.  Memoized per sparsity signature — like
+        traces, the verdict depends on the sparsity structure, never the
+        coefficient values.
         """
         from ..analysis.kernel import analyze_variant
 
@@ -609,6 +613,37 @@ class ExecutionContext:
             "verify",
             key,
             lambda: analyze_variant(
+                variant,
+                csr,
+                slice_height=self.slice_height,
+                sigma=self.sigma,
+                strict_alignment=self.strict_alignment,
+            ),
+        )
+
+    def certify_variant(self, variant: KernelVariant | str, csr: AijMat):
+        """The variant's rounding certificate on ``csr``'s structure.
+
+        A :class:`repro.analysis.numlint.NumericalCertificate`: the
+        per-row accumulation terms and the analytic worst-case rounding
+        bound the kernel's recorded instruction stream implies.  Replay
+        and megakernel tiers execute the recorded accumulation order
+        bit-identically (the record/replay equivalence contract), so one
+        certificate covers every compiler tier.  Memoized under the
+        structure-only signature, like the trace it derives from.
+        """
+        from ..analysis.kernel import certify_variant
+
+        if isinstance(variant, str):
+            variant = get_variant(variant)
+        key = SignatureRegistry.certificate_key(
+            variant.name, csr, self.slice_height, self.sigma,
+            self.strict_alignment,
+        )
+        return self.registry.get_or_compute(
+            "numcert",
+            key,
+            lambda: certify_variant(
                 variant,
                 csr,
                 slice_height=self.slice_height,

@@ -56,6 +56,7 @@ NAMESPACES = (
     "tune",
     "best",
     "verify",
+    "numcert",
     "default_x",
 )
 
@@ -222,6 +223,19 @@ class SignatureRegistry:
         """Key of a static-verification verdict (structural, policy-free:
         the verdict is a pure function of kernel + structure + execution
         policy, never of the machine pricing)."""
+        return (
+            variant_name, cls.structure_key(csr), slice_height, sigma,
+            strict_alignment,
+        )
+
+    @classmethod
+    def certificate_key(
+        cls, variant_name: str, csr, slice_height: int, sigma: int,
+        strict_alignment: bool,
+    ) -> tuple:
+        """Key of a numerical rounding certificate — structural, like the
+        trace it is derived from: the accumulation tree depends on the
+        sparsity pattern, never on the coefficient values."""
         return (
             variant_name, cls.structure_key(csr), slice_height, sigma,
             strict_alignment,

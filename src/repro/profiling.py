@@ -13,6 +13,15 @@ New code should import from :mod:`repro.obs` directly.
 
 from __future__ import annotations
 
+import warnings
+
 from .obs.eventlog import MAIN_STAGE, EventLog, EventRecord, LogStage, StageRecord
 
 __all__ = ["MAIN_STAGE", "EventLog", "EventRecord", "LogStage", "StageRecord"]
+
+warnings.warn(
+    "repro.profiling is a compatibility shim; import EventLog (and the "
+    "stage/metrics/timeline layers around it) from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -189,6 +189,57 @@ def op_scalar_uses(op: tuple) -> tuple[int, ...]:
     return tuple(uses)
 
 
+# ---------------------------------------------------------------------------
+# rounding / reduction shape (consumed by repro.analysis.numlint)
+# ---------------------------------------------------------------------------
+
+#: Op kinds that move or select data without introducing any rounding:
+#: loads, stores, register shuffles, lane extraction and zero-blending are
+#: exact in IEEE-754 binary64 (they copy representable values verbatim).
+EXACT_KINDS = frozenset({
+    "setzero", "set1", "vload", "vload_prefix", "gather", "gather_mask",
+    "sload", "vstore", "vstore_mask", "sstore", "blend", "extract",
+})
+
+#: Op kinds performing arithmetic with exactly one rounding per affected
+#: output element.  A fused multiply-add rounds *once* — that is the whole
+#: point of counting it here rather than as a mul followed by an add.
+SINGLE_ROUNDING_KINDS = frozenset({
+    "fmadd", "fmadd_mask", "mul", "add", "sfma", "lane_add",
+})
+
+#: Op kinds that fold many addends into fewer values: the horizontal
+#: reductions and the read-add-write scatter.  Their rounding count
+#: depends on how many lanes participate; :func:`op_fold_order` exposes
+#: the order the engine folds them in.
+REDUCTION_KINDS = frozenset({"reduce", "reduce_sel", "scatter"})
+
+
+def op_fold_order(op: tuple, lanes: int) -> tuple[tuple[int, ...], ...] | None:
+    """The lane groups a reduction folds, in fold order, or ``None``.
+
+    Each inner tuple is one group summed by a single NumPy reduction; the
+    group partial sums are then added left to right.  ``reduce`` folds all
+    lanes as one group, ``reduce_sel`` replays its recorded group order,
+    and ``scatter`` accumulates lanes into cells in lane order (NumPy's
+    ``np.add.at`` is sequential over the index vector).  The shape is
+    structure-derived, so it is identical for every replay of the trace —
+    the property that lets one certificate cover all compiler tiers.
+    """
+    kind = op[0]
+    if kind == "reduce":
+        return (tuple(range(lanes)),)
+    if kind == "reduce_sel":
+        return tuple(tuple(g) for g in op[3])
+    if kind == "scatter":
+        bits = op[4]
+        if bits is None:
+            return tuple((i,) for i in range(len(op[2])))
+        active = np.nonzero(np.asarray(bits, dtype=bool))[0]
+        return tuple((int(i),) for i in active)
+    return None
+
+
 def op_mask(op: tuple) -> np.ndarray | None:
     """The mask-bit array an op carries, if any (``scatter`` may carry None)."""
     kind = op[0]

@@ -1,0 +1,233 @@
+"""Unit tests for the rounding-error certifier (repro.analysis.numlint).
+
+Each NUM0xx code gets a minimal trigger, the Higham bound is checked
+against hand-computed gamma sums on a trace small enough to reason about
+on paper, and the ``fused_fma`` switch is pinned to the two arithmetic
+models it selects (engine-faithful mul-then-add vs hardware FMA).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.numlint import (
+    UNIT_ROUNDOFF,
+    certify_recorder,
+    compare_certificates,
+    gamma,
+)
+from repro.simd.isa import AVX512
+from repro.simd.trace import TraceRecorder
+
+
+def _recorder():
+    """A fresh AVX-512 recorder with the standard val/x/y bindings."""
+    eng = TraceRecorder(AVX512)
+    val = np.arange(1.0, 33.0)
+    x = np.full(8, 0.5)
+    y = np.zeros(8)
+    for name, buf in (("val", val), ("x", x), ("y", y)):
+        eng.bind(name, buf)
+    return eng, val, x, y
+
+
+# ---------------------------------------------------------------------------
+# gamma
+# ---------------------------------------------------------------------------
+
+
+def test_gamma_basics():
+    u = UNIT_ROUNDOFF
+    assert gamma(0) == 0.0
+    assert float(gamma(1)) == pytest.approx(u / (1 - u))
+    ks = np.array([1, 2, 5, 100])
+    g = gamma(ks)
+    assert g.shape == (4,)
+    assert np.all(np.diff(g) > 0)  # strictly increasing in k
+    # Custom unit roundoff (the longdouble reference path).
+    assert float(gamma(3, unit=2.0**-64)) == pytest.approx(
+        3 * 2.0**-64 / (1 - 3 * 2.0**-64)
+    )
+
+
+def test_gamma_overflow_on_astronomical_depth():
+    with pytest.raises(OverflowError):
+        gamma(2**53)  # k*u == 1: the bound is no longer finite
+
+
+# ---------------------------------------------------------------------------
+# clean certificates and the hand-checked bound
+# ---------------------------------------------------------------------------
+
+
+def test_sequential_mul_add_bound_matches_hand_computation():
+    """y[j] = sum_l val[8l+j] * x[j], accumulated sequentially.
+
+    The first add folds into an exact zero (charges nothing), so the four
+    terms pass through k_total = 2, 3, 4, 4 roundings (one mul each plus
+    their share of the chain's three adds).
+    """
+    eng, val, x, y = _recorder()
+    xv = eng.load(x, 0)
+    acc = eng.setzero()
+    for level in range(4):
+        acc = eng.add(acc, eng.mul(eng.load(val, 8 * level), xv))
+    eng.store(y, 0, acc)
+
+    cert = certify_recorder(eng)
+    assert cert.ok and not cert.codes
+    assert cert.nrows == 8
+    assert cert.max_depth == 3  # 4 terms -> 3 additions
+    assert cert.max_roundings == 4  # deepest term: 1 mul + 3 adds
+    assert cert.max_terms == 4
+
+    bound = cert.bound({"val": val, "x": x, "y": y})
+    for j in range(8):
+        mags = [abs(val[8 * level + j] * x[j]) for level in range(4)]
+        expect = sum(
+            float(gamma(k)) * m for k, m in zip((2, 3, 4, 4), mags)
+        )
+        assert bound[j] == pytest.approx(expect, rel=1e-12)
+
+
+def test_power_of_two_scaling_is_exact():
+    """Multiplying by a power-of-two literal charges no rounding."""
+    eng, val, x, y = _recorder()
+    eng.store(y, 0, eng.mul(eng.load(x, 0), eng.set1(0.5)))
+    cert = certify_recorder(eng)
+    assert cert.ok
+    assert cert.max_roundings == 0
+    assert np.all(cert.bound({"val": val, "x": x, "y": y}) == 0.0)
+
+    # ... while a non-pow2 literal charges exactly one.
+    eng2, val2, x2, y2 = _recorder()
+    eng2.store(y2, 0, eng2.mul(eng2.load(x2, 0), eng2.set1(3.0)))
+    cert2 = certify_recorder(eng2)
+    assert cert2.ok and cert2.max_roundings == 1
+    bound2 = cert2.bound({"val": val2, "x": x2, "y": y2})
+    assert np.allclose(bound2, float(gamma(1)) * 3.0 * np.abs(x2))
+
+
+# ---------------------------------------------------------------------------
+# the fused_fma switch
+# ---------------------------------------------------------------------------
+
+
+def _fma_chain():
+    eng, val, x, y = _recorder()
+    xv = eng.load(x, 0)
+    acc = eng.setzero()
+    for level in range(4):
+        acc = eng.fmadd(eng.load(val, 8 * level), xv, acc)
+    eng.store(y, 0, acc)
+    return eng
+
+
+def _profiles(cert, row=0):
+    terms = cert.rows[row]
+    return sorted(t.k_add for t in terms), sorted(t.k_total for t in terms)
+
+
+def test_default_model_charges_fmadd_two_roundings():
+    """By default fmadd certifies as the engine computes it: mul + add.
+
+    Each term rounds once in its multiply plus once per addition it
+    passes through, so the totals are the depths shifted up by one.
+    """
+    cert = certify_recorder(_fma_chain())
+    assert cert.ok
+    assert cert.max_depth == 3
+    assert _profiles(cert) == ([1, 2, 3, 3], [2, 3, 4, 4])
+
+
+def test_fused_contract_charges_fmadd_one_rounding():
+    """Under the hardware contract each fmadd rounds once, so every term's
+    total equals its chain position (the first still rounds its bare
+    product: fl(a*b + 0) is one rounding)."""
+    cert = certify_recorder(_fma_chain(), fused_fma=True)
+    assert cert.ok
+    assert cert.max_depth == 3
+    assert _profiles(cert) == ([1, 2, 3, 3], [1, 2, 3, 4])
+
+
+def test_fused_vs_default_differ_only_in_rounding_counts():
+    fused = certify_recorder(_fma_chain(), fused_fma=True)
+    default = certify_recorder(_fma_chain())
+    codes = [d.code for d in compare_certificates(fused, default)]
+    assert codes == ["NUM012"]  # same leaves and depths, more roundings
+
+
+# ---------------------------------------------------------------------------
+# NUM00x triggers
+# ---------------------------------------------------------------------------
+
+
+def test_num001_product_of_two_sums_poisons_the_row():
+    eng, val, x, y = _recorder()
+    a = eng.add(eng.load(val, 0), eng.load(val, 8))
+    b = eng.add(eng.load(val, 16), eng.load(val, 24))
+    eng.store(y, 0, eng.mul(a, b))
+    cert = certify_recorder(eng)
+    assert not cert.ok and cert.codes == {"NUM001"}
+    assert np.all(np.isinf(cert.bound({"val": val, "x": x, "y": y})))
+
+
+def test_num002_missing_output_buffer():
+    eng = TraceRecorder(AVX512)
+    val = np.arange(1.0, 9.0)
+    eng.bind("val", val)
+    eng.store(val, 0, eng.load(val, 0))  # no buffer named "y" anywhere
+    cert = certify_recorder(eng, output="y")
+    assert not cert.ok and "NUM002" in cert.codes
+    assert cert.nrows == 0
+
+
+def test_num003_non_float64_buffer_in_the_dataflow():
+    eng = TraceRecorder(AVX512)
+    x32 = np.full(8, 0.5, dtype=np.float32)
+    y = np.zeros(8)
+    eng.bind("x", x32)
+    eng.bind("y", y)
+    eng.store(y, 0, eng.load(x32, 0))
+    cert = certify_recorder(eng)
+    assert "NUM003" in cert.codes
+
+
+# ---------------------------------------------------------------------------
+# compare_certificates precedence
+# ---------------------------------------------------------------------------
+
+
+def _products(eng, val, x):
+    xv = eng.load(x, 0)
+    return [eng.mul(eng.load(val, 8 * lvl), xv) for lvl in range(4)]
+
+
+def _record(combine):
+    eng, val, x, y = _recorder()
+    eng.store(y, 0, combine(eng, _products(eng, val, x)))
+    return certify_recorder(eng)
+
+
+def test_num010_wins_over_num011_when_depths_change():
+    seq = _record(lambda e, p: e.add(e.add(e.add(p[0], p[1]), p[2]), p[3]))
+    tree = _record(lambda e, p: e.add(e.add(p[0], p[1]), e.add(p[2], p[3])))
+    assert [d.code for d in compare_certificates(seq, tree)] == ["NUM010"]
+
+
+def test_num011_fires_only_for_pure_reordering():
+    lo_hi = _record(lambda e, p: e.add(e.add(p[0], p[1]), e.add(p[2], p[3])))
+    hi_lo = _record(lambda e, p: e.add(e.add(p[2], p[3]), e.add(p[0], p[1])))
+    assert [d.code for d in compare_certificates(lo_hi, hi_lo)] == ["NUM011"]
+
+
+def test_identical_traces_compare_clean():
+    seq = _record(lambda e, p: e.add(e.add(e.add(p[0], p[1]), p[2]), p[3]))
+    again = _record(lambda e, p: e.add(e.add(e.add(p[0], p[1]), p[2]), p[3]))
+    assert compare_certificates(seq, again) == []
+
+
+def test_extent_mismatch_reports_num010():
+    full = _record(lambda e, p: e.add(p[0], p[1]))
+    short = certify_recorder(_fma_chain(), nrows=4)
+    diags = compare_certificates(full, short)
+    assert any(d.code == "NUM010" and "extent" in d.detail for d in diags)

@@ -38,7 +38,7 @@ class TestDiagnostics:
 
     def test_every_code_documented(self):
         for code, summary in CODES.items():
-            assert code.startswith(("VEC0", "COMM0"))
+            assert code.startswith(("VEC0", "NUM0", "COMM0"))
             assert summary
 
 
