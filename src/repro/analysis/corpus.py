@@ -32,7 +32,7 @@ from typing import Callable
 import numpy as np
 
 from ..memory.spaces import aligned_alloc
-from ..simd.isa import AVX, AVX2, AVX512, Isa
+from ..simd.isa import AVX, AVX2, AVX512, SVE, Isa
 from ..simd.register import MaskRegister
 from ..simd.trace import TraceRecorder
 from .diagnostics import AnalysisReport
@@ -92,6 +92,24 @@ def tail_mask_off_by_one() -> list:
         acc = eng.fmadd(eng.load(val, c * lanes), eng.set1(1.0), acc)
     tail = _M % lanes if _M % lanes else lanes
     eng.masked_store(y, 0, acc, eng.make_mask(tail + 1))  # off by one
+    return _lint(eng)
+
+
+def sve_mispredicated_tail() -> list:
+    """SVE port of the tail bug: the ``whilelt`` bound counts one row past
+    the logical extent (the classic ``i <= n`` loop condition), so the
+    loop predicate keeps an extra lane live and the predicated store runs
+    off the end of ``y`` into its padding.  The engine executes it
+    happily — the padded buffer absorbs the write — so only the static
+    bounds pass catches it, exactly like the AVX-512 mask flavor."""
+    eng, val, x, y = _recorder(SVE)
+    lanes = eng.lanes
+    _dense_rows(eng, val, x, y, range(lanes, _M))  # rows the vector part misses
+    acc = eng.setzero()
+    for c in range(_M):
+        acc = eng.fmadd(eng.load(val, c * lanes), eng.set1(1.0), acc)
+    pred = eng.whilelt(0, _M + 1)  # bound should be the logical _M
+    eng.predicated_store(y, 0, acc, pred)
     return _lint(eng)
 
 
@@ -383,6 +401,9 @@ class CorpusCase:
 
 CASES: tuple[CorpusCase, ...] = (
     CorpusCase("tail-mask-off-by-one", ("VEC031",), tail_mask_off_by_one),
+    CorpusCase(
+        "sve-mispredicated-tail", ("VEC031",), sve_mispredicated_tail
+    ),
     CorpusCase("swapped-gather-index", ("VEC030",), swapped_gather_index),
     CorpusCase("masked-tail-on-avx", ("VEC010",), masked_tail_on_avx),
     CorpusCase("hardware-gather-on-avx", ("VEC011",), hardware_gather_on_avx),

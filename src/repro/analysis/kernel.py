@@ -53,7 +53,7 @@ def _record_error(exc: Exception) -> Diagnostic:
     """Map a record-time engine rejection to its diagnostic code."""
     msg = str(exc)
     if isinstance(exc, UnsupportedInstructionError):
-        if "masks" in msg:
+        if "masks" in msg or "predicates" in msg:
             return Diagnostic("VEC010", "record", msg)
         if "gather" in msg:
             return Diagnostic("VEC011", "record", msg)
@@ -73,6 +73,7 @@ def _record(
     slice_height: int,
     sigma: int,
     strict_alignment: bool,
+    block_shape: tuple[int, int] | None = None,
 ) -> tuple[TraceRecorder, int, int]:
     """Record one kernel execution under the variant's true ISA.
 
@@ -81,7 +82,9 @@ def _record(
     production trace cache would capture.  Returns the finished recorder
     plus the physical (padded) output and input extents.
     """
-    mat = variant.prepare(csr, slice_height=slice_height, sigma=sigma)
+    mat = variant.prepare(
+        csr, slice_height=slice_height, sigma=sigma, block_shape=block_shape
+    )
     m, n = mat.shape
     x = default_x(n)
     y = aligned_alloc(m, np.float64, 64)
@@ -101,6 +104,7 @@ def analyze_variant(
     strict_alignment: bool = False,
     label: str | None = None,
     numerical: bool = True,
+    block_shape: tuple[int, int] | None = None,
 ) -> AnalysisReport:
     """Record one execution of ``variant``, lint and certify the trace.
 
@@ -122,7 +126,7 @@ def analyze_variant(
 
     try:
         recorder, m, n = _record(
-            variant, csr, slice_height, sigma, strict_alignment
+            variant, csr, slice_height, sigma, strict_alignment, block_shape
         )
     except (UnsupportedInstructionError, LaneMismatchError, AlignmentFault) as exc:
         report.diagnostics.append(_record_error(exc))
@@ -142,6 +146,7 @@ def certify_variant(
     sigma: int = 1,
     strict_alignment: bool = False,
     label: str | None = None,
+    block_shape: tuple[int, int] | None = None,
 ) -> NumericalCertificate:
     """Record one execution of ``variant`` and certify its rounding error.
 
@@ -156,7 +161,7 @@ def certify_variant(
     if csr is None:
         csr = gray_scott_jacobian(6)
     recorder, _m, _n = _record(
-        variant, csr, slice_height, sigma, strict_alignment
+        variant, csr, slice_height, sigma, strict_alignment, block_shape
     )
     return certify_recorder(
         recorder,

@@ -165,13 +165,18 @@ def isa_pass(subject: TraceSubject) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
     for i, op in enumerate(subject.ops):
         kind = op[0]
-        if not isa.has_masks and kind in _MASK_REQUIRED:
-            # Unmasked scatter (bits None) still needs AVX-512 (the
-            # instruction arrived with it), so every scatter counts.
+        # SVE predicate registers satisfy every lane-masked op except
+        # scatter: the engine has no predicated scatter-accumulate, so a
+        # scatter still needs AVX-512 mask registers (unmasked scatter,
+        # bits None, arrived with AVX-512 too, so every scatter counts).
+        lanemask_ok = isa.has_masks or (
+            isa.has_predicates and kind != "scatter"
+        )
+        if not lanemask_ok and kind in _MASK_REQUIRED:
             diags.append(Diagnostic(
                 "VEC010", f"op {i}",
-                f"{kind} is mask-predicated but ISA {isa.name} has no "
-                f"mask registers",
+                f"{kind} is mask-predicated but ISA {isa.name} has "
+                f"neither mask nor predicate registers",
             ))
         if kind == "gather" and i not in subject.emulated_ops and not isa.has_gather:
             diags.append(Diagnostic(

@@ -11,10 +11,11 @@ once and becomes the object callers hand around:
 * ``ctx.measure(variant, csr)`` — run a kernel under the context's policy,
   memoized per (variant, configuration, matrix);
 * ``ctx.predict(meas)`` — price a measurement on the context's machine;
-* ``ctx.best_variant(csr)`` / ``ctx.tune(csr)`` — inspector-executor style
-  format selection and SELL parameter tuning, memoized per sparsity
-  signature (:func:`repro.mat.sparsity.signature`), so repeated solves on
-  the same stencil never re-sweep;
+* ``ctx.best_plan(csr)`` / ``ctx.best_variant(csr)`` / ``ctx.tune(csr)``
+  — inspector-executor style format selection and parameter tuning over
+  the full (format, sigma, block shape, ISA) knob space, memoized per
+  sparsity signature (:func:`repro.mat.sparsity.signature`), so repeated
+  solves on the same stencil never re-sweep;
 * ``ctx.reformat(csr)`` — convert an assembled operator to the context's
   chosen format, the seam the solver stack (``ksp``) uses to retune
   operators per multigrid level.
@@ -45,7 +46,7 @@ from ..machine.perf_model import (
 )
 from ..machine.specs import KNL_7230, ProcessorSpec
 from ..mat.aij import AijMat
-from ..mat.base import Mat
+from ..mat.base import BLOCK_SHAPE_FORMATS, Mat
 from ..obs.observer import active_observer, obs_counter, obs_event
 from ..simd.engine import AlignmentFault, SimdEngine
 from ..simd.isa import Isa, get_isa
@@ -62,8 +63,11 @@ from .traffic import traffic_for
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..mat.mpi_aij import MPIAij
 
-#: Preference order when picking the widest ISA a machine supports.
-_ISA_PREFERENCE = ("AVX512", "AVX2", "AVX", "SSE2", "novec")
+#: Preference order when picking the widest ISA a machine supports.  SVE
+#: sits beside AVX-512 (no modeled machine offers both, so the relative
+#: order between them is never exercised); a spec naming "SVE" builds for
+#: the predicate-register backend the way an x86 spec builds for masks.
+_ISA_PREFERENCE = ("AVX512", "SVE", "AVX2", "AVX", "SSE2", "novec")
 
 
 def _widest_isa(spec: ProcessorSpec) -> Isa:
@@ -72,6 +76,25 @@ def _widest_isa(spec: ProcessorSpec) -> Isa:
         if name in spec.isa_names:
             return get_isa(name)
     raise ValueError(f"{spec.name} supports none of the modeled ISAs")
+
+
+@dataclass(frozen=True)
+class FormatPlan:
+    """An autotuned execution plan: the winning variant plus its knobs.
+
+    What :meth:`ExecutionContext.best_plan` returns and
+    :meth:`ExecutionContext.reformat` consumes.  Once the search space
+    spans sorting scopes and block shapes, the variant alone is not a
+    complete decision, so the plan carries every knob the winning
+    measurement was taken at.  ``block_shape`` is ``None`` for formats
+    outside :data:`repro.mat.base.BLOCK_SHAPE_FORMATS`.
+    """
+
+    variant: KernelVariant
+    slice_height: int
+    sigma: int
+    block_shape: tuple[int, int] | None
+    gflops: float
 
 
 @dataclass
@@ -96,6 +119,11 @@ class ExecutionContext:
     slice_height / sigma:
         Default SELL ``C`` and sorting window for format conversions and
         measurements made through this context.
+    block_shape:
+        Default β(r,c) block dimensions for conversions to block-masked
+        formats (:data:`repro.mat.base.BLOCK_SHAPE_FORMATS`).  Ignored —
+        and normalized to ``None`` in every cache key — for all other
+        formats, so SELL/CSR-family keys are unaffected by the knob.
     default_variant:
         When set (a variant or legend name), :meth:`reformat` uses it
         unconditionally; when ``None`` the autotuned
@@ -158,6 +186,7 @@ class ExecutionContext:
     strict_alignment: bool = False
     slice_height: int = 8
     sigma: int = 1
+    block_shape: tuple[int, int] = (2, 4)
     default_variant: KernelVariant | str | None = None
     use_traces: bool = True
     use_megakernels: bool = True
@@ -257,6 +286,21 @@ class ExecutionContext:
             strict_alignment=self.strict_alignment,
         )
 
+    def _block_shape_for(
+        self,
+        variant: KernelVariant,
+        block_shape: tuple[int, int] | None = None,
+    ) -> tuple[int, int] | None:
+        """The effective β block shape for a variant (``None`` off-format).
+
+        Normalizing to ``None`` for formats without the knob keeps every
+        SELL/CSR-family cache key identical to what it was before the
+        knob existed.
+        """
+        if variant.fmt not in BLOCK_SHAPE_FORMATS:
+            return None
+        return self.block_shape if block_shape is None else block_shape
+
     def measure(
         self,
         variant: KernelVariant | str,
@@ -264,28 +308,31 @@ class ExecutionContext:
         x: np.ndarray | None = None,
         slice_height: int | None = None,
         sigma: int | None = None,
+        block_shape: tuple[int, int] | None = None,
     ) -> SpmvMeasurement:
         """Run one variant's kernel on one matrix under this context.
 
-        ``slice_height``/``sigma`` default to the context's.  Calls with
-        the default input vector are memoized — keyed by the variant, the
-        configuration, and a value-inclusive matrix signature — so figure
-        harnesses and repeated tuner sweeps share one engine execution.
+        ``slice_height``/``sigma``/``block_shape`` default to the
+        context's.  Calls with the default input vector are memoized —
+        keyed by the variant, the configuration, and a value-inclusive
+        matrix signature — so figure harnesses and repeated tuner sweeps
+        share one engine execution.
         """
         if isinstance(variant, str):
             variant = get_variant(variant)
         c = self.slice_height if slice_height is None else slice_height
         s = self.sigma if sigma is None else sigma
+        bs = self._block_shape_for(variant, block_shape)
         if x is not None:
-            return self._measure_once(variant, csr, x, c, s)
+            return self._measure_once(variant, csr, x, c, s, bs)
         key = SignatureRegistry.measure_key(
-            variant.name, c, s, self.strict_alignment, csr
+            variant.name, c, s, self.strict_alignment, csr, block_shape=bs
         )
         ran = []
 
         def factory() -> SpmvMeasurement:
             ran.append(True)
-            return self._measure_once(variant, csr, None, c, s)
+            return self._measure_once(variant, csr, None, c, s, bs)
 
         hit = self.registry.get_or_compute("measure", key, factory)
         if not ran:
@@ -299,13 +346,14 @@ class ExecutionContext:
         x: np.ndarray | None,
         slice_height: int,
         sigma: int,
+        block_shape: tuple[int, int] | None = None,
     ) -> SpmvMeasurement:
-        mat = self._prepared(variant, csr, slice_height, sigma)
+        mat = self._prepared(variant, csr, slice_height, sigma, block_shape)
         if x is None:
             x = self._default_x(csr.shape[1])
         with obs_event(f"Measure:{variant.name}"):
             y, counters = self._execute(
-                variant, csr, mat, x, slice_height, sigma
+                variant, csr, mat, x, slice_height, sigma, block_shape
             )
         obs = active_observer()
         if obs is not None:
@@ -325,6 +373,7 @@ class ExecutionContext:
         csr: AijMat,
         slice_height: int,
         sigma: int,
+        block_shape: tuple[int, int] | None = None,
     ) -> Mat:
         """Format conversion, memoized per (format, knobs, matrix values).
 
@@ -334,7 +383,7 @@ class ExecutionContext:
         """
         return variant.prepare(
             csr, slice_height=slice_height, sigma=sigma,
-            registry=self.registry,
+            registry=self.registry, block_shape=block_shape,
         )
 
     def _default_x(self, n: int) -> np.ndarray:
@@ -353,6 +402,7 @@ class ExecutionContext:
         x: np.ndarray,
         slice_height: int,
         sigma: int,
+        block_shape: tuple[int, int] | None = None,
     ) -> tuple[np.ndarray, "KernelCounters"]:
         """Run one kernel down the graceful-degradation ladder.
 
@@ -369,7 +419,7 @@ class ExecutionContext:
         try:
             if self.use_traces:
                 y, counters = self._traced_run(
-                    variant, csr, mat, x, slice_height, sigma
+                    variant, csr, mat, x, slice_height, sigma, block_shape
                 )
             else:
                 y, counters = self._interpreted_run(variant, mat, x)
@@ -380,7 +430,9 @@ class ExecutionContext:
                 checker.verify(x, y, site="engine.output")
             return y, counters
         except SdcDetected:
-            self._invalidate_trace(variant, csr, slice_height, sigma)
+            self._invalidate_trace(
+                variant, csr, slice_height, sigma, block_shape
+            )
         emit_fault_event(
             "degraded", "dispatch", "interpreted", detail=variant.name
         )
@@ -423,9 +475,11 @@ class ExecutionContext:
         csr: AijMat,
         slice_height: int,
         sigma: int,
+        block_shape: tuple[int, int] | None = None,
     ) -> tuple:
         return SignatureRegistry.trace_key(
-            variant.name, slice_height, sigma, self.strict_alignment, csr
+            variant.name, slice_height, sigma, self.strict_alignment, csr,
+            block_shape=block_shape,
         )
 
     def _invalidate_trace(
@@ -434,6 +488,7 @@ class ExecutionContext:
         csr: AijMat,
         slice_height: int,
         sigma: int,
+        block_shape: tuple[int, int] | None = None,
     ) -> None:
         """Drop a cached trace (and its fused plan) that failed verification.
 
@@ -442,7 +497,7 @@ class ExecutionContext:
         file for persisted namespaces) — a corrupted plan must never
         resurrect in a later process.
         """
-        key = self._trace_key(variant, csr, slice_height, sigma)
+        key = self._trace_key(variant, csr, slice_height, sigma, block_shape)
         removed = self.registry.invalidate("trace", key)
         removed = self.registry.invalidate("mega", key) or removed
         if removed:
@@ -459,6 +514,7 @@ class ExecutionContext:
         x: np.ndarray,
         slice_height: int,
         sigma: int,
+        block_shape: tuple[int, int] | None = None,
     ) -> tuple[np.ndarray, "KernelCounters"]:
         """Record-once/replay-many execution of one variant on one structure.
 
@@ -476,7 +532,7 @@ class ExecutionContext:
         """
         from .traced import acquire_trace
 
-        key = self._trace_key(variant, csr, slice_height, sigma)
+        key = self._trace_key(variant, csr, slice_height, sigma, block_shape)
         try:
             trace, recorded = acquire_trace(
                 variant, self.registry, key, mat, x,
@@ -605,9 +661,10 @@ class ExecutionContext:
 
         if isinstance(variant, str):
             variant = get_variant(variant)
+        bs = self._block_shape_for(variant)
         key = SignatureRegistry.verify_key(
             variant.name, csr, self.slice_height, self.sigma,
-            self.strict_alignment,
+            self.strict_alignment, block_shape=bs,
         )
         return self.registry.get_or_compute(
             "verify",
@@ -618,6 +675,7 @@ class ExecutionContext:
                 slice_height=self.slice_height,
                 sigma=self.sigma,
                 strict_alignment=self.strict_alignment,
+                block_shape=bs,
             ),
         )
 
@@ -636,9 +694,10 @@ class ExecutionContext:
 
         if isinstance(variant, str):
             variant = get_variant(variant)
+        bs = self._block_shape_for(variant)
         key = SignatureRegistry.certificate_key(
             variant.name, csr, self.slice_height, self.sigma,
-            self.strict_alignment,
+            self.strict_alignment, block_shape=bs,
         )
         return self.registry.get_or_compute(
             "numcert",
@@ -649,6 +708,7 @@ class ExecutionContext:
                 slice_height=self.slice_height,
                 sigma=self.sigma,
                 strict_alignment=self.strict_alignment,
+                block_shape=bs,
             ),
         )
 
@@ -684,6 +744,88 @@ class ExecutionContext:
 
         return self.registry.get_or_compute("tune", key, sweep)
 
+    def best_plan(
+        self,
+        csr: AijMat,
+        candidates: tuple[KernelVariant, ...] | None = None,
+        scale: float = 1.0,
+        sigmas: tuple[int, ...] | None = None,
+        block_shapes: tuple[tuple[int, int], ...] | None = None,
+    ) -> FormatPlan:
+        """The fastest (variant, sigma, block shape) plan for this matrix.
+
+        The enlarged autotune sweep: every supported registered variant
+        (or ``candidates``) crossed with the sorting scopes in ``sigmas``
+        and — for block-masked formats only — the block shapes in
+        ``block_shapes``.  Both knob sets default to the context's single
+        configured value, which makes the default sweep exactly the
+        historical per-variant sweep of :meth:`best_variant`.  The
+        winning :class:`FormatPlan` is cached per sparsity signature
+        *and* per knob space (the ``knobs`` leg of
+        :meth:`~repro.core.registry.SignatureRegistry.best_key`), so a
+        wider search never reuses a narrower search's verdict.  Variants
+        whose conversion rejects the matrix (e.g. BAIJ on odd
+        dimensions) are skipped, as is — when :attr:`verify_variants` is
+        set — any variant the static analyzer finds defects in.
+        """
+        pool = self.supported_variants() if candidates is None else candidates
+        sigma_set = (self.sigma,) if sigmas is None else tuple(sigmas)
+        shape_set = (
+            (self.block_shape,)
+            if block_shapes is None
+            else tuple(block_shapes)
+        )
+        key = SignatureRegistry.best_key(
+            csr, tuple(v.name for v in pool), scale, self.verify_variants,
+            self._policy_key(),
+            knobs=(self.slice_height, sigma_set, shape_set),
+        )
+        ran = []
+
+        def sweep() -> FormatPlan:
+            ran.append(True)
+            self.autotune_sweeps += 1
+            obs_counter("context.autotune_sweeps")
+            best: FormatPlan | None = None
+            for variant in pool:
+                shapes: tuple[tuple[int, int] | None, ...] = (
+                    shape_set
+                    if variant.fmt in BLOCK_SHAPE_FORMATS
+                    else (None,)
+                )
+                for sigma in sigma_set:
+                    for shape in shapes:
+                        try:
+                            meas = self.measure(
+                                variant, csr, sigma=sigma, block_shape=shape
+                            )
+                        except (ValueError, NotImplementedError):
+                            continue  # format constraint (block size, masks)
+                        if (
+                            self.verify_variants
+                            and not self.verify_variant(variant, csr).ok
+                        ):
+                            continue  # statically defective; refuse
+                        perf = self.predict(meas, scale=scale)
+                        if best is None or perf.gflops > best.gflops:
+                            best = FormatPlan(
+                                variant=variant,
+                                slice_height=self.slice_height,
+                                sigma=sigma,
+                                block_shape=self._block_shape_for(
+                                    variant, shape
+                                ),
+                                gflops=perf.gflops,
+                            )
+            if best is None:
+                raise ValueError("no registered variant accepts this matrix")
+            return best
+
+        plan = self.registry.get_or_compute("best", key, sweep)
+        if not ran:
+            obs_counter("context.autotune_cache_hits")
+        return plan
+
     def best_variant(
         self,
         csr: AijMat,
@@ -692,48 +834,12 @@ class ExecutionContext:
     ) -> KernelVariant:
         """The fastest registered variant for this matrix on this machine.
 
-        Sweeps every supported registered variant (or ``candidates``),
-        pricing each measured kernel with the context's model, and caches
-        the winner per sparsity signature — the memoization that keeps
-        repeated solver iterations from ever re-running the sweep.
-        Variants whose conversion rejects the matrix (e.g. BAIJ on odd
-        dimensions) are skipped, as is — when :attr:`verify_variants` is
-        set — any variant the static analyzer finds defects in.
+        A thin wrapper over :meth:`best_plan` at the context's own knobs
+        — the historical entry point, returning just the winning variant.
+        The memoization keeps repeated solver iterations from ever
+        re-running the sweep.
         """
-        pool = self.supported_variants() if candidates is None else candidates
-        key = SignatureRegistry.best_key(
-            csr, tuple(v.name for v in pool), scale, self.verify_variants,
-            self._policy_key(),
-        )
-        ran = []
-
-        def sweep() -> KernelVariant:
-            ran.append(True)
-            self.autotune_sweeps += 1
-            obs_counter("context.autotune_sweeps")
-            best: KernelVariant | None = None
-            best_gflops = -1.0
-            for variant in pool:
-                try:
-                    meas = self.measure(variant, csr)
-                except (ValueError, NotImplementedError):
-                    continue  # format constraint (block size, mask support)
-                if (
-                    self.verify_variants
-                    and not self.verify_variant(variant, csr).ok
-                ):
-                    continue  # statically defective; refuse however fast
-                perf = self.predict(meas, scale=scale)
-                if perf.gflops > best_gflops:
-                    best, best_gflops = variant, perf.gflops
-            if best is None:
-                raise ValueError("no registered variant accepts this matrix")
-            return best
-
-        winner = self.registry.get_or_compute("best", key, sweep)
-        if not ran:
-            obs_counter("context.autotune_cache_hits")
-        return winner
+        return self.best_plan(csr, candidates=candidates, scale=scale).variant
 
     # -- format conversion (the executor step) -------------------------
     def resolve_variant(self, csr: AijMat) -> KernelVariant:
@@ -745,15 +851,24 @@ class ExecutionContext:
     def reformat(self, csr: AijMat) -> Mat:
         """Convert an assembled CSR operator to this context's format.
 
-        The chosen variant's registered format converter runs with the
-        context's ``C``/``sigma``; with no :attr:`default_variant` the
-        choice is the memoized :meth:`best_variant`.  The conversion
-        itself is memoized in the registry's ``prepare`` namespace, so
-        repeated solver setups on an unchanged operator share one
-        converted matrix.
+        With a :attr:`default_variant` set, its converter runs with the
+        context's ``C``/``sigma``/``block_shape``; with none, both the
+        variant *and* the knobs come from the memoized
+        :meth:`best_plan`.  The conversion itself is memoized in the
+        registry's ``prepare`` namespace, so repeated solver setups on
+        an unchanged operator share one converted matrix.
         """
-        variant = self.resolve_variant(csr)
-        return self._prepared(variant, csr, self.slice_height, self.sigma)
+        if self.default_variant is not None:
+            variant = self.default_variant
+            return self._prepared(
+                variant, csr, self.slice_height, self.sigma,
+                self._block_shape_for(variant),  # type: ignore[arg-type]
+            )
+        plan = self.best_plan(csr)
+        return self._prepared(
+            plan.variant, csr, plan.slice_height, plan.sigma,
+            plan.block_shape,
+        )
 
     # -- serving (multi-vector products over the shared registry) -------
     def spmm(self, csr: AijMat, xs: np.ndarray) -> np.ndarray:
@@ -773,7 +888,8 @@ class ExecutionContext:
             xs = xs[:, None]
         variant = self.resolve_variant(csr)
         prepared = self._prepared(
-            variant, csr, self.slice_height, self.sigma
+            variant, csr, self.slice_height, self.sigma,
+            self._block_shape_for(variant),
         )
         with obs_event(f"SpMM:{variant.name}"):
             return prepared.multiply_multi(xs)
@@ -878,6 +994,7 @@ class ExecutionContext:
             strict_alignment=self.strict_alignment,
             slice_height=self.slice_height,
             sigma=self.sigma,
+            block_shape=self.block_shape,
             default_variant=self.default_variant,
             use_traces=self.use_traces,
             use_megakernels=self.use_megakernels,

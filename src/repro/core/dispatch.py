@@ -24,11 +24,11 @@ from typing import Callable
 import numpy as np
 
 from ..mat.aij import AijMat
-from ..mat.base import Mat, converter_for
+from ..mat.base import BLOCK_SHAPE_FORMATS, Mat, converter_for
 from ..obs.observer import obs_event
 from ..simd.counters import KernelCounters
 from ..simd.engine import SimdEngine
-from ..simd.isa import AVX, AVX2, AVX512, SCALAR, Isa
+from ..simd.isa import AVX, AVX2, AVX512, SCALAR, SVE, Isa
 from .kernels_csr import (
     spmv_csr_compiler,
     spmv_csr_perm,
@@ -36,13 +36,16 @@ from .kernels_csr import (
     spmv_csr_vectorized,
 )
 from .kernels_baij import spmv_baij
+from .kernels_beta import spmv_beta
 from .kernels_ellpack import spmv_ellpack, spmv_ellpack_r, spmv_hybrid
 from .kernels_mkl import MKL_EFFICIENCY, spmv_csr_mkl
 from .kernels_sell import spmv_sell, spmv_sell_esb
+from .kernels_sve import spmv_sell_sve
 from .traffic import TrafficEstimate, traffic_for
 
 # Imported for their format-converter registrations (ESB registers "ESB",
-# the SELL registration rides in through the kernels' own imports).
+# BETA rides in through kernels_beta; the SELL registration rides in
+# through the kernels' own imports).
 from . import esb as _esb  # noqa: F401
 
 
@@ -58,29 +61,34 @@ class KernelVariant:
 
     def prepare(
         self, csr: AijMat, slice_height: int = 8, sigma: int = 1,
-        registry=None,
+        registry=None, block_shape: tuple[int, int] | None = None,
     ) -> Mat:
         """Convert the assembled CSR operator to this variant's format.
 
         Dispatches through the format-converter registry
         (:func:`repro.mat.base.register_format`); formats without the
-        SELL tuning knobs ignore them.  Passing a
+        SELL tuning knobs ignore them, and ``block_shape`` is forwarded
+        only to formats registered with the knob
+        (:data:`repro.mat.base.BLOCK_SHAPE_FORMATS`) — ``None`` selects
+        the format's own default.  Passing a
         :class:`~repro.core.registry.SignatureRegistry` memoizes the
         conversion per (format, knobs, matrix values) with single-flight
         semantics — concurrent preparations of one operator convert once
         and share the result.
         """
+        kwargs: dict = {"slice_height": slice_height, "sigma": sigma}
+        if block_shape is not None and self.fmt in BLOCK_SHAPE_FORMATS:
+            kwargs["block_shape"] = block_shape
         if registry is None:
-            return converter_for(self.fmt)(
-                csr, slice_height=slice_height, sigma=sigma
-            )
-        key = registry.prepare_key(self.fmt, slice_height, sigma, csr)
+            return converter_for(self.fmt)(csr, **kwargs)
+        key = registry.prepare_key(
+            self.fmt, slice_height, sigma, csr,
+            block_shape=kwargs.get("block_shape"),
+        )
         return registry.get_or_compute(
             "prepare",
             key,
-            lambda: converter_for(self.fmt)(
-                csr, slice_height=slice_height, sigma=sigma
-            ),
+            lambda: converter_for(self.fmt)(csr, **kwargs),
         )
 
     def run(
@@ -231,6 +239,18 @@ ELLPACK_R_AVX512 = register_variant(
 )
 HYBRID_AVX512 = register_variant(
     KernelVariant("HYB using AVX512", "HYB", AVX512, spmv_hybrid)
+)
+#: The format/ISA frontier (ROADMAP item 3): the vector-length-agnostic
+#: SVE port of the SELL kernel and the β(r,c) no-padding block kernels
+#: of Bramas & Kus, on both lane-masked ISAs.
+SELL_SVE = register_variant(
+    KernelVariant("SELL using SVE", "SELL", SVE, spmv_sell_sve)
+)
+BETA_AVX512 = register_variant(
+    KernelVariant("BETA using AVX512", "BETA", AVX512, spmv_beta)
+)
+BETA_SVE = register_variant(
+    KernelVariant("BETA using SVE", "BETA", SVE, spmv_beta)
 )
 
 #: Figure 8's nine series, in the paper's legend order.

@@ -1,0 +1,103 @@
+"""β(r,c) SpMV: mask-driven block kernel for AVX-512 and SVE.
+
+One kernel body serves both ISAs (SPC5's portability claim, carried to
+arXiv 2307.14774's SVE port): the only ISA-specific choice is how the
+per-chunk lane mask is produced — an AVX-512 ``kmov`` from a lane count
+(``make_mask``) or an SVE ``whilelt`` loop predicate — and which flavor
+of governed memory/arithmetic op is issued.  Everything else is shared:
+
+* per band (r logical rows) one vector accumulator per row;
+* per block, one scalar load of the 64-bit presence mask (the only
+  per-block structure traffic besides the anchor);
+* per row of the block, the packed values are loaded with a prefix mask
+  (they are contiguous — no padding exists to skip) and the gather
+  columns are expanded from (anchor, mask bits), the register-resident
+  integer unpack SPC5 performs with table lookups;
+* after the band's blocks, each row reduces its accumulator and stores —
+  every logical row, so rows with no entries still define their output.
+
+The kernel performs exactly ``2*nnz`` useful flops: ``padded_flops``
+stays zero by construction, which is the format's whole argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simd.engine import SimdEngine
+from ..simd.register import MaskRegister, VectorRegister
+from .beta import BetaMat
+
+
+def _chunk_mask(engine: SimdEngine, done: int, total: int) -> MaskRegister:
+    """The governing lane mask for packed elements [done, done+lanes)."""
+    if engine.isa.has_predicates:
+        return engine.whilelt(done, total)
+    return engine.make_mask(min(engine.lanes, total - done))
+
+
+def spmv_beta(
+    engine: SimdEngine, beta: BetaMat, x: np.ndarray, y: np.ndarray
+) -> None:
+    """Mask-driven SpMV over β(r,c) storage (lane-masked ISAs only)."""
+    isa = engine.isa
+    predicated = isa.has_predicates
+    if not predicated:
+        isa.require("masks")
+    lanes = engine.lanes
+    r, c = beta.block_shape
+    val, block_mask = beta.val, beta.block_mask
+    valptr, block_col = beta.valptr, beta.block_col
+    counters = engine.counters
+    m = beta.shape[0]
+    row_mask = (1 << c) - 1
+    for band in range(beta.nbands):
+        first = band * r
+        nrows = min(r, m - first)
+        acc = [engine.setzero() for _ in range(nrows)]
+        for b in range(int(beta.blockptr[band]), int(beta.blockptr[band + 1])):
+            # The mask word is the block's structure descriptor; loading
+            # it is counted (8 bytes) but, being integer control flow,
+            # baked into the trace rather than replayed.
+            mask = int(engine.scalar_load(block_mask, b))
+            anchor = int(block_col[b])
+            offset = int(valptr[b])
+            for i in range(nrows):
+                row_bits = (mask >> (i * c)) & row_mask
+                k = row_bits.bit_count()
+                if k == 0:
+                    continue
+                # Gather columns, unpacked from the mask word the way
+                # SPC5 expands its permutation tables: register-resident
+                # integer work the instruction model does not price.
+                cols = np.flatnonzero(
+                    [(row_bits >> j) & 1 for j in range(c)]
+                ).astype(np.int64) + anchor
+                for j0 in range(0, k, lanes):
+                    lane_mask = _chunk_mask(engine, j0, k)
+                    idx_data = np.zeros(lanes, dtype=np.int64)
+                    idx_data[: min(lanes, k - j0)] = cols[j0 : j0 + lanes]
+                    vec_idx = VectorRegister(idx_data)
+                    if predicated:
+                        vec_vals = engine.predicated_load(
+                            val, offset + j0, lane_mask
+                        )
+                        vec_x = engine.predicated_gather(x, vec_idx, lane_mask)
+                        acc[i] = engine.predicated_fmadd(
+                            vec_vals, vec_x, acc[i], lane_mask
+                        )
+                    else:
+                        vec_vals = engine.masked_load(
+                            val, offset + j0, lane_mask
+                        )
+                        vec_x = engine.masked_gather(x, vec_idx, lane_mask)
+                        acc[i] = engine.masked_fmadd(
+                            vec_vals, vec_x, acc[i], lane_mask
+                        )
+                    counters.body_iterations += 1
+                offset += k
+        for i in range(nrows):
+            engine.scalar_store(y, first + i, engine.reduce_add(acc[i]))
+
+
+__all__ = ["spmv_beta"]

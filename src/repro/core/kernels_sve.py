@@ -1,0 +1,97 @@
+"""Vector-length-agnostic SELL SpMV for ARM SVE (Algorithm 2, predicated).
+
+The AVX-512 kernel of :mod:`repro.core.kernels_sell` bakes the register
+width into its control flow: slices must divide evenly into ``C / lanes``
+accumulator strips, tails are handled by a separately materialized mask.
+SVE inverts that contract — the *same* kernel must run at any hardware
+vector length (128–2048 bits), so the loop structure may depend only on
+logical extents and every memory or arithmetic op is governed by a
+``whilelt`` predicate computed from (position, bound).  That is exactly
+how this kernel is written:
+
+* the strip loop advances by ``engine.lanes`` but its predicate is
+  ``whilelt(strip, C)``, so a slice height that is *not* a multiple of
+  the vector length simply yields a final partial strip — no remainder
+  loop, no ISA-specific mask construction;
+* nothing about the *trace structure* encodes the lane count beyond the
+  width of the recorded registers themselves, which is what lets the
+  bit-identity panel replay the same variant at ``vector_bits`` in
+  {128, 256, 512} (see ``tests/core/test_format_frontier.py``).
+
+Cross-VL the *output* is even bit-identical: each logical row owns one
+accumulator lane and its products are added in storage order regardless
+of how many rows share a register.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simd.engine import SimdEngine
+from ..simd.register import VectorRegister
+from .sell import SellMat
+
+
+def _store_rows_sve(
+    engine: SimdEngine,
+    sell: SellMat,
+    y: np.ndarray,
+    first_storage_row: int,
+    acc: VectorRegister,
+) -> None:
+    """Store one predicated strip into y, honouring permutation and edges.
+
+    The store predicate covers the lanes that are simultaneously inside
+    the slice (a partial strip when C % lanes != 0) and inside the
+    logical matrix (the trailing partial slice).  Sorted matrices scatter
+    through the permutation with scalar stores, exactly like the AVX-512
+    kernel — the locality cost of sorting is ISA-independent.
+    """
+    m = sell.shape[0]
+    c = sell.slice_height
+    strip = first_storage_row % c
+    active = min(engine.lanes, c - strip, m - first_storage_row)
+    if active <= 0:
+        return
+    if sell.perm is not None:
+        for lane in range(active):
+            row = int(sell.perm[first_storage_row + lane])
+            engine.scalar_store(y, row, engine.extract_lane(acc, lane))
+        return
+    engine.predicated_store(y, first_storage_row, acc, engine.whilelt(0, active))
+
+
+def spmv_sell_sve(
+    engine: SimdEngine, sell: SellMat, x: np.ndarray, y: np.ndarray
+) -> None:
+    """Predicated, VL-agnostic SpMV over the sliced-ELLPACK layout."""
+    engine.isa.require("predicates")
+    lanes = engine.lanes
+    c = sell.slice_height
+    val, colidx = sell.val, sell.colidx
+    counters = engine.counters
+    for s in range(sell.nslices):
+        base = int(sell.sliceptr[s])
+        end = int(sell.sliceptr[s + 1])
+        width = (end - base) // c
+        if end < val.shape[0]:
+            engine.prefetch(val, end)
+        for strip in range(0, c, lanes):
+            pred = engine.whilelt(strip, c)
+            acc = engine.setzero()
+            idx = base + strip
+            for _ in range(width):
+                vec_vals = engine.predicated_load(val, idx, pred)
+                vec_idx = engine.predicated_load_index(colidx, idx, pred)
+                vec_x = engine.predicated_gather(x, vec_idx, pred)
+                acc = engine.predicated_fmadd(vec_vals, vec_x, acc, pred)
+                idx += c
+                counters.body_iterations += 1
+            _store_rows_sve(engine, sell, y, s * c + strip, acc)
+    # Predicates trim strips to the slice height, not to the row lengths:
+    # padded slots inside covered rows are still multiplied, exactly as
+    # on AVX-512, and are reported so Gflop/s counts useful work only.
+    counters.padded_flops += 2 * sell.padded_entries
+
+
+__all__ = ["spmv_sell_sve"]

@@ -167,31 +167,38 @@ class SignatureRegistry:
     @classmethod
     def measure_key(
         cls, variant_name: str, slice_height: int, sigma: int,
-        strict_alignment: bool, csr,
+        strict_alignment: bool, csr, block_shape: tuple[int, int] | None = None,
     ) -> tuple:
         """Key of a memoized default-input measurement (value-dependent)."""
         return (
             variant_name, slice_height, sigma, strict_alignment,
-            cls.content_key(csr),
+            cls.content_key(csr), block_shape,
         )
 
     @classmethod
     def prepare_key(
-        cls, fmt: str, slice_height: int, sigma: int, csr
+        cls, fmt: str, slice_height: int, sigma: int, csr,
+        block_shape: tuple[int, int] | None = None,
     ) -> tuple:
-        """Key of a prepared (converted) operator (value-dependent)."""
-        return (fmt, slice_height, sigma, cls.content_key(csr))
+        """Key of a prepared (converted) operator (value-dependent).
+
+        ``block_shape`` is the β(r,c) block-dimension knob; it is ``None``
+        for every format outside
+        :data:`repro.mat.base.BLOCK_SHAPE_FORMATS`, so SELL-family keys
+        are unaffected by the knob's existence.
+        """
+        return (fmt, slice_height, sigma, cls.content_key(csr), block_shape)
 
     @classmethod
     def trace_key(
         cls, variant_name: str, slice_height: int, sigma: int,
-        strict_alignment: bool, csr,
+        strict_alignment: bool, csr, block_shape: tuple[int, int] | None = None,
     ) -> tuple:
         """Key of a recorded trace — *structural*: traces are
         value-independent, so a reassembled operator keeps its trace."""
         return (
             variant_name, slice_height, sigma, strict_alignment,
-            cls.structure_key(csr),
+            cls.structure_key(csr), block_shape,
         )
 
     @classmethod
@@ -207,38 +214,44 @@ class SignatureRegistry:
     @classmethod
     def best_key(
         cls, csr, pool_names: tuple[str, ...], scale: float,
-        verify_variants: bool, policy: tuple,
+        verify_variants: bool, policy: tuple, knobs: tuple = (),
     ) -> tuple:
-        """Key of an autotuned winning variant (structural + policy)."""
+        """Key of an autotuned winning plan (structural + policy).
+
+        ``knobs`` pins the searched knob space — the (slice_height,
+        sigma, block_shape) candidate sets of
+        :meth:`~repro.core.context.ExecutionContext.best_plan` — so a
+        wider sweep never reuses a narrower sweep's winner.
+        """
         return (
             cls.structure_key(csr), pool_names, scale, verify_variants,
-            policy,
+            policy, knobs,
         )
 
     @classmethod
     def verify_key(
         cls, variant_name: str, csr, slice_height: int, sigma: int,
-        strict_alignment: bool,
+        strict_alignment: bool, block_shape: tuple[int, int] | None = None,
     ) -> tuple:
         """Key of a static-verification verdict (structural, policy-free:
         the verdict is a pure function of kernel + structure + execution
         policy, never of the machine pricing)."""
         return (
             variant_name, cls.structure_key(csr), slice_height, sigma,
-            strict_alignment,
+            strict_alignment, block_shape,
         )
 
     @classmethod
     def certificate_key(
         cls, variant_name: str, csr, slice_height: int, sigma: int,
-        strict_alignment: bool,
+        strict_alignment: bool, block_shape: tuple[int, int] | None = None,
     ) -> tuple:
         """Key of a numerical rounding certificate — structural, like the
         trace it is derived from: the accumulation tree depends on the
         sparsity pattern, never on the coefficient values."""
         return (
             variant_name, cls.structure_key(csr), slice_height, sigma,
-            strict_alignment,
+            strict_alignment, block_shape,
         )
 
     @staticmethod

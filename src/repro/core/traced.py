@@ -58,7 +58,7 @@ def trace_buffers(fmt: str, mat: Mat) -> dict[str, np.ndarray]:
     return fn(mat)
 
 
-@register_trace_buffers("SELL", "ESB", "CSR", "MKL")
+@register_trace_buffers("SELL", "ESB", "CSR", "MKL", "BETA")
 def _val_buffer(mat: Mat) -> dict[str, np.ndarray]:
     return {"val": mat.val}
 

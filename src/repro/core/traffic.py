@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..mat.base import Mat
+from .beta import BetaMat
 from .sell import SellMat
 
 FLOAT_BYTES = 8
@@ -99,6 +100,34 @@ def sell_traffic(
     )
 
 
+def beta_traffic(
+    m: int,
+    n: int,
+    nnz: int,
+    nblocks: int,
+    nbands: int,
+    index_bytes: int = INDEX_BYTES,
+) -> TrafficEstimate:
+    """β(r,c) model: ``8 nnz + 12 nblocks + 8 (nbands+1) + 8 m + 8 n``.
+
+    The format stores exactly ``nnz`` values — no padding exists to
+    stream, the Bramas & Kus argument in traffic terms — plus one
+    12-byte descriptor per block (the 64-bit presence mask and the
+    32-bit anchor column).  Row pointers are replaced by the per-band
+    block pointer, one 8-byte entry per ``r`` rows.  Whether this beats
+    SELL's ``12 nnz`` depends entirely on how many nonzeros each block
+    captures: below ~3 nonzeros per block the descriptors cost more
+    than the column indices they replace.
+    """
+    _validate(m, n, nnz)
+    return TrafficEstimate(
+        matrix_bytes=FLOAT_BYTES * nnz + (8 + index_bytes) * nblocks,
+        row_meta_bytes=8 * (nbands + 1),
+        vector_bytes=8 * m + 8 * n,
+        flops=2 * nnz,
+    )
+
+
 def _validate(m: int, n: int, nnz: int) -> None:
     if m < 0 or n < 0 or nnz < 0:
         raise ValueError("matrix dimensions and nnz must be non-negative")
@@ -113,6 +142,10 @@ def traffic_for(mat: Mat, include_padding: bool = False) -> TrafficEstimate:
     """
     m, n = mat.shape
     nnz = mat.nnz
+    if isinstance(mat, BetaMat):
+        # No padding exists in the format, so ``include_padding`` is a
+        # no-op by construction.
+        return beta_traffic(m, n, nnz, mat.nblocks, mat.nbands)
     if isinstance(mat, SellMat):
         est = sell_traffic(m, n, nnz, mat.slice_height)
         if include_padding:

@@ -139,11 +139,29 @@ SKYLAKE = ProcessorSpec(
     isa_names=("novec", "AVX", "AVX2", "AVX512"),
 )
 
+#: Fujitsu A64FX — the first non-x86 entry, hosting the SVE backend
+#: (arXiv 2307.14774 ports the SPC5 kernels to it).  Not a Table 1 row:
+#: it exists so the format/ISA shootouts can price SVE kernels.  Its
+#: HBM2 *is* main memory, so it is modeled as a flat DDR-mode machine
+#: with the 1024 GB/s package bandwidth (no separate MCDRAM tier) and a
+#: STREAM-triad-calibrated ~82% sustained fraction.
+A64FX = ProcessorSpec(
+    name="A64FX",
+    model="Fujitsu A64FX",
+    cores=48,
+    base_frequency_ghz=1.8,
+    turbo_frequency_ghz=2.0,
+    l3_cache_mb=32.0,
+    ddr_bandwidth_gbs=1024.0,
+    sustained_ddr_fraction=0.82,
+    isa_names=("novec", "SVE"),
+)
+
 #: Table 1 rows in the paper's order.
 TABLE1: tuple[ProcessorSpec, ...] = (KNL_7230, BROADWELL, HASWELL, SKYLAKE)
 
 PROCESSORS: dict[str, ProcessorSpec] = {
-    spec.name: spec for spec in (*TABLE1, KNL_7250)
+    spec.name: spec for spec in (*TABLE1, KNL_7250, A64FX)
 }
 
 

@@ -31,6 +31,11 @@ FormatConverter = Callable[..., "Mat"]
 
 _FORMAT_CONVERTERS: dict[str, FormatConverter] = {}
 
+#: Format names whose converters accept the ``block_shape`` tuning knob
+#: (the β(r,c) block family).  :meth:`KernelVariant.prepare` consults this
+#: set so formats without the knob never see the keyword.
+BLOCK_SHAPE_FORMATS: set[str] = set()
+
 
 class MatrixShapeError(ValueError):
     """A vector did not conform to the matrix dimensions."""
@@ -40,7 +45,9 @@ class UnknownFormatError(KeyError):
     """No converter is registered under the requested format name."""
 
 
-def register_format(*names: str) -> Callable[[FormatConverter], FormatConverter]:
+def register_format(
+    *names: str, block_shape: bool = False
+) -> Callable[[FormatConverter], FormatConverter]:
     """Register a CSR-to-format converter under one or more format names.
 
     This is PETSc's ``MatConvert`` dispatch table in miniature: the
@@ -54,7 +61,10 @@ def register_format(*names: str) -> Callable[[FormatConverter], FormatConverter]
 
     Converters take the assembled CSR operator plus the keyword tuning
     knobs ``slice_height`` and ``sigma`` (ignored by formats without them)
-    and return the converted :class:`Mat`.
+    and return the converted :class:`Mat`.  Converters registered with
+    ``block_shape=True`` additionally accept a ``block_shape=(r, c)``
+    keyword (the β(r,c) block-dimension knob); the names are published in
+    :data:`BLOCK_SHAPE_FORMATS` so prepare paths know when to pass it.
     """
     if not names:
         raise ValueError("register_format needs at least one format name")
@@ -65,6 +75,8 @@ def register_format(*names: str) -> Callable[[FormatConverter], FormatConverter]
             if existing is not None and existing is not converter:
                 raise ValueError(f"format {name!r} is already registered")
             _FORMAT_CONVERTERS[name] = converter
+            if block_shape:
+                BLOCK_SHAPE_FORMATS.add(name)
         return converter
 
     return deco

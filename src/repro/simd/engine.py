@@ -206,11 +206,35 @@ class SimdEngine:
         return self.emulated_gather(x, idx)
 
     # ------------------------------------------------------------------
-    # masks (AVX-512 only)
+    # masks (AVX-512) and predicates (SVE)
+    #
+    # Both ISAs govern per-lane memory and arithmetic with a lane-mask
+    # register; the execution semantics are identical, so the public
+    # ``masked_*`` (AVX-512) and ``predicated_*`` (SVE) entry points
+    # share one ``_lanemasked_*`` implementation and differ only in the
+    # ISA feature they require.  Trace recording hooks the shared
+    # implementation, which is how predicated kernels replay through the
+    # existing masked trace ops unchanged.
     # ------------------------------------------------------------------
     def make_mask(self, active: int) -> MaskRegister:
         """Materialize a mask with the first ``active`` lanes set."""
         self.isa.require("masks")
+        return self._prefix_mask(active)
+
+    def whilelt(self, index: int, bound: int) -> MaskRegister:
+        """``whilelt`` — SVE loop-predicate generation.
+
+        Returns a predicate whose lane *i* is set iff ``index + i <
+        bound``; the canonical SVE loop ``for (i = 0; i < n; i += VL)``
+        computes its governing predicate this way each iteration, so the
+        final partial vector needs no separate remainder loop.  Priced as
+        one mask-setup op, the same slot AVX-512's ``kmov`` occupies in
+        the cost tables.
+        """
+        self.isa.require("predicates")
+        return self._prefix_mask(max(0, min(self.lanes, bound - index)))
+
+    def _prefix_mask(self, active: int) -> MaskRegister:
         if not 0 <= active <= self.lanes:
             raise ValueError(f"mask population {active} out of range")
         self.counters.mask_setup += 1
@@ -223,6 +247,18 @@ class SimdEngine:
     ) -> VectorRegister:
         """Masked contiguous load; inactive lanes read as zero."""
         self.isa.require("masks")
+        return self._lanemasked_load(buf, offset, mask)
+
+    def predicated_load(
+        self, buf: np.ndarray, offset: int, mask: MaskRegister
+    ) -> VectorRegister:
+        """Predicated contiguous load (``ld1d``); inactive lanes zero."""
+        self.isa.require("predicates")
+        return self._lanemasked_load(buf, offset, mask)
+
+    def _lanemasked_load(
+        self, buf: np.ndarray, offset: int, mask: MaskRegister
+    ) -> VectorRegister:
         active = mask.popcount
         data = np.zeros(self.lanes, dtype=np.float64)
         data[: active] = buf[offset : offset + active]
@@ -236,6 +272,18 @@ class SimdEngine:
     ) -> VectorRegister:
         """Masked load of 32-bit indices; inactive lanes read as zero."""
         self.isa.require("masks")
+        return self._lanemasked_load_index(buf, offset, mask)
+
+    def predicated_load_index(
+        self, buf: np.ndarray, offset: int, mask: MaskRegister
+    ) -> VectorRegister:
+        """Predicated load of 32-bit indices (``ld1w`` + unpack)."""
+        self.isa.require("predicates")
+        return self._lanemasked_load_index(buf, offset, mask)
+
+    def _lanemasked_load_index(
+        self, buf: np.ndarray, offset: int, mask: MaskRegister
+    ) -> VectorRegister:
         active = mask.popcount
         data = np.zeros(self.lanes, dtype=np.int64)
         data[: active] = buf[offset : offset + active]
@@ -249,6 +297,18 @@ class SimdEngine:
     ) -> VectorRegister:
         """Masked ``vgatherdpd``; inactive lanes produce zero."""
         self.isa.require("masks")
+        return self._lanemasked_gather(x, idx, mask)
+
+    def predicated_gather(
+        self, x: np.ndarray, idx: VectorRegister, mask: MaskRegister
+    ) -> VectorRegister:
+        """Predicated gather (``ld1d`` with a vector base); zeros inactive."""
+        self.isa.require("predicates")
+        return self._lanemasked_gather(x, idx, mask)
+
+    def _lanemasked_gather(
+        self, x: np.ndarray, idx: VectorRegister, mask: MaskRegister
+    ) -> VectorRegister:
         lanes = check_lanes(idx)
         if lanes != self.lanes:
             raise ValueError("gather index width does not match engine lanes")
@@ -267,6 +327,18 @@ class SimdEngine:
     ) -> None:
         """Masked store; only active lanes reach memory."""
         self.isa.require("masks")
+        self._lanemasked_store(buf, offset, reg, mask)
+
+    def predicated_store(
+        self, buf: np.ndarray, offset: int, reg: VectorRegister, mask: MaskRegister
+    ) -> None:
+        """Predicated store (``st1d``); only active lanes reach memory."""
+        self.isa.require("predicates")
+        self._lanemasked_store(buf, offset, reg, mask)
+
+    def _lanemasked_store(
+        self, buf: np.ndarray, offset: int, reg: VectorRegister, mask: MaskRegister
+    ) -> None:
         bits = mask.bits
         active = mask.popcount
         lane_index = np.nonzero(bits)[0]
@@ -297,6 +369,26 @@ class SimdEngine:
     ) -> VectorRegister:
         """Masked FMA: inactive lanes pass ``c`` through unchanged."""
         self.isa.require("masks")
+        return self._lanemasked_fmadd(a, b, c, mask)
+
+    def predicated_fmadd(
+        self,
+        a: VectorRegister,
+        b: VectorRegister,
+        c: VectorRegister,
+        mask: MaskRegister,
+    ) -> VectorRegister:
+        """Predicated FMA (``fmla`` under a governing predicate)."""
+        self.isa.require("predicates")
+        return self._lanemasked_fmadd(a, b, c, mask)
+
+    def _lanemasked_fmadd(
+        self,
+        a: VectorRegister,
+        b: VectorRegister,
+        c: VectorRegister,
+        mask: MaskRegister,
+    ) -> VectorRegister:
         lanes = check_lanes(a, b, c)
         out = c.data.copy()
         bits = mask.bits

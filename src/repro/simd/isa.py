@@ -21,10 +21,17 @@ Algorithms 1 and 2, is captured here:
 * **masks** — AVX-512 has dedicated mask registers; masked loads/stores and
   masked gathers let remainder loops vectorize at the price of mask set-up
   overhead (paper Section 3.3).
+* **predicates** — ARM SVE governs every memory and arithmetic op with a
+  predicate register and generates loop predicates with ``whilelt``
+  instead of materializing a bitmask from a count.  Crucially, SVE is
+  *vector-length agnostic*: the same kernel binary runs at any hardware
+  vector length from 128 to 2048 bits, which the model expresses by
+  letting :func:`sve_isa` parameterize ``vector_bits`` while everything
+  else about the ISA stays fixed.
 
-An :class:`Isa` is immutable; the module exposes the five singletons the
+An :class:`Isa` is immutable; the module exposes the six singletons the
 benchmarks use: :data:`SCALAR`, :data:`SSE2`, :data:`AVX`, :data:`AVX2`,
-:data:`AVX512`.
+:data:`AVX512`, :data:`SVE`.
 """
 
 from __future__ import annotations
@@ -54,6 +61,14 @@ class Isa:
     has_masks:
         Whether dedicated mask registers and masked memory ops exist
         (AVX-512 only).
+    has_predicates:
+        Whether per-lane predicate registers with ``whilelt``-style loop
+        predicate generation exist (ARM SVE).  Predicates subsume the
+        masked-op semantics — the engine's ``predicated_*`` ops share
+        their execution model with the AVX-512 ``masked_*`` ops — but
+        they are a distinct hardware feature: SVE has no AVX-512 mask
+        registers (``has_masks`` stays false) and no hardware
+        scatter-accumulate in this model.
     """
 
     name: str
@@ -61,6 +76,7 @@ class Isa:
     has_gather: bool
     has_fma: bool
     has_masks: bool
+    has_predicates: bool = False
 
     def lanes(self, itemsize: int = 8) -> int:
         """Number of elements of ``itemsize`` bytes held in one register."""
@@ -79,12 +95,14 @@ class Isa:
     def require(self, feature: str) -> None:
         """Raise :class:`UnsupportedInstructionError` unless ``feature`` exists.
 
-        ``feature`` is one of ``"gather"``, ``"fma"``, ``"masks"``.
+        ``feature`` is one of ``"gather"``, ``"fma"``, ``"masks"``,
+        ``"predicates"``.
         """
         ok = {
             "gather": self.has_gather,
             "fma": self.has_fma,
             "masks": self.has_masks,
+            "predicates": self.has_predicates,
         }[feature]
         if not ok:
             raise UnsupportedInstructionError(
@@ -116,8 +134,37 @@ AVX2 = Isa(name="AVX2", vector_bits=256, has_gather=True, has_fma=True,
 AVX512 = Isa(name="AVX512", vector_bits=512, has_gather=True, has_fma=True,
              has_masks=True)
 
+#: ARM SVE: vector-length-agnostic predication.  The singleton models a
+#: 512-bit implementation (Fujitsu A64FX); :func:`sve_isa` builds the
+#: other legal vector lengths for the VL-agnosticism tests.
+SVE = Isa(name="SVE", vector_bits=512, has_gather=True, has_fma=True,
+          has_masks=False, has_predicates=True)
+
+
+def sve_isa(vector_bits: int) -> Isa:
+    """An SVE ISA at a specific hardware vector length.
+
+    SVE mandates a vector length that is a multiple of 128 bits up to
+    2048; a VL-agnostic kernel must produce correct results at every one
+    of them without the trace structure baking in the lane count.  The
+    returned ISA keeps the name ``"SVE"`` — vector length is a property
+    of the hardware, not of the instruction set.
+    """
+    if vector_bits % 128 or not 128 <= vector_bits <= 2048:
+        raise ValueError(
+            f"SVE vector length must be a multiple of 128 in [128, 2048], "
+            f"got {vector_bits}"
+        )
+    if vector_bits == SVE.vector_bits:
+        return SVE
+    return Isa(name="SVE", vector_bits=vector_bits, has_gather=True,
+               has_fma=True, has_masks=False, has_predicates=True)
+
+
 #: All ISAs a kernel can be built for, keyed by name.
-ISAS: dict[str, Isa] = {isa.name: isa for isa in (SCALAR, SSE2, AVX, AVX2, AVX512)}
+ISAS: dict[str, Isa] = {
+    isa.name: isa for isa in (SCALAR, SSE2, AVX, AVX2, AVX512, SVE)
+}
 
 
 def get_isa(name: str) -> Isa:

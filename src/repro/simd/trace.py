@@ -272,33 +272,60 @@ class TraceRecorder(SimdEngine):
         super().store(buf, offset, reg)
         self.ops.append(("vstore", self._buf(buf, writing=True), int(offset), self._rop(reg)))
 
-    def masked_load(
+    # Masked (AVX-512) and predicated (SVE) memory ops share their
+    # ``_lanemasked_*`` implementation in the engine; recording hooks
+    # that shared level, so a predicated kernel emits exactly the trace
+    # ops a masked kernel would — replay, fusion, and the analyzers need
+    # no SVE-specific cases.  The recorded mask/predicate bit patterns
+    # are structure-derived, baked by value like gather indices.
+    #
+    # An all-true mask/predicate is canonicalized to the *unmasked* op
+    # kind: the semantics are identical (every lane live), and the
+    # canonical form is what downstream structure miners understand —
+    # the megakernel fuser only chains unmasked ``fmadd`` steps and only
+    # absorbs unmasked ``vload``/``gather`` operands, so a
+    # ``whilelt``-predicated SVE kernel whose full strips kept their
+    # all-true predicates would never fuse.  Partial masks are recorded
+    # faithfully; the interpreted execution (via ``super()``) is
+    # untouched either way.
+
+    def _all_lanes(self, mask: MaskRegister) -> bool:
+        return mask.popcount == self.lanes
+
+    def _lanemasked_load(
         self, buf: np.ndarray, offset: int, mask: MaskRegister
     ) -> VectorRegister:
-        reg = self._new_reg(super().masked_load(buf, offset, mask))
-        self.ops.append(
-            ("vload_prefix", reg.rid, self._buf(buf), int(offset), mask.popcount)
-        )
+        reg = self._new_reg(super()._lanemasked_load(buf, offset, mask))
+        if self._all_lanes(mask):
+            self.ops.append(("vload", reg.rid, self._buf(buf), int(offset)))
+        else:
+            self.ops.append(
+                ("vload_prefix", reg.rid, self._buf(buf), int(offset), mask.popcount)
+            )
         return reg
 
-    def masked_load_index(
-        self, buf: np.ndarray, offset: int, mask: MaskRegister
-    ) -> VectorRegister:
-        return super().masked_load_index(buf, offset, mask)
+    # _lanemasked_load_index needs no override: index contents are
+    # structure-derived, so like load_index the op is counted but not
+    # recorded (the consuming gather bakes the indices by value).
 
-    def masked_store(
+    def _lanemasked_store(
         self, buf: np.ndarray, offset: int, reg: VectorRegister, mask: MaskRegister
     ) -> None:
-        super().masked_store(buf, offset, reg, mask)
-        self.ops.append(
-            (
-                "vstore_mask",
-                self._buf(buf, writing=True),
-                int(offset),
-                self._rop(reg),
-                _bits_of(mask),
+        super()._lanemasked_store(buf, offset, reg, mask)
+        if self._all_lanes(mask):
+            self.ops.append(
+                ("vstore", self._buf(buf, writing=True), int(offset), self._rop(reg))
             )
-        )
+        else:
+            self.ops.append(
+                (
+                    "vstore_mask",
+                    self._buf(buf, writing=True),
+                    int(offset),
+                    self._rop(reg),
+                    _bits_of(mask),
+                )
+            )
 
     # ------------------------------------------------------------------
     # gathers and scatters
@@ -314,13 +341,16 @@ class TraceRecorder(SimdEngine):
         self.emulated_ops.add(len(self.ops) - 1)
         return reg
 
-    def masked_gather(
+    def _lanemasked_gather(
         self, x: np.ndarray, idx: VectorRegister, mask: MaskRegister
     ) -> VectorRegister:
-        reg = self._new_reg(super().masked_gather(x, idx, mask))
-        self.ops.append(
-            ("gather_mask", reg.rid, self._buf(x), self._idx_of(idx), _bits_of(mask))
-        )
+        reg = self._new_reg(super()._lanemasked_gather(x, idx, mask))
+        if self._all_lanes(mask):
+            self.ops.append(("gather", reg.rid, self._buf(x), self._idx_of(idx)))
+        else:
+            self.ops.append(
+                ("gather_mask", reg.rid, self._buf(x), self._idx_of(idx), _bits_of(mask))
+            )
         return reg
 
     def scatter_add(
@@ -345,7 +375,7 @@ class TraceRecorder(SimdEngine):
                 self._buf(buf, writing=True),
                 self._idx_of(idx),
                 self._rop(reg),
-                _bits_of(mask),
+                None if self._all_lanes(mask) else _bits_of(mask),
             )
         )
 
@@ -361,24 +391,29 @@ class TraceRecorder(SimdEngine):
         )
         return reg
 
-    def masked_fmadd(
+    def _lanemasked_fmadd(
         self,
         a: VectorRegister,
         b: VectorRegister,
         c: VectorRegister,
         mask: MaskRegister,
     ) -> VectorRegister:
-        reg = self._new_reg(super().masked_fmadd(a, b, c, mask))
-        self.ops.append(
-            (
-                "fmadd_mask",
-                reg.rid,
-                self._rop(a),
-                self._rop(b),
-                self._rop(c),
-                _bits_of(mask),
+        reg = self._new_reg(super()._lanemasked_fmadd(a, b, c, mask))
+        if self._all_lanes(mask):
+            self.ops.append(
+                ("fmadd", reg.rid, self._rop(a), self._rop(b), self._rop(c))
             )
-        )
+        else:
+            self.ops.append(
+                (
+                    "fmadd_mask",
+                    reg.rid,
+                    self._rop(a),
+                    self._rop(b),
+                    self._rop(c),
+                    _bits_of(mask),
+                )
+            )
         return reg
 
     def mul(self, a: VectorRegister, b: VectorRegister) -> VectorRegister:

@@ -82,7 +82,7 @@ def test_empirical_error_within_certified_bound(structure, variant, seed):
 
 def test_certificates_cover_all_variants_and_structures():
     """Every (variant, structure) pair the formats admit certifies clean —
-    the all-16-variants acceptance sweep, structure-cached."""
+    the all-19-variants acceptance sweep, structure-cached."""
     certified = 0
     for label, csr, _c, _s in PANEL:
         for var in VARIANTS:
@@ -93,5 +93,5 @@ def test_certificates_cover_all_variants_and_structures():
             assert cert.ok, f"{var.name} on {label}: {cert.diagnostics}"
             assert cert.nrows == csr.shape[0]
             certified += 1
-    assert len(VARIANTS) == 16
+    assert len(VARIANTS) == 19
     assert certified >= 3 * len(VARIANTS)  # BAIJ may skip odd-dim panels

@@ -1,4 +1,4 @@
-"""ElasticGMRES: bit-identical recovery, and the 16-variant resize panel."""
+"""ElasticGMRES: bit-identical recovery, and the 19-variant resize panel."""
 
 import numpy as np
 import pytest
@@ -120,7 +120,7 @@ class TestEventValidation:
 
 
 class TestVariantResizePanel:
-    """The 16-variant x shrink/grow recovery panel.
+    """The 19-variant x shrink/grow recovery panel.
 
     Every registered kernel variant must measure bit-identically — same
     ``y``, same counter ledger — after its host world shrinks or grows
@@ -156,5 +156,5 @@ class TestVariantResizePanel:
         assert measured.counters.as_dict() == baseline.counters.as_dict()
 
 
-def test_the_panel_really_covers_sixteen_variants():
-    assert len(VARIANT_NAMES) == 16
+def test_the_panel_really_covers_nineteen_variants():
+    assert len(VARIANT_NAMES) == 19

@@ -81,5 +81,5 @@ class TestLookup:
         with pytest.raises(KeyError, match="AVX"):
             get_isa("AVX1024")
 
-    def test_registry_contains_all_five(self):
-        assert set(ISAS) == {"novec", "SSE2", "AVX", "AVX2", "AVX512"}
+    def test_registry_contains_all_six(self):
+        assert set(ISAS) == {"novec", "SSE2", "AVX", "AVX2", "AVX512", "SVE"}
